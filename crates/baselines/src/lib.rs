@@ -1,0 +1,31 @@
+//! The five baseline tabular generators the KiNETGAN paper compares
+//! against (§V), each built from scratch on the workspace's own
+//! autograd stack and implementing
+//! [`kinet_data::synth::TabularSynthesizer`]:
+//!
+//! * [`ctgan::CtGan`] — conditional GAN with mode-specific normalization
+//!   and training-by-sampling (Xu et al., NeurIPS 2019);
+//! * [`tvae::Tvae`] — variational autoencoder over the same encoding
+//!   (Xu et al., NeurIPS 2019);
+//! * [`tablegan::TableGan`] — min-max-scaled GAN with information and
+//!   classification losses (Park et al., VLDB 2018); the DCGAN
+//!   convolutions of the original are replaced by MLP blocks (see
+//!   `DESIGN.md` §3 — the behavioural signature lives in the losses);
+//! * [`pategan::PateGan`] — teacher-ensemble GAN with noisy PATE vote
+//!   aggregation for differential privacy (Jordon et al., ICLR 2019);
+//! * [`octgan::OctGan`] — GAN whose networks contain unrolled neural-ODE
+//!   blocks integrated with RK4 (Kim et al., WWW 2021; adjoint replaced by
+//!   discretize-then-optimize, see `DESIGN.md` §3).
+
+pub mod common;
+pub mod ctgan;
+pub mod octgan;
+pub mod pategan;
+pub mod tablegan;
+pub mod tvae;
+
+pub use ctgan::CtGan;
+pub use octgan::OctGan;
+pub use pategan::PateGan;
+pub use tablegan::TableGan;
+pub use tvae::Tvae;

@@ -1,0 +1,43 @@
+//! Benchmarks the Table-I fidelity metrics and a smoke-scale KiNETGAN
+//! fit (the per-epoch cost that dominates experiment regeneration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kinet_data::synth::TabularSynthesizer;
+use kinet_datasets::lab::{LabSimConfig, LabSimulator};
+use kinet_eval::metrics;
+use kinetgan::{KinetGan, KinetGanConfig};
+
+fn bench_fidelity_metrics(c: &mut Criterion) {
+    let a = LabSimulator::new(LabSimConfig::small(2000, 1)).generate().unwrap();
+    let b = LabSimulator::new(LabSimConfig::small(2000, 2)).generate().unwrap();
+    c.bench_function("fidelity_report_2000_rows", |bencher| {
+        bencher.iter(|| std::hint::black_box(metrics::fidelity(&a, &b)));
+    });
+}
+
+fn bench_kinetgan_epoch(c: &mut Criterion) {
+    let data = LabSimulator::new(LabSimConfig::small(512, 3)).generate().unwrap();
+    c.bench_function("kinetgan_fit_1_epoch_512_rows", |bencher| {
+        bencher.iter(|| {
+            let cfg = KinetGanConfig {
+                epochs: 1,
+                batch_size: 128,
+                z_dim: 32,
+                gen_hidden: vec![64],
+                disc_hidden: vec![64],
+                max_modes: 4,
+                ..KinetGanConfig::default()
+            };
+            let mut model = KinetGan::new(cfg, LabSimulator::knowledge_graph());
+            model.fit(&data).unwrap();
+            std::hint::black_box(model.report().unwrap().g_loss.len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fidelity_metrics, bench_kinetgan_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks the knowledge-graph reasoner — the component sitting inside
+//! the GAN training loop's hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kinet_kg::{Assignment, AttrValue, NetworkKg};
+
+fn record(port: f64) -> Assignment {
+    Assignment::new()
+        .with("event", "cve_1999_0003".into())
+        .with("protocol", "udp".into())
+        .with("dst_port", AttrValue::num(port))
+        .with("src_ip", "192.168.1.12".into())
+        .with("dst_ip", "192.168.1.10".into())
+}
+
+fn bench_validity(c: &mut Criterion) {
+    let kg = NetworkKg::lab_default();
+    let a = record(33000.0);
+    c.bench_function("reasoner_is_valid_uncached", |bencher| {
+        bencher.iter(|| std::hint::black_box(kg.reasoner().is_valid(&a).is_valid()));
+    });
+    c.bench_function("reasoner_is_valid_cached", |bencher| {
+        bencher.iter(|| std::hint::black_box(kg.reasoner().is_valid_cached(&a)));
+    });
+}
+
+fn bench_batch_validity(c: &mut Criterion) {
+    let kg = NetworkKg::lab_default();
+    let batch: Vec<Assignment> = (0..128).map(|i| record(32000.0 + i as f64 * 20.0)).collect();
+    c.bench_function("reasoner_validity_rate_128", |bencher| {
+        bencher.iter(|| std::hint::black_box(kg.reasoner().validity_rate(&batch)));
+    });
+}
+
+fn bench_store_query(c: &mut Criterion) {
+    let kg = NetworkKg::lab_default();
+    let subject = kinet_kg::Iri::new("lab:blink_camera");
+    c.bench_function("store_query_by_subject", |bencher| {
+        bencher.iter(|| std::hint::black_box(kg.store().query(Some(&subject), None, None).len()));
+    });
+}
+
+criterion_group!(benches, bench_validity, bench_batch_validity, bench_store_query);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks the Figures-5/6/7 privacy attacks on fixed releases.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kinet_datasets::lab::{LabSimConfig, LabSimulator};
+use kinet_eval::privacy::{
+    attribute_inference_attack, membership_inference_attack, reidentification_attack,
+};
+
+fn bench_attacks(c: &mut Criterion) {
+    let original = LabSimulator::new(LabSimConfig::small(800, 1)).generate().unwrap();
+    let release = LabSimulator::new(LabSimConfig::small(800, 2)).generate().unwrap();
+    let probe_idx: Vec<usize> = (0..100).collect();
+    let members = original.select_rows(&probe_idx);
+    let non_members = release.select_rows(&probe_idx);
+
+    let mut group = c.benchmark_group("privacy_attacks");
+    group.sample_size(10);
+    group.bench_function("reidentification_100_probes", |bencher| {
+        bencher.iter(|| {
+            std::hint::black_box(reidentification_attack(&original, &release, 0.6, 100, 7))
+        });
+    });
+    group.bench_function("attribute_inference_100_probes", |bencher| {
+        bencher.iter(|| {
+            std::hint::black_box(
+                attribute_inference_attack(&original, &release, "event", 100).unwrap(),
+            )
+        });
+    });
+    group.bench_function("membership_inference_100v100", |bencher| {
+        bencher.iter(|| {
+            std::hint::black_box(membership_inference_attack(
+                &members,
+                &non_members,
+                &release,
+                None,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmarks for the matrix substrate: matmul is the hot loop of
+//! every training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kinet_tensor::{Matrix, MatrixRandomExt};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Matrix::randn(n, n, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(n, n, 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transposed_products(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Matrix::randn(128, 128, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(128, 128, 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_tn_128", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.matmul_tn(&b)));
+    });
+    c.bench_function("matmul_nt_128", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.matmul_nt(&b)));
+    });
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Matrix::randn(256, 256, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(256, 256, 0.0, 1.0, &mut rng);
+    c.bench_function("elementwise_mul_256", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.mul(&b)));
+    });
+    c.bench_function("softmax_like_map_256", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.map(|v| v.exp())));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_transposed_products, bench_elementwise);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks the Figures-3/4 utility pipeline: feature encoding and the
+//! classifier panel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kinet_datasets::lab::{LabSimConfig, LabSimulator};
+use kinet_eval::classifiers::{Classifier, DecisionTree, GaussianNb, RandomForest};
+use kinet_eval::encode::MlEncoder;
+
+fn bench_encode(c: &mut Criterion) {
+    let table = LabSimulator::new(LabSimConfig::small(2000, 1)).generate().unwrap();
+    let enc = MlEncoder::fit(&table, "event").unwrap();
+    c.bench_function("ml_encode_2000_rows", |bencher| {
+        bencher.iter(|| std::hint::black_box(enc.encode(&table).unwrap()));
+    });
+}
+
+fn bench_classifiers(c: &mut Criterion) {
+    let table = LabSimulator::new(LabSimConfig::small(1500, 2)).generate().unwrap();
+    let enc = MlEncoder::fit(&table, "event").unwrap();
+    let (x, y) = enc.encode(&table).unwrap();
+    let k = enc.n_classes();
+    let mut group = c.benchmark_group("classifier_fit");
+    group.sample_size(10);
+    group.bench_function("decision_tree", |bencher| {
+        bencher.iter(|| {
+            let mut t = DecisionTree::new(10);
+            t.fit(&x, &y, k);
+            std::hint::black_box(t.predict(&x).len())
+        });
+    });
+    group.bench_function("random_forest_8", |bencher| {
+        bencher.iter(|| {
+            let mut f = RandomForest::new(8, 10);
+            f.fit(&x, &y, k);
+            std::hint::black_box(f.predict(&x).len())
+        });
+    });
+    group.bench_function("naive_bayes", |bencher| {
+        bencher.iter(|| {
+            let mut nb = GaussianNb::new();
+            nb.fit(&x, &y, k);
+            std::hint::black_box(nb.predict(&x).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_classifiers);
+criterion_main!(benches);

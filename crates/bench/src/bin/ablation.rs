@@ -1,0 +1,94 @@
+//! Ablation bench (extra experiment X1 in `DESIGN.md`): KiNETGAN with the
+//! knowledge guidance and data balancing switched between modes, measuring
+//! KG-validity of the release, fidelity and downstream utility.
+
+use kinet_bench::{write_json, Dataset, ExpConfig};
+use kinet_data::sampler::BalanceMode;
+use kinet_data::synth::TabularSynthesizer;
+use kinet_eval::{metrics, utility::evaluate_tstr};
+use kinetgan::{KgMode, KinetGan, KinetGanConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    variant: String,
+    validity: f64,
+    emd: f64,
+    combined: f64,
+    mean_accuracy: f64,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let dataset = Dataset::Lab;
+    let (train, test) = dataset.load(&cfg);
+    let label = dataset.label_column();
+    println!(
+        "ablation — KiNETGAN design choices on {} (rows={}, epochs={})\n",
+        dataset.name(),
+        cfg.rows,
+        cfg.epochs
+    );
+    println!(
+        "{:<28} | {:>8} {:>7} {:>8} {:>8}",
+        "Variant", "validity", "EMD", "combined", "accuracy"
+    );
+    println!("{}", "-".repeat(68));
+
+    let variants: Vec<(&str, KgMode, BalanceMode)> = vec![
+        ("full (neural D_KG, uniform)", KgMode::Neural, BalanceMode::Uniform),
+        ("soft-mask only", KgMode::SoftMask, BalanceMode::Uniform),
+        ("both guidance terms", KgMode::Both, BalanceMode::Uniform),
+        ("no knowledge (ablate D_KG)", KgMode::Off, BalanceMode::Uniform),
+        ("log-freq balancing", KgMode::Neural, BalanceMode::LogFreq),
+        ("no balancing", KgMode::Neural, BalanceMode::None),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, kg_mode, balance) in variants {
+        let mcfg = KinetGanConfig {
+            epochs: cfg.epochs,
+            batch_size: 128,
+            z_dim: 64,
+            gen_hidden: vec![64, 64],
+            disc_hidden: vec![64, 64],
+            max_modes: 6,
+            seed: cfg.seed,
+            kg_mode,
+            balance,
+            ..KinetGanConfig::default()
+        };
+        let mut model = KinetGan::new(mcfg, dataset.knowledge_graph());
+        if let Err(e) = model.fit(&train) {
+            eprintln!("{name}: training failed: {e}");
+            continue;
+        }
+        let release = match model.sample(train.n_rows(), cfg.seed ^ 0x88) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{name}: sampling failed: {e}");
+                continue;
+            }
+        };
+        let validity = model.validity_rate(&release);
+        let fid = metrics::fidelity(&train, &release);
+        let utility = evaluate_tstr(name, &release, &test, &train, label)
+            .map(|u| u.mean_accuracy)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<28} | {:>8.3} {:>7.3} {:>8.3} {:>8.3}",
+            name, validity, fid.emd, fid.combined, utility
+        );
+        rows.push(AblationRow {
+            variant: name.to_string(),
+            validity,
+            emd: fid.emd,
+            combined: fid.combined,
+            mean_accuracy: utility,
+        });
+    }
+    match write_json("ablation", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

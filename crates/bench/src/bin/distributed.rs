@@ -1,0 +1,41 @@
+//! Distributed scalability bench (extra experiment X2 in `DESIGN.md`):
+//! the deployment scenario of §I/§VI — sharing raw traffic vs. KiNETGAN
+//! synthetic traffic vs. keeping data local, swept over fleet sizes.
+
+use kinet_bench::{write_json, ExpConfig};
+use kinet_nids::{DistributedConfig, DistributedSim, ModelKind, SharingPolicy};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("distributed — policy × fleet-size sweep (epochs={})\n", cfg.epochs.min(12));
+    let mut reports = Vec::new();
+    for n_devices in [2usize, 4, 8] {
+        for policy in [
+            SharingPolicy::Raw,
+            SharingPolicy::Synthetic(ModelKind::KinetGan),
+            SharingPolicy::Synthetic(ModelKind::CtGan),
+            SharingPolicy::LocalOnly,
+        ] {
+            let sim = DistributedSim::new(DistributedConfig {
+                n_devices,
+                records_per_device: (cfg.rows / n_devices).max(200),
+                test_records: cfg.rows / 2,
+                policy,
+                model_epochs: cfg.epochs.min(12),
+                seed: cfg.seed,
+            });
+            match sim.run() {
+                Ok(report) => {
+                    println!("{report}");
+                    reports.push(report);
+                }
+                Err(e) => eprintln!("simulation failed: {e}"),
+            }
+        }
+        println!();
+    }
+    match write_json("distributed", &reports) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

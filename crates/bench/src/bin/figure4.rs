@@ -1,0 +1,53 @@
+//! Regenerates **Figure 4**: NIDS accuracy on UNSW-NB15 for the baseline
+//! classifier panel and each model's synthetic training data.
+
+use kinet_bench::{fit_and_release, model_roster, write_json, Dataset, ExpConfig, UtilityRow};
+use kinet_eval::utility::evaluate_tstr;
+
+fn main() {
+    let dataset = Dataset::Unsw;
+    let id = "figure4";
+    let cfg = ExpConfig::from_env();
+    let (train, test) = dataset.load(&cfg);
+    let label = dataset.label_column();
+    println!(
+        "{} — NIDS accuracy on {} (rows={}, epochs={})\n",
+        id,
+        dataset.name(),
+        cfg.rows,
+        cfg.epochs
+    );
+
+    let mut rows = Vec::new();
+    let baseline =
+        evaluate_tstr("Baseline", &train, &test, &train, label).expect("baseline evaluation");
+    println!("{:<10} mean accuracy {:.3}", "Baseline", baseline.mean_accuracy);
+    rows.push(UtilityRow {
+        source: "Baseline".into(),
+        dataset: dataset.name().into(),
+        mean_accuracy: baseline.mean_accuracy,
+        per_classifier: baseline.per_classifier.clone(),
+    });
+
+    for mut named in model_roster(dataset, &cfg) {
+        match fit_and_release(&mut named, &train, cfg.seed ^ 0x33) {
+            Ok(release) => match evaluate_tstr(named.name, &release, &test, &train, label) {
+                Ok(report) => {
+                    println!("{:<10} mean accuracy {:.3}", named.name, report.mean_accuracy);
+                    rows.push(UtilityRow {
+                        source: named.name.into(),
+                        dataset: dataset.name().into(),
+                        mean_accuracy: report.mean_accuracy,
+                        per_classifier: report.per_classifier,
+                    });
+                }
+                Err(e) => eprintln!("{}: evaluation failed: {e}", named.name),
+            },
+            Err(e) => eprintln!("{}: training failed: {e}", named.name),
+        }
+    }
+    match write_json(id, &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 6**: attribute-inference attack accuracy on the
+//! lab data (sensitive attribute: the event class).
+
+use kinet_bench::{fit_and_release, model_roster, write_json, Dataset, ExpConfig, PrivacyRow};
+use kinet_eval::privacy::attribute_inference_attack;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let dataset = Dataset::Lab;
+    let (train, _) = dataset.load(&cfg);
+    let sensitive = dataset.label_column();
+    println!(
+        "figure6 — attribute inference of {sensitive:?} on {} (probes={})\n",
+        dataset.name(),
+        cfg.probes
+    );
+
+    let mut rows = Vec::new();
+    for mut named in model_roster(dataset, &cfg) {
+        match fit_and_release(&mut named, &train, cfg.seed ^ 0x66) {
+            Ok(release) => {
+                match attribute_inference_attack(&train, &release, sensitive, cfg.probes) {
+                    Ok(acc) => {
+                        println!("{:<10} attack accuracy {:.3}", named.name, acc);
+                        rows.push(PrivacyRow {
+                            model: named.name.into(),
+                            attack: "attr-inf".into(),
+                            accuracy: acc,
+                        });
+                    }
+                    Err(e) => eprintln!("{}: attack failed: {e}", named.name),
+                }
+            }
+            Err(e) => eprintln!("{}: training failed: {e}", named.name),
+        }
+    }
+    match write_json("figure6", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

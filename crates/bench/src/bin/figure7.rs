@@ -1,0 +1,64 @@
+//! Regenerates **Figure 7**: membership-inference attack accuracy in the
+//! white-box (WB) and full-black-box (FBB) settings on the lab data.
+
+use kinet_bench::{model_roster, write_json, Dataset, ExpConfig, PrivacyRow};
+use kinet_data::Table;
+use kinet_eval::privacy::membership_inference_attack;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let dataset = Dataset::Lab;
+    let (train, test) = dataset.load(&cfg);
+    let n_probe = cfg.probes.min(train.n_rows()).min(test.n_rows());
+    let probe_idx: Vec<usize> = (0..n_probe).collect();
+    let members = train.select_rows(&probe_idx);
+    let non_members = test.select_rows(&probe_idx);
+    println!(
+        "figure7 — membership inference on {} ({} members / {} non-members)\n",
+        dataset.name(),
+        n_probe,
+        n_probe
+    );
+    println!("{:<10} | {:>7} {:>7}", "Model", "WB", "FBB");
+    println!("{}", "-".repeat(30));
+
+    let mut rows = Vec::new();
+    for mut named in model_roster(dataset, &cfg) {
+        if let Err(e) = named.model.fit(&train) {
+            eprintln!("{}: training failed: {e}", named.name);
+            continue;
+        }
+        let release = match named.model.sample(train.n_rows(), cfg.seed ^ 0x77) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: sampling failed: {e}", named.name);
+                continue;
+            }
+        };
+        // white-box critic scores over members ⧺ non-members
+        let mut probe = Table::empty(members.schema().clone());
+        probe.append(&members).expect("same schema");
+        probe.append(&non_members).expect("same schema");
+        let critic = named.model.critic_scores(&probe);
+        let report =
+            membership_inference_attack(&members, &non_members, &release, critic.as_deref());
+        println!(
+            "{:<10} | {:>7.3} {:>7.3}",
+            named.name, report.white_box, report.full_black_box
+        );
+        rows.push(PrivacyRow {
+            model: named.name.into(),
+            attack: "mi-wb".into(),
+            accuracy: report.white_box,
+        });
+        rows.push(PrivacyRow {
+            model: named.name.into(),
+            attack: "mi-fbb".into(),
+            accuracy: report.full_black_box,
+        });
+    }
+    match write_json("figure7", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

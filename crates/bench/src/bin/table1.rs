@@ -1,0 +1,53 @@
+//! Regenerates **Table I**: EMD and combined L1/L2 distance between
+//! synthetic and original data for all six models on both datasets.
+
+use kinet_bench::{fit_and_release, model_roster, write_json, Dataset, ExpConfig, FidelityRow};
+use kinet_eval::metrics;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("Table I — distance between synthetic and original data");
+    println!("(rows={}, epochs={}, seed={})\n", cfg.rows, cfg.epochs, cfg.seed);
+    println!(
+        "{:<10} | {:>9} {:>9} | {:>9} {:>9}",
+        "Model", "Lab EMD", "Lab Dist", "UNSW EMD", "UNSW Dist"
+    );
+    println!("{}", "-".repeat(56));
+
+    let mut rows: Vec<FidelityRow> = Vec::new();
+    let mut by_model: std::collections::BTreeMap<String, Vec<(f64, f64)>> = Default::default();
+    for dataset in [Dataset::Lab, Dataset::Unsw] {
+        let (train, _test) = dataset.load(&cfg);
+        for mut named in model_roster(dataset, &cfg) {
+            match fit_and_release(&mut named, &train, cfg.seed ^ 0x11) {
+                Ok(release) => {
+                    let report = metrics::fidelity(&train, &release);
+                    rows.push(FidelityRow {
+                        model: named.name.to_string(),
+                        dataset: dataset.name().to_string(),
+                        emd: report.emd,
+                        combined: report.combined,
+                    });
+                    by_model
+                        .entry(named.name.to_string())
+                        .or_default()
+                        .push((report.emd, report.combined));
+                }
+                Err(e) => eprintln!("{} on {}: {e}", named.name, dataset.name()),
+            }
+        }
+    }
+
+    for (model, vals) in &by_model {
+        let lab = vals.first().copied().unwrap_or((f64::NAN, f64::NAN));
+        let unsw = vals.get(1).copied().unwrap_or((f64::NAN, f64::NAN));
+        println!(
+            "{:<10} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3}",
+            model, lab.0, lab.1, unsw.0, unsw.1
+        );
+    }
+    match write_json("table1", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,646 @@
+//! The end-to-end KiNETGAN model: fit, sample, and knowledge guidance.
+
+use crate::config::{KgMode, KinetGanConfig};
+use crate::discriminator::{KnowledgeDiscriminator, RecordDiscriminator};
+use crate::generator::ConditionalGenerator;
+use kinet_data::condition::ConditionVectorSpec;
+use kinet_data::sampler::{BalanceMode, TrainingSampler};
+use kinet_data::synth::{SynthError, TabularSynthesizer};
+use kinet_data::transform::DataTransformer;
+use kinet_data::{ColumnKind, Table, Value};
+use kinet_kg::{Assignment, AttrValue, NetworkKg};
+use kinet_nn::optim::{Adam, Optimizer};
+use kinet_nn::{Tape, Var};
+use kinet_tensor::Matrix;
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-epoch loss trajectory and summary statistics of one `fit` run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainingReport {
+    /// Mean discriminator loss per epoch (`D_M` + `D_KG`).
+    pub d_loss: Vec<f32>,
+    /// Mean generator loss per epoch (adversarial + condition + mask).
+    pub g_loss: Vec<f32>,
+    /// KG-validity rate of a probe sample drawn after training.
+    pub final_validity: f64,
+}
+
+struct Fitted {
+    transformer: DataTransformer,
+    cond_spec: ConditionVectorSpec,
+    sampler: TrainingSampler,
+    generator: ConditionalGenerator,
+    d_m: RecordDiscriminator,
+    d_kg: Option<KnowledgeDiscriminator>,
+    table: Table,
+    report: TrainingReport,
+}
+
+/// The KiNETGAN synthesizer. See the [crate docs](crate) for the model
+/// description and a usage example.
+pub struct KinetGan {
+    config: KinetGanConfig,
+    kg: Arc<NetworkKg>,
+    fitted: Option<Fitted>,
+}
+
+impl KinetGan {
+    /// Creates an unfitted model bound to a knowledge graph.
+    pub fn new(config: KinetGanConfig, kg: NetworkKg) -> Self {
+        Self { config, kg: Arc::new(kg), fitted: None }
+    }
+
+    /// Creates a model sharing an existing knowledge-graph handle.
+    pub fn with_shared_kg(config: KinetGanConfig, kg: Arc<NetworkKg>) -> Self {
+        Self { config, kg, fitted: None }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &KinetGanConfig {
+        &self.config
+    }
+
+    /// The bound knowledge graph.
+    pub fn knowledge_graph(&self) -> &NetworkKg {
+        &self.kg
+    }
+
+    /// The training report of the last `fit`, if any.
+    pub fn report(&self) -> Option<&TrainingReport> {
+        self.fitted.as_ref().map(|f| &f.report)
+    }
+
+    /// Fraction of `table` rows that satisfy the knowledge graph.
+    pub fn validity_rate(&self, table: &Table) -> f64 {
+        let batch: Vec<Assignment> =
+            (0..table.n_rows()).map(|r| row_to_assignment(table, r)).collect();
+        self.kg.reasoner().validity_rate(&batch)
+    }
+
+    /// The conditional columns used for the condition vector: the KG's
+    /// conditional fields that exist as categorical columns in `table`.
+    fn conditional_columns<'a>(&self, table: &'a Table) -> Vec<&'a str> {
+        let mut cols: Vec<&str> = Vec::new();
+        for f in self.kg.conditional_fields() {
+            if let Some(idx) = table.schema().index_of(f) {
+                if table.schema().column(idx).kind() == ColumnKind::Categorical {
+                    cols.push(table.schema().column(idx).name());
+                }
+            }
+        }
+        if cols.is_empty() {
+            cols = table.schema().categorical_names();
+        }
+        cols
+    }
+
+    /// Builds, for each conditional column, `(spec idx, head idx, schema
+    /// idx)`.
+    fn map_cond_heads(
+        transformer: &DataTransformer,
+        cond_spec: &ConditionVectorSpec,
+    ) -> Vec<(usize, usize, usize)> {
+        // head index per schema column: categorical -> 1 head, continuous -> 2
+        let schema = transformer.schema();
+        let mut head_of_col = Vec::with_capacity(schema.len());
+        let mut h = 0;
+        for col in schema.iter() {
+            head_of_col.push(h);
+            h += match col.kind() {
+                ColumnKind::Categorical => 1,
+                ColumnKind::Continuous => 2,
+            };
+        }
+        cond_spec
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(ci, name)| {
+                let sidx = schema.index_of(name).expect("cond column exists in schema");
+                // categorical columns have a single softmax head
+                (ci, head_of_col[sidx], sidx)
+            })
+            .collect()
+    }
+
+    /// Fields constrained by the KG for the given event (both categorical
+    /// and numeric), excluding the scope field itself.
+    fn constrained_fields(&self, event: &str) -> Vec<String> {
+        let scope = self.kg.scope_field();
+        let mut fields: Vec<String> = self
+            .kg
+            .reasoner()
+            .rules()
+            .applicable(event)
+            .map(|r| r.field.clone())
+            .filter(|f| f != scope)
+            .collect();
+        fields.sort();
+        fields.dedup();
+        fields
+    }
+
+    /// Builds one KG-valid positive row for `D_KG`: the real row with its
+    /// constrained fields re-drawn from the reasoner's valid sets.
+    fn kg_positive_row(
+        &self,
+        table: &Table,
+        row: usize,
+        domains: &BTreeMap<String, Vec<String>>,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        let mut a = row_to_assignment(table, row);
+        let scope = self.kg.scope_field();
+        let event = a.get_cat(scope).unwrap_or("*").to_string();
+        let mut partial = Assignment::new();
+        if let Some(e) = a.get_cat(scope) {
+            let e = e.to_string();
+            partial.set(scope, AttrValue::cat(e));
+        }
+        let fields = self.constrained_fields(&event);
+        if let Some(valid) = self.kg.reasoner().sample_valid(&partial, &fields, domains, rng, 8) {
+            a.merge(&valid);
+        }
+        table
+            .schema()
+            .iter()
+            .enumerate()
+            .map(|(ci, col)| match a.get(col.name()) {
+                // KG-sampled categories outside the locally observed
+                // dictionary cannot be encoded; keep the original value.
+                Some(AttrValue::Cat(s)) => {
+                    let known = domains
+                        .get(col.name())
+                        .is_none_or(|domain| domain.iter().any(|d| d == s));
+                    if known {
+                        Value::cat(s.clone())
+                    } else {
+                        table.value(row, ci)
+                    }
+                }
+                Some(AttrValue::Num(v)) => Value::num(*v),
+                None => table.value(row, ci),
+            })
+            .collect()
+    }
+
+    /// Runs one full training pass; returns the fitted state.
+    fn train(&self, table: &Table) -> Result<Fitted, SynthError> {
+        self.config.validate().map_err(SynthError::Training)?;
+        if table.is_empty() {
+            return Err(SynthError::Training("training table is empty".into()));
+        }
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let transformer = DataTransformer::fit(table, cfg.max_modes, cfg.seed)?;
+        let cond_cols = self.conditional_columns(table);
+        let cond_spec = ConditionVectorSpec::fit(table, &cond_cols)?;
+        let sampler = TrainingSampler::fit(table, &cond_spec)?;
+        let cond_heads = Self::map_cond_heads(&transformer, &cond_spec);
+
+        let generator = ConditionalGenerator::new(
+            cfg.z_dim,
+            cond_spec.width(),
+            &cfg.gen_hidden,
+            &transformer,
+            &mut rng,
+        );
+        let d_m = RecordDiscriminator::new(
+            transformer.width(),
+            cond_spec.width(),
+            &cfg.disc_hidden,
+            cfg.disc_dropout,
+            &mut rng,
+        );
+        let use_dkg = matches!(cfg.kg_mode, KgMode::Neural | KgMode::Both);
+        let d_kg = use_dkg.then(|| {
+            KnowledgeDiscriminator::new(
+                transformer.width(),
+                &cfg.disc_hidden,
+                cfg.disc_dropout,
+                &mut rng,
+            )
+        });
+        let use_mask = matches!(cfg.kg_mode, KgMode::SoftMask | KgMode::Both);
+
+        let mut g_opt = Adam::with_betas(generator.params(), cfg.lr, 0.5, 0.9);
+        let mut d_params = d_m.params();
+        if let Some(dkg) = &d_kg {
+            d_params.extend(&dkg.params());
+        }
+        let mut d_opt = Adam::with_betas(d_params.clone(), cfg.lr, 0.5, 0.9);
+        let g_params = generator.params();
+
+        let encoded = transformer.transform(table, &mut rng);
+        // Categorical domains used by the reasoner's valid-combination
+        // sampler as fallbacks for unconstrained fields.
+        let mut domains: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for name in table.schema().categorical_names() {
+            if let Some(enc) = transformer.categorical_encoder(name) {
+                domains.insert(name.to_string(), enc.categories().to_vec());
+            }
+        }
+
+        let steps = (table.n_rows() / cfg.batch_size).max(1);
+        let mut report = TrainingReport::default();
+
+        for _epoch in 0..cfg.epochs {
+            let mut d_epoch = 0.0f32;
+            let mut g_epoch = 0.0f32;
+            for _step in 0..steps {
+                let conditions = sampler
+                    .sample_batch(table, &cond_spec, cfg.balance, true, cfg.batch_size, &mut rng)?;
+                let c = Matrix::from_fn(cfg.batch_size, cond_spec.width(), |r, ccol| {
+                    conditions[r].vector[ccol]
+                });
+                let real_idx: Vec<usize> = conditions.iter().map(|s| s.row).collect();
+                let real = encoded.select_rows(&real_idx);
+
+                // ---- discriminator step ----
+                {
+                    let tape = Tape::new();
+                    let fake = generator.generate(&tape, &c, cfg.tau, true, &mut rng);
+                    let real_node = tape.constant(real.clone());
+                    let d_real = d_m.forward(&tape, real_node, &c, true, &mut rng);
+                    let d_fake = d_m.forward(&tape, fake.output, &c, true, &mut rng);
+                    let mut loss = kinet_nn::loss::gan_discriminator_loss(
+                        d_real,
+                        d_fake,
+                        cfg.real_label,
+                    );
+                    if let Some(dkg) = &d_kg {
+                        let pos_rows: Vec<Vec<Value>> = real_idx
+                            .iter()
+                            .map(|&r| self.kg_positive_row(table, r, &domains, &mut rng))
+                            .collect();
+                        let pos_table = Table::from_rows(table.schema().clone(), pos_rows)?;
+                        let pos = transformer.transform_deterministic(&pos_table);
+                        let kg_pos = dkg.forward(&tape, tape.constant(pos), true, &mut rng);
+                        let kg_neg = dkg.forward(&tape, fake.output, true, &mut rng);
+                        let kg_loss =
+                            kinet_nn::loss::gan_discriminator_loss(kg_pos, kg_neg, 1.0);
+                        loss = loss.add(kg_loss);
+                    }
+                    let loss_value = loss.value()[(0, 0)];
+                    d_epoch += loss_value;
+                    if loss_value.is_finite() {
+                        tape.backward(loss);
+                        if cfg.clip_norm > 0.0 {
+                            d_params.clip_grad_norm(cfg.clip_norm);
+                        }
+                        d_opt.step();
+                    }
+                    d_opt.zero_grad();
+                    g_opt.zero_grad(); // discard generator grads from this tape
+                }
+
+                // ---- generator step ----
+                {
+                    let tape = Tape::new();
+                    let fake = generator.generate(&tape, &c, cfg.tau, true, &mut rng);
+                    let d_fake = d_m.forward(&tape, fake.output, &c, true, &mut rng);
+                    // Eq. 3: D_C = D_KG + D_M (λ_kg scales the KG term)
+                    let d_c = if let Some(dkg) = &d_kg {
+                        let kg_fake = dkg.forward(&tape, fake.output, true, &mut rng);
+                        d_fake.add(kg_fake.scale(cfg.lambda_kg))
+                    } else {
+                        d_fake
+                    };
+                    let mut loss = kinet_nn::loss::gan_generator_loss(d_c);
+                    // BCE(C, Ĉ): condition consistency on each conditional head
+                    for &(spec_idx, head_idx, _schema_idx) in &cond_heads {
+                        let off = cond_spec.offset(spec_idx);
+                        let w = cond_spec.encoder(spec_idx).n_categories();
+                        let target = c_block(&c, off, w);
+                        let ce = fake.head_logits[head_idx].softmax_cross_entropy(&target);
+                        loss = loss.add(ce.scale(cfg.lambda_cond));
+                    }
+                    if use_mask {
+                        if let Some(pen) = self.mask_penalty(
+                            &tape,
+                            &fake.head_logits,
+                            &conditions,
+                            &cond_spec,
+                            &cond_heads,
+                            &transformer,
+                        ) {
+                            loss = loss.add(pen.scale(cfg.lambda_kg));
+                        }
+                    }
+                    let loss_value = loss.value()[(0, 0)];
+                    g_epoch += loss_value;
+                    if loss_value.is_finite() {
+                        tape.backward(loss);
+                        if cfg.clip_norm > 0.0 {
+                            g_params.clip_grad_norm(cfg.clip_norm);
+                        }
+                        g_opt.step();
+                    }
+                    g_opt.zero_grad();
+                    d_opt.zero_grad(); // discard discriminator grads
+                }
+            }
+            report.d_loss.push(d_epoch / steps as f32);
+            report.g_loss.push(g_epoch / steps as f32);
+        }
+
+        Ok(Fitted {
+            transformer,
+            cond_spec,
+            sampler,
+            generator,
+            d_m,
+            d_kg,
+            table: table.clone(),
+            report,
+        })
+    }
+
+    /// The differentiable knowledge penalty: probability mass assigned to
+    /// KG-invalid categories of conditional columns, given each row's event
+    /// class. Returns `None` when no mass is constrained.
+    fn mask_penalty<'t>(
+        &self,
+        tape: &'t Tape,
+        head_logits: &[Var<'t>],
+        conditions: &[kinet_data::sampler::SampledCondition],
+        cond_spec: &ConditionVectorSpec,
+        cond_heads: &[(usize, usize, usize)],
+        transformer: &DataTransformer,
+    ) -> Option<Var<'t>> {
+        let scope = self.kg.scope_field();
+        let scope_spec_idx = cond_spec.column_index(scope)?;
+        let batch = conditions.len();
+        let mut any = false;
+        let mut penalty: Option<Var<'t>> = None;
+        for &(spec_idx, head_idx, schema_idx) in cond_heads {
+            if spec_idx == scope_spec_idx {
+                continue;
+            }
+            let name = transformer.schema().column(schema_idx).name();
+            let enc = cond_spec.encoder(spec_idx);
+            let w = enc.n_categories();
+            let mut invalid = Matrix::zeros(batch, w);
+            for (r, cond) in conditions.iter().enumerate() {
+                // event of this row, decoded from the condition vector
+                let off = cond_spec.offset(scope_spec_idx);
+                let sw = cond_spec.encoder(scope_spec_idx).n_categories();
+                let event_code =
+                    (0..sw).find(|&j| cond.vector[off + j] > 0.5).unwrap_or(0);
+                let event = cond_spec
+                    .encoder(scope_spec_idx)
+                    .decode(event_code)
+                    .unwrap_or("*")
+                    .to_string();
+                if let Some(valid) = self.kg.reasoner().valid_values(&event, name) {
+                    for (j, cat) in enc.categories().iter().enumerate() {
+                        if !valid.contains(cat) {
+                            invalid[(r, j)] = 1.0;
+                            any = true;
+                        }
+                    }
+                }
+            }
+            let probs = head_logits[head_idx].softmax();
+            let masked = probs.mul_const(&invalid).sum().scale(1.0 / batch as f32);
+            penalty = Some(match penalty {
+                Some(p) => p.add(masked),
+                None => masked,
+            });
+        }
+        let _ = tape;
+        if any {
+            penalty
+        } else {
+            None
+        }
+    }
+
+    /// Draws a probe sample and records its KG-validity in the report.
+    fn finalize_report(&mut self, probe: usize, seed: u64) {
+        let validity = match self.sample(probe, seed) {
+            Ok(t) => self.validity_rate(&t),
+            Err(_) => 0.0,
+        };
+        if let Some(f) = self.fitted.as_mut() {
+            f.report.final_validity = validity;
+        }
+    }
+}
+
+fn c_block(c: &Matrix, offset: usize, width: usize) -> Matrix {
+    Matrix::from_fn(c.rows(), width, |r, j| c[(r, offset + j)])
+}
+
+fn row_to_assignment(table: &Table, row: usize) -> Assignment {
+    let mut a = Assignment::new();
+    for (ci, col) in table.schema().iter().enumerate() {
+        match table.value(row, ci) {
+            Value::Cat(s) => a.set(col.name(), AttrValue::Cat(s)),
+            Value::Num(v) => a.set(col.name(), AttrValue::Num(v)),
+        };
+    }
+    a
+}
+
+impl TabularSynthesizer for KinetGan {
+    fn name(&self) -> &str {
+        "KiNETGAN"
+    }
+
+    fn fit(&mut self, table: &Table) -> Result<(), SynthError> {
+        let fitted = self.train(table)?;
+        self.fitted = Some(fitted);
+        self.finalize_report(256, self.config.seed ^ 0x5eed);
+        Ok(())
+    }
+
+    fn sample(&self, n: usize, seed: u64) -> Result<Table, SynthError> {
+        let f = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Table::empty(f.table.schema().clone());
+        let batch = self.config.batch_size.max(32);
+        while out.n_rows() < n {
+            let want = (n - out.n_rows()).min(batch);
+            let conds = f.sampler.sample_batch(
+                &f.table,
+                &f.cond_spec,
+                BalanceMode::None, // original data distribution at test time
+                true,
+                want,
+                &mut rng,
+            )?;
+            let c = Matrix::from_fn(want, f.cond_spec.width(), |r, j| conds[r].vector[j]);
+            let tape = Tape::new();
+            let gen = f.generator.generate(&tape, &c, self.config.tau, false, &mut rng);
+            let mut decoded = f.transformer.inverse_transform(&gen.output.value())?;
+            for round in 0..self.config.rejection_rounds {
+                let invalid_rows: Vec<usize> = (0..decoded.n_rows())
+                    .filter(|&r| {
+                        !self
+                            .kg
+                            .reasoner()
+                            .is_valid_cached(&row_to_assignment(&decoded, r))
+                    })
+                    .collect();
+                if invalid_rows.is_empty() {
+                    break;
+                }
+                let retry_c = Matrix::from_fn(invalid_rows.len(), f.cond_spec.width(), |i, j| {
+                    c[(invalid_rows[i], j)]
+                });
+                let tape = Tape::new();
+                let regen =
+                    f.generator.generate(&tape, &retry_c, self.config.tau, false, &mut rng);
+                let redecoded = f.transformer.inverse_transform(&regen.output.value())?;
+                let mut rows: Vec<Vec<Value>> =
+                    (0..decoded.n_rows()).map(|r| decoded.row(r)).collect();
+                for (i, &r) in invalid_rows.iter().enumerate() {
+                    rows[r] = redecoded.row(i);
+                }
+                decoded = Table::from_rows(decoded.schema().clone(), rows)?;
+                let _ = round;
+            }
+            out.append(&decoded)?;
+        }
+        // exact size
+        let idx: Vec<usize> = (0..n).collect();
+        Ok(out.select_rows(&idx))
+    }
+
+    fn critic_scores(&self, table: &Table) -> Option<Vec<f64>> {
+        let f = self.fitted.as_ref()?;
+        let encoded = f.transformer.transform_deterministic(table);
+        let c = Matrix::from_fn(table.n_rows(), f.cond_spec.width(), |r, j| {
+            f.cond_spec
+                .vector_from_row(table, r)
+                .map(|v| v[j])
+                .unwrap_or(0.0)
+        });
+        let mut scores = f.d_m.score(&encoded, &c);
+        if let Some(dkg) = &f.d_kg {
+            scores = scores.add(&dkg.score(&encoded));
+        }
+        Some(scores.column(0).iter().map(|&v| v as f64).collect())
+    }
+}
+
+impl std::fmt::Debug for KinetGan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KinetGan(kg={}, fitted={}, kg_mode={:?})",
+            self.kg.name(),
+            self.fitted.is_some(),
+            self.config.kg_mode
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinet_datasets::lab::{LabSimConfig, LabSimulator};
+
+    fn tiny_data(n: usize, seed: u64) -> Table {
+        LabSimulator::new(LabSimConfig::small(n, seed)).generate().unwrap()
+    }
+
+    fn tiny_config() -> KinetGanConfig {
+        KinetGanConfig {
+            epochs: 2,
+            batch_size: 32,
+            z_dim: 16,
+            gen_hidden: vec![32],
+            disc_hidden: vec![32],
+            max_modes: 3,
+            ..KinetGanConfig::default()
+        }
+    }
+
+    #[test]
+    fn not_fitted_error() {
+        let model = KinetGan::new(tiny_config(), NetworkKg::lab_default());
+        assert!(matches!(model.sample(5, 0), Err(SynthError::NotFitted)));
+    }
+
+    #[test]
+    fn fit_and_sample_roundtrip() {
+        let data = tiny_data(300, 1);
+        let mut model = KinetGan::new(tiny_config(), NetworkKg::lab_default());
+        model.fit(&data).unwrap();
+        let synth = model.sample(100, 7).unwrap();
+        assert_eq!(synth.n_rows(), 100);
+        assert_eq!(synth.schema(), data.schema());
+        let report = model.report().unwrap();
+        assert_eq!(report.d_loss.len(), 2);
+        assert!(report.d_loss.iter().all(|v| v.is_finite()));
+        assert!(report.g_loss.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let data = tiny_data(200, 2);
+        let mut model = KinetGan::new(tiny_config(), NetworkKg::lab_default());
+        model.fit(&data).unwrap();
+        assert_eq!(model.sample(50, 3).unwrap(), model.sample(50, 3).unwrap());
+    }
+
+    #[test]
+    fn kg_off_mode_trains_without_dkg() {
+        let data = tiny_data(200, 3);
+        let mut model =
+            KinetGan::new(tiny_config().with_kg_mode(KgMode::Off), NetworkKg::lab_default());
+        model.fit(&data).unwrap();
+        assert!(model.sample(20, 0).is_ok());
+    }
+
+    #[test]
+    fn soft_mask_mode_trains() {
+        let data = tiny_data(200, 4);
+        let mut model =
+            KinetGan::new(tiny_config().with_kg_mode(KgMode::SoftMask), NetworkKg::lab_default());
+        model.fit(&data).unwrap();
+        assert!(model.sample(20, 0).is_ok());
+    }
+
+    #[test]
+    fn critic_scores_available_after_fit() {
+        let data = tiny_data(200, 5);
+        let mut model = KinetGan::new(tiny_config(), NetworkKg::lab_default());
+        assert!(model.critic_scores(&data).is_none());
+        model.fit(&data).unwrap();
+        let scores = model.critic_scores(&data).unwrap();
+        assert_eq!(scores.len(), data.n_rows());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn rejection_rounds_do_not_change_row_count() {
+        let data = tiny_data(200, 6);
+        let mut model = KinetGan::new(
+            tiny_config().with_rejection_rounds(2),
+            NetworkKg::lab_default(),
+        );
+        model.fit(&data).unwrap();
+        assert_eq!(model.sample(64, 1).unwrap().n_rows(), 64);
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let data = tiny_data(50, 7);
+        let empty = Table::empty(data.schema().clone());
+        let mut model = KinetGan::new(tiny_config(), NetworkKg::lab_default());
+        assert!(model.fit(&empty).is_err());
+    }
+
+    #[test]
+    fn validity_rate_on_clean_data_is_one() {
+        let data = tiny_data(100, 8);
+        let model = KinetGan::new(tiny_config(), NetworkKg::lab_default());
+        assert!((model.validity_rate(&data) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,357 @@
+//! One-dimensional Gaussian mixtures fitted with expectation–maximization.
+//!
+//! These power CTGAN-style *mode-specific normalization*: each continuous
+//! column is modeled as a mixture; a value is encoded as the identity of its
+//! (sampled or most-responsible) mode plus its offset within that mode.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+const SQRT_TAU: f64 = 2.5066282746310002; // sqrt(2π)
+const MIN_STD: f64 = 1e-4;
+
+/// A 1-D Gaussian mixture model.
+///
+/// ```
+/// use kinet_data::gmm::GaussianMixture1d;
+/// // two clearly separated clusters
+/// let mut xs: Vec<f64> = Vec::new();
+/// xs.extend((0..100).map(|i| 10.0 + 0.01 * i as f64));
+/// xs.extend((0..100).map(|i| 500.0 + 0.01 * i as f64));
+/// let gmm = GaussianMixture1d::fit(&xs, 4, 50, 42);
+/// assert!(gmm.n_components() >= 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMixture1d {
+    weights: Vec<f64>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl GaussianMixture1d {
+    /// Fits a mixture with up to `max_components` components by EM,
+    /// pruning components whose weight collapses below 0.5 %.
+    ///
+    /// Deterministic for a fixed `seed`. Degenerate inputs (constant or
+    /// tiny columns) yield a single-component model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `max_components == 0`.
+    pub fn fit(data: &[f64], max_components: usize, max_iters: usize, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a mixture to an empty column");
+        assert!(max_components > 0, "max_components must be at least 1");
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let std = var.sqrt().max(MIN_STD);
+
+        // Degenerate: constant column or fewer points than components.
+        let k = max_components.min(n);
+        if std <= MIN_STD || k == 1 {
+            return Self { weights: vec![1.0], means: vec![mean], stds: vec![std] };
+        }
+
+        // Quantile-based deterministic init, jittered by the seed.
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut means: Vec<f64> = (0..k)
+            .map(|i| {
+                let q = (i as f64 + 0.5) / k as f64;
+                let idx = ((q * n as f64) as usize).min(n - 1);
+                sorted[idx] + rng.random_range(-0.01..0.01) * std
+            })
+            .collect();
+        let mut stds = vec![std / k as f64 + MIN_STD; k];
+        let mut weights = vec![1.0 / k as f64; k];
+
+        let mut resp = vec![0.0f64; n * k];
+        for _ in 0..max_iters {
+            // E-step
+            for (i, &x) in data.iter().enumerate() {
+                let mut total = 0.0;
+                for j in 0..k {
+                    let p = weights[j] * gaussian_pdf(x, means[j], stds[j]);
+                    resp[i * k + j] = p;
+                    total += p;
+                }
+                if total <= f64::MIN_POSITIVE {
+                    // point far from every component: uniform responsibility
+                    for j in 0..k {
+                        resp[i * k + j] = 1.0 / k as f64;
+                    }
+                } else {
+                    for j in 0..k {
+                        resp[i * k + j] /= total;
+                    }
+                }
+            }
+            // M-step
+            let mut changed = 0.0f64;
+            for j in 0..k {
+                let nj: f64 = (0..n).map(|i| resp[i * k + j]).sum();
+                let w = (nj / n as f64).max(1e-12);
+                let mu = (0..n).map(|i| resp[i * k + j] * data[i]).sum::<f64>() / nj.max(1e-12);
+                let sd = ((0..n)
+                    .map(|i| resp[i * k + j] * (data[i] - mu) * (data[i] - mu))
+                    .sum::<f64>()
+                    / nj.max(1e-12))
+                .sqrt()
+                .max(MIN_STD);
+                changed += (means[j] - mu).abs();
+                weights[j] = w;
+                means[j] = mu;
+                stds[j] = sd;
+            }
+            if changed < 1e-7 {
+                break;
+            }
+        }
+
+        // prune negligible components and renormalize
+        let mut kept: Vec<(f64, f64, f64)> = weights
+            .iter()
+            .zip(&means)
+            .zip(&stds)
+            .filter(|((&w, _), _)| w > 0.005)
+            .map(|((&w, &m), &s)| (w, m, s))
+            .collect();
+        if kept.is_empty() {
+            kept.push((1.0, mean, std));
+        }
+        let total_w: f64 = kept.iter().map(|(w, _, _)| w).sum();
+        Self {
+            weights: kept.iter().map(|(w, _, _)| w / total_w).collect(),
+            means: kept.iter().map(|(_, m, _)| *m).collect(),
+            stds: kept.iter().map(|(_, _, s)| *s).collect(),
+        }
+    }
+
+    /// Number of (surviving) components.
+    pub fn n_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Mixture weights (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Component means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Component standard deviations (each ≥ a small floor).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Posterior responsibilities `P(component | x)`; sums to 1.
+    pub fn responsibilities(&self, x: f64) -> Vec<f64> {
+        let mut r: Vec<f64> = (0..self.n_components())
+            .map(|j| self.weights[j] * gaussian_pdf(x, self.means[j], self.stds[j]))
+            .collect();
+        let total: f64 = r.iter().sum();
+        if total <= f64::MIN_POSITIVE {
+            let k = r.len();
+            r.iter_mut().for_each(|v| *v = 1.0 / k as f64);
+        } else {
+            r.iter_mut().for_each(|v| *v /= total);
+        }
+        r
+    }
+
+    /// Most responsible component for `x`.
+    pub fn most_likely_component(&self, x: f64) -> usize {
+        let r = self.responsibilities(x);
+        r.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Samples a component index from the posterior `P(component | x)`.
+    pub fn sample_component(&self, x: f64, rng: &mut impl Rng) -> usize {
+        let r = self.responsibilities(x);
+        let u: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        for (i, p) in r.iter().enumerate() {
+            acc += p;
+            if u <= acc {
+                return i;
+            }
+        }
+        r.len() - 1
+    }
+
+    /// Mixture log-likelihood of `x`.
+    pub fn log_likelihood(&self, x: f64) -> f64 {
+        let p: f64 = (0..self.n_components())
+            .map(|j| self.weights[j] * gaussian_pdf(x, self.means[j], self.stds[j]))
+            .sum();
+        p.max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Mean log-likelihood over a slice (likelihood-fitness metric).
+    pub fn mean_log_likelihood(&self, xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().map(|&x| self.log_likelihood(x)).sum::<f64>() / xs.len() as f64
+    }
+
+    /// Draws a sample from the mixture.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        let mut comp = self.weights.len() - 1;
+        for (i, w) in self.weights.iter().enumerate() {
+            acc += w;
+            if u <= acc {
+                comp = i;
+                break;
+            }
+        }
+        let (z1, _) = gaussian_pair_f64(rng);
+        self.means[comp] + self.stds[comp] * z1
+    }
+}
+
+fn gaussian_pdf(x: f64, mean: f64, std: f64) -> f64 {
+    let z = (x - mean) / std;
+    (-0.5 * z * z).exp() / (std * SQRT_TAU)
+}
+
+fn gaussian_pair_f64(rng: &mut impl Rng) -> (f64, f64) {
+    let u1: f64 = (1.0f64 - rng.random::<f64>()).max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn bimodal(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let (z, _) = gaussian_pair_f64(&mut rng);
+                if i % 2 == 0 {
+                    10.0 + z
+                } else {
+                    100.0 + 2.0 * z
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_two_modes() {
+        let data = bimodal(2000, 1);
+        let gmm = GaussianMixture1d::fit(&data, 5, 100, 7);
+        assert!(gmm.n_components() >= 2, "components: {}", gmm.n_components());
+        // the two dominant means should be near 10 and 100
+        let mut means = gmm.means().to_vec();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means.first().unwrap() - 10.0).abs() < 3.0, "{means:?}");
+        assert!((means.last().unwrap() - 100.0).abs() < 6.0, "{means:?}");
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let gmm = GaussianMixture1d::fit(&bimodal(500, 2), 6, 60, 3);
+        let s: f64 = gmm.weights().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_column_degenerates_gracefully() {
+        let gmm = GaussianMixture1d::fit(&[5.0; 100], 8, 50, 1);
+        assert_eq!(gmm.n_components(), 1);
+        assert!((gmm.means()[0] - 5.0).abs() < 1e-9);
+        assert!(gmm.stds()[0] >= MIN_STD);
+    }
+
+    #[test]
+    fn single_point_fits() {
+        let gmm = GaussianMixture1d::fit(&[1.0], 4, 10, 1);
+        assert_eq!(gmm.n_components(), 1);
+    }
+
+    #[test]
+    fn responsibilities_are_distributions() {
+        let gmm = GaussianMixture1d::fit(&bimodal(500, 4), 4, 60, 2);
+        for &x in &[-1e6, 0.0, 10.0, 55.0, 100.0, 1e6] {
+            let r = gmm.responsibilities(x);
+            let s: f64 = r.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "x={x}: {r:?}");
+            assert!(r.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn most_likely_component_tracks_cluster() {
+        let data = bimodal(2000, 5);
+        let gmm = GaussianMixture1d::fit(&data, 5, 100, 9);
+        let lo = gmm.most_likely_component(10.0);
+        let hi = gmm.most_likely_component(100.0);
+        assert_ne!(lo, hi);
+    }
+
+    #[test]
+    fn sample_component_is_posterior_biased() {
+        // Several components may overlap within one cluster, so assert on
+        // the *location* of the sampled component rather than its identity:
+        // sampling at x=10 must overwhelmingly pick components near 10, not
+        // the far cluster at 100.
+        let gmm = GaussianMixture1d::fit(&bimodal(1000, 6), 4, 80, 11);
+        let mut rng = StdRng::seed_from_u64(0);
+        let near = (0..200)
+            .filter(|_| {
+                let c = gmm.sample_component(10.0, &mut rng);
+                (gmm.means()[c] - 10.0).abs() < 20.0
+            })
+            .count();
+        assert!(near > 190, "posterior sampling should stay in the local cluster: {near}");
+    }
+
+    #[test]
+    fn likelihood_prefers_in_distribution_points() {
+        let gmm = GaussianMixture1d::fit(&bimodal(1000, 7), 4, 80, 13);
+        assert!(gmm.log_likelihood(10.0) > gmm.log_likelihood(55.0));
+        assert!(gmm.mean_log_likelihood(&[10.0, 100.0]) > gmm.mean_log_likelihood(&[50.0, 60.0]));
+    }
+
+    #[test]
+    fn sampling_reproduces_spread() {
+        let gmm = GaussianMixture1d::fit(&bimodal(2000, 8), 4, 80, 17);
+        let mut rng = StdRng::seed_from_u64(21);
+        let samples: Vec<f64> = (0..2000).map(|_| gmm.sample(&mut rng)).collect();
+        let near_lo = samples.iter().filter(|&&x| (x - 10.0).abs() < 5.0).count();
+        let near_hi = samples.iter().filter(|&&x| (x - 100.0).abs() < 10.0).count();
+        assert!(near_lo > 500, "{near_lo}");
+        assert!(near_hi > 500, "{near_hi}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data = bimodal(400, 9);
+        let a = GaussianMixture1d::fit(&data, 4, 50, 5);
+        let b = GaussianMixture1d::fit(&data, 4, 50, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_input() {
+        let _ = GaussianMixture1d::fit(&[], 3, 10, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Column metadata and table schemas.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The statistical kind of a column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ColumnKind {
+    /// Discrete values from a finite dictionary.
+    Categorical,
+    /// Real-valued.
+    Continuous,
+}
+
+impl fmt::Display for ColumnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnKind::Categorical => f.write_str("categorical"),
+            ColumnKind::Continuous => f.write_str("continuous"),
+        }
+    }
+}
+
+/// Name and kind of one column.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    name: String,
+    kind: ColumnKind,
+}
+
+impl ColumnMeta {
+    /// Creates metadata for a categorical column.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Self { name: name.into(), kind: ColumnKind::Categorical }
+    }
+
+    /// Creates metadata for a continuous column.
+    pub fn continuous(name: impl Into<String>) -> Self {
+        Self { name: name.into(), kind: ColumnKind::Continuous }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column kind.
+    pub fn kind(&self) -> ColumnKind {
+        self.kind
+    }
+}
+
+/// An ordered list of column metadata.
+///
+/// ```
+/// use kinet_data::{ColumnMeta, Schema};
+/// let schema = Schema::new(vec![
+///     ColumnMeta::categorical("protocol"),
+///     ColumnMeta::continuous("dst_port"),
+/// ]);
+/// assert_eq!(schema.len(), 2);
+/// assert_eq!(schema.index_of("dst_port"), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Schema {
+    /// Builds a schema from column metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate column names.
+    pub fn new(columns: Vec<ColumnMeta>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|p| p.name() == c.name()),
+                "duplicate column name {:?}",
+                c.name()
+            );
+        }
+        Self { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column metadata by position.
+    pub fn column(&self, idx: usize) -> &ColumnMeta {
+        &self.columns[idx]
+    }
+
+    /// Iterates over columns in order.
+    pub fn iter(&self) -> impl Iterator<Item = &ColumnMeta> {
+        self.columns.iter()
+    }
+
+    /// Position of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// Metadata of the column named `name`.
+    pub fn by_name(&self, name: &str) -> Option<&ColumnMeta> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Names of all categorical columns, in order.
+    pub fn categorical_names(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.kind() == ColumnKind::Categorical)
+            .map(ColumnMeta::name)
+            .collect()
+    }
+
+    /// Names of all continuous columns, in order.
+    pub fn continuous_names(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.kind() == ColumnKind::Continuous)
+            .map(ColumnMeta::name)
+            .collect()
+    }
+
+    /// A new schema with only the named columns (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is unknown.
+    pub fn project(&self, names: &[&str]) -> Schema {
+        let columns = names
+            .iter()
+            .map(|n| {
+                self.by_name(n).unwrap_or_else(|| panic!("unknown column {n:?}")).clone()
+            })
+            .collect();
+        Schema { columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnMeta::categorical("protocol"),
+            ColumnMeta::continuous("dst_port"),
+            ColumnMeta::categorical("event"),
+        ])
+    }
+
+    #[test]
+    fn lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("event"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.by_name("protocol").unwrap().kind(), ColumnKind::Categorical);
+    }
+
+    #[test]
+    fn kind_partitions() {
+        let s = schema();
+        assert_eq!(s.categorical_names(), vec!["protocol", "event"]);
+        assert_eq!(s.continuous_names(), vec!["dst_port"]);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = schema().project(&["event", "protocol"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column(0).name(), "event");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn rejects_duplicates() {
+        let _ = Schema::new(vec![
+            ColumnMeta::categorical("x"),
+            ColumnMeta::continuous("x"),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn project_rejects_unknown() {
+        let _ = schema().project(&["ghost"]);
+    }
+}

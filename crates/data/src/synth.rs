@@ -1,0 +1,175 @@
+//! The model-agnostic synthesizer interface.
+//!
+//! Every generative model in the workspace — KiNETGAN and all five
+//! baselines — implements [`TabularSynthesizer`], so fidelity, utility and
+//! privacy evaluations are written once against the trait.
+
+use crate::table::{DataError, Table};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by synthesizer training and sampling.
+#[derive(Debug)]
+pub enum SynthError {
+    /// `sample` was called before a successful `fit`.
+    NotFitted,
+    /// A data-layer failure (schema mismatch, unseen category, …).
+    Data(DataError),
+    /// Training diverged or hit an invalid configuration.
+    Training(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::NotFitted => f.write_str("synthesizer has not been fitted"),
+            SynthError::Data(e) => write!(f, "data error: {e}"),
+            SynthError::Training(m) => write!(f, "training error: {m}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for SynthError {
+    fn from(e: DataError) -> Self {
+        SynthError::Data(e)
+    }
+}
+
+/// A generative model over tabular data.
+///
+/// Implementations are deterministic given their configured seed and the
+/// `seed` passed to [`TabularSynthesizer::sample`].
+pub trait TabularSynthesizer {
+    /// Short human-readable model name (e.g. `"KiNETGAN"`, `"CTGAN"`).
+    fn name(&self) -> &str;
+
+    /// Trains on `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError`] when the table is unusable or training
+    /// diverges.
+    fn fit(&mut self, table: &Table) -> Result<(), SynthError>;
+
+    /// Draws `n` synthetic rows with the given sampling seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::NotFitted`] before [`TabularSynthesizer::fit`].
+    fn sample(&self, n: usize, seed: u64) -> Result<Table, SynthError>;
+
+    /// Optional white-box critic scores (higher = "more real" according to
+    /// the model's own discriminator). Used by the white-box membership
+    /// inference attack; models without an accessible critic return `None`.
+    fn critic_scores(&self, _table: &Table) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// Blanket helper: fit then sample in one call.
+///
+/// # Errors
+///
+/// Propagates errors from either phase.
+pub fn fit_and_sample<S: TabularSynthesizer>(
+    model: &mut S,
+    table: &Table,
+    n: usize,
+    seed: u64,
+) -> Result<Table, SynthError> {
+    model.fit(table)?;
+    model.sample(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnMeta, Schema};
+    use crate::value::Value;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    /// A trivial synthesizer that resamples training rows — used to test
+    /// the trait contract and downstream evaluation code.
+    struct Resampler {
+        data: Option<Table>,
+    }
+
+    impl TabularSynthesizer for Resampler {
+        fn name(&self) -> &str {
+            "Resampler"
+        }
+
+        fn fit(&mut self, table: &Table) -> Result<(), SynthError> {
+            if table.is_empty() {
+                return Err(SynthError::Training("empty training table".into()));
+            }
+            self.data = Some(table.clone());
+            Ok(())
+        }
+
+        fn sample(&self, n: usize, seed: u64) -> Result<Table, SynthError> {
+            let data = self.data.as_ref().ok_or(SynthError::NotFitted)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let idx: Vec<usize> =
+                (0..n).map(|_| rng.random_range(0..data.n_rows())).collect();
+            Ok(data.select_rows(&idx))
+        }
+    }
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![ColumnMeta::categorical("c"), ColumnMeta::continuous("x")]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::cat("a"), Value::num(1.0)],
+                vec![Value::cat("b"), Value::num(2.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn contract_not_fitted() {
+        let r = Resampler { data: None };
+        assert!(matches!(r.sample(3, 0), Err(SynthError::NotFitted)));
+    }
+
+    #[test]
+    fn fit_then_sample_shapes() {
+        let mut r = Resampler { data: None };
+        let t = table();
+        let s = fit_and_sample(&mut r, &t, 10, 42).unwrap();
+        assert_eq!(s.n_rows(), 10);
+        assert_eq!(s.schema(), t.schema());
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let mut r = Resampler { data: None };
+        r.fit(&table()).unwrap();
+        assert_eq!(r.sample(5, 7).unwrap(), r.sample(5, 7).unwrap());
+    }
+
+    #[test]
+    fn default_critic_is_none() {
+        let mut r = Resampler { data: None };
+        r.fit(&table()).unwrap();
+        assert!(r.critic_scores(&table()).is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SynthError::NotFitted.to_string().contains("not been fitted"));
+        let e = SynthError::Training("nan".into());
+        assert!(e.to_string().contains("nan"));
+    }
+}

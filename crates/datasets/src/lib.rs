@@ -1,0 +1,66 @@
+//! Dataset substrates for the KiNETGAN reproduction (§IV-B).
+//!
+//! The paper evaluates on (1) a privately collected lab IoT capture of
+//! 14,520 Wireshark records and (2) the UNSW-NB15 corpus. Neither ships
+//! with this repository — the lab capture was never released and UNSW-NB15
+//! cannot be vendored offline — so this crate provides *simulated
+//! substitutes* that preserve what the experiments actually exercise
+//! (see `DESIGN.md` §3):
+//!
+//! * [`lab::LabSimulator`]: traffic from the same device/event/attack
+//!   inventory as the paper's lab (Blink camera, smart plug, motion sensor,
+//!   tag manager; motion/lamp/tag events; traffic flooding, port scanning
+//!   and CVE-1999-0003), generated *consistently with*
+//!   [`kinet_kg::NetworkKg::lab_default`] so knowledge-guided training has
+//!   a well-defined ground truth;
+//! * [`unsw::UnswSimulator`]: a schema-faithful UNSW-NB15 generator — all
+//!   49 original attributes, 9 attack categories + normal with realistic
+//!   imbalance — plus the smaller [`unsw::UnswSimulator::modeling_view`]
+//!   used for model training;
+//! * [`assignment_from_row`]: the bridge from table rows to reasoner
+//!   queries.
+
+pub mod lab;
+pub mod unsw;
+
+use kinet_data::{Table, Value};
+use kinet_kg::{Assignment, AttrValue};
+
+/// Converts one table row into a reasoner [`Assignment`] (all columns).
+///
+/// # Panics
+///
+/// Panics if `row` is out of bounds.
+pub fn assignment_from_row(table: &Table, row: usize) -> Assignment {
+    let mut a = Assignment::new();
+    for (ci, col) in table.schema().iter().enumerate() {
+        match table.value(row, ci) {
+            Value::Cat(s) => a.set(col.name(), AttrValue::Cat(s)),
+            Value::Num(v) => a.set(col.name(), AttrValue::Num(v)),
+        };
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinet_data::{ColumnMeta, Schema};
+
+    #[test]
+    fn assignment_covers_all_columns() {
+        let schema = Schema::new(vec![
+            ColumnMeta::categorical("proto"),
+            ColumnMeta::continuous("port"),
+        ]);
+        let t = Table::from_rows(
+            schema,
+            vec![vec![Value::cat("udp"), Value::num(53.0)]],
+        )
+        .unwrap();
+        let a = assignment_from_row(&t, 0);
+        assert_eq!(a.get_cat("proto"), Some("udp"));
+        assert_eq!(a.get_num("port"), Some(53.0));
+        assert_eq!(a.len(), 2);
+    }
+}

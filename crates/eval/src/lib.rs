@@ -1,0 +1,20 @@
+//! Evaluation harness for the KiNETGAN reproduction (paper §V).
+//!
+//! Three families of measurements, matching the paper's experimental
+//! section exactly:
+//!
+//! * **Fidelity** ([`metrics`]): Earth Mover's Distance per column and the
+//!   combined L1 (categorical) / L2 (continuous) distance of Table I;
+//! * **Utility** ([`utility`]): train ML-based NIDS classifiers
+//!   ([`classifiers`]) on synthetic data, test on held-out real data
+//!   (Figures 3–4) — decision tree, random forest, logistic regression,
+//!   k-NN and naive Bayes, all implemented from scratch;
+//! * **Privacy** ([`privacy`]): re-identification with partial attacker
+//!   knowledge (Figure 5), attribute inference (Figure 6), and membership
+//!   inference in white-box and full-black-box settings (Figure 7).
+
+pub mod classifiers;
+pub mod encode;
+pub mod metrics;
+pub mod privacy;
+pub mod utility;

@@ -1,0 +1,328 @@
+//! Privacy attacks against synthetic data releases (paper §V-C,
+//! Figures 5–7).
+//!
+//! All three attacks operate on mixed-type records via a Gower-style
+//! distance: categorical mismatch contributes 1, continuous differences
+//! contribute `|a-b| / range` with ranges taken from the original data.
+
+use crate::classifiers::{Classifier, KNearest};
+use crate::encode::MlEncoder;
+use kinet_data::{ColumnKind, DataError, Table, Value};
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Gower-style mixed-type distance helper with ranges from a reference
+/// table.
+#[derive(Clone, Debug)]
+pub struct RecordDistance {
+    ranges: Vec<f64>,
+}
+
+impl RecordDistance {
+    /// Fits per-column ranges on `reference`.
+    pub fn fit(reference: &Table) -> Self {
+        let ranges = reference
+            .schema()
+            .iter()
+            .map(|col| match col.kind() {
+                ColumnKind::Categorical => 1.0,
+                ColumnKind::Continuous => {
+                    let vals = reference.num_column(col.name()).expect("schema");
+                    let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                    let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    (hi - lo).max(1e-9)
+                }
+            })
+            .collect();
+        Self { ranges }
+    }
+
+    /// Distance between row `a` of `ta` and row `b` of `tb` (same schema).
+    pub fn distance(&self, ta: &Table, a: usize, tb: &Table, b: usize) -> f64 {
+        let mut d = 0.0;
+        for (ci, range) in self.ranges.iter().enumerate() {
+            match (ta.value(a, ci), tb.value(b, ci)) {
+                (Value::Cat(x), Value::Cat(y)) => {
+                    if x != y {
+                        d += 1.0;
+                    }
+                }
+                (Value::Num(x), Value::Num(y)) => {
+                    let diff = ((x - y).abs() / range).min(1.0);
+                    d += if diff.is_finite() { diff } else { 1.0 };
+                }
+                _ => d += 1.0,
+            }
+        }
+        d
+    }
+
+    /// Index of the nearest row of `candidates` to row `query_row` of
+    /// `query`, restricted to `subset` if given.
+    pub fn nearest(
+        &self,
+        query: &Table,
+        query_row: usize,
+        candidates: &Table,
+        subset: Option<&[usize]>,
+    ) -> usize {
+        let iter: Box<dyn Iterator<Item = usize>> = match subset {
+            Some(s) => Box::new(s.iter().copied()),
+            None => Box::new(0..candidates.n_rows()),
+        };
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for r in iter {
+            let d = self.distance(query, query_row, candidates, r);
+            if d < best_d {
+                best_d = d;
+                best = r;
+            }
+        }
+        best
+    }
+}
+
+/// Re-identification attack (Figure 5): the attacker holds
+/// `knowledge_fraction` of the original records and tries to link
+/// synthetic records back to their source records.
+///
+/// For each probed synthetic record the attack links it to the nearest
+/// known original; the link is *correct* when that known original is also
+/// the record's global nearest original (the true source proxy). Returned
+/// accuracy rises both with attacker knowledge and with how closely the
+/// generator memorizes individual records.
+///
+/// # Panics
+///
+/// Panics unless `0 < knowledge_fraction <= 1`.
+pub fn reidentification_attack(
+    original: &Table,
+    synthetic: &Table,
+    knowledge_fraction: f64,
+    max_probes: usize,
+    seed: u64,
+) -> f64 {
+    assert!(
+        knowledge_fraction > 0.0 && knowledge_fraction <= 1.0,
+        "knowledge fraction must be in (0, 1], got {knowledge_fraction}"
+    );
+    let dist = RecordDistance::fit(original);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..original.n_rows()).collect();
+    idx.shuffle(&mut rng);
+    let n_known = ((original.n_rows() as f64) * knowledge_fraction).round().max(1.0) as usize;
+    let known = &idx[..n_known.min(idx.len())];
+
+    let probes = synthetic.n_rows().min(max_probes);
+    let mut correct = 0usize;
+    for s in 0..probes {
+        let true_source = dist.nearest(synthetic, s, original, None);
+        let linked = dist.nearest(synthetic, s, original, Some(known));
+        if linked == true_source {
+            correct += 1;
+        }
+    }
+    correct as f64 / probes.max(1) as f64
+}
+
+/// Attribute-inference attack (Figure 6): the attacker knows every column
+/// of a target except `sensitive_column` and trains a k-NN model on the
+/// synthetic release to infer it. Returns inference accuracy on original
+/// records (lower = more private).
+///
+/// # Errors
+///
+/// Propagates encoding failures (e.g. unknown sensitive column).
+pub fn attribute_inference_attack(
+    original: &Table,
+    synthetic: &Table,
+    sensitive_column: &str,
+    max_probes: usize,
+) -> Result<f64, DataError> {
+    let encoder = MlEncoder::fit(synthetic, sensitive_column)?;
+    let (xs, ys) = encoder.encode(synthetic)?;
+    let mut knn = KNearest::new(5);
+    knn.fit(&xs, &ys, encoder.n_classes());
+    let probes = original.n_rows().min(max_probes);
+    let probe_idx: Vec<usize> = (0..probes).collect();
+    let probe_table = original.select_rows(&probe_idx);
+    let (xo, yo) = encoder.encode(&probe_table)?;
+    let pred = knn.predict(&xo);
+    let correct = pred.iter().zip(&yo).filter(|(p, t)| p == t).count();
+    Ok(correct as f64 / probes.max(1) as f64)
+}
+
+/// Membership-inference results for both threat models (Figure 7).
+#[derive(Clone, Debug)]
+pub struct MembershipReport {
+    /// White-box accuracy (attacker sees the model's critic scores).
+    pub white_box: f64,
+    /// Full-black-box accuracy (attacker sees only the synthetic release).
+    pub full_black_box: f64,
+}
+
+/// Membership-inference attack: given `members` (records used in
+/// training) and `non_members` (held-out records), classify membership
+/// from (a) white-box critic scores when available and (b) the
+/// full-black-box distance-to-nearest-synthetic signal. Accuracy ≈ 0.5
+/// means the release leaks nothing.
+///
+/// `critic` is the model's white-box score vector over
+/// `members ⧺ non_members` (e.g. from
+/// [`kinet_data::synth::TabularSynthesizer::critic_scores`]); pass `None`
+/// to fall back to the black-box signal for both settings.
+pub fn membership_inference_attack(
+    members: &Table,
+    non_members: &Table,
+    synthetic: &Table,
+    critic: Option<&[f64]>,
+) -> MembershipReport {
+    let n_m = members.n_rows();
+    let n_n = non_members.n_rows();
+    let dist = RecordDistance::fit(synthetic);
+
+    // Full black box: score = -min distance to synthetic release.
+    let mut bb_scores = Vec::with_capacity(n_m + n_n);
+    for r in 0..n_m {
+        let nn = dist.nearest(members, r, synthetic, None);
+        bb_scores.push(-dist.distance(members, r, synthetic, nn));
+    }
+    for r in 0..n_n {
+        let nn = dist.nearest(non_members, r, synthetic, None);
+        bb_scores.push(-dist.distance(non_members, r, synthetic, nn));
+    }
+    let truth: Vec<bool> = (0..n_m + n_n).map(|i| i < n_m).collect();
+    let full_black_box = threshold_attack_accuracy(&bb_scores, &truth);
+    let white_box = match critic {
+        Some(scores) if scores.len() == n_m + n_n => {
+            threshold_attack_accuracy(scores, &truth)
+        }
+        _ => full_black_box,
+    };
+    MembershipReport { white_box, full_black_box }
+}
+
+/// Best-threshold attack accuracy for score-based membership inference
+/// (the attacker picks the optimal cut, the standard worst-case measure).
+fn threshold_attack_accuracy(scores: &[f64], is_member: &[bool]) -> f64 {
+    let n = scores.len();
+    if n == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let total_members = is_member.iter().filter(|&&m| m).count();
+    // sweep thresholds: predict member where score > threshold
+    let mut best = 0.5f64;
+    let mut members_below = 0usize;
+    for (i, &idx) in order.iter().enumerate() {
+        if is_member[idx] {
+            members_below += 1;
+        }
+        // threshold after position i: below are predicted non-member
+        let non_members_below = (i + 1) - members_below;
+        let members_above = total_members - members_below;
+        let correct = non_members_below + members_above;
+        best = best.max(correct as f64 / n as f64);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinet_datasets::lab::{LabSimConfig, LabSimulator};
+    use rand::RngExt;
+
+    fn lab(n: usize, seed: u64) -> Table {
+        LabSimulator::new(LabSimConfig::small(n, seed)).generate().unwrap()
+    }
+
+    #[test]
+    fn distance_axioms() {
+        let t = lab(50, 1);
+        let d = RecordDistance::fit(&t);
+        assert_eq!(d.distance(&t, 3, &t, 3), 0.0);
+        let d_ab = d.distance(&t, 0, &t, 1);
+        let d_ba = d.distance(&t, 1, &t, 0);
+        assert!((d_ab - d_ba).abs() < 1e-12);
+        assert!(d_ab >= 0.0);
+    }
+
+    #[test]
+    fn reidentification_increases_with_knowledge() {
+        let original = lab(400, 2);
+        // a memorizing "generator": the release IS the original data
+        let acc30 = reidentification_attack(&original, &original, 0.3, 150, 7);
+        let acc90 = reidentification_attack(&original, &original, 0.9, 150, 7);
+        assert!(acc90 > acc30, "90% knowledge {acc90} vs 30% {acc30}");
+        assert!(acc90 > 0.85, "memorizing release should be highly linkable: {acc90}");
+    }
+
+    #[test]
+    fn reidentification_low_for_unrelated_release() {
+        let original = lab(300, 3);
+        let unrelated = lab(300, 999);
+        let acc = reidentification_attack(&original, &unrelated, 0.3, 100, 7);
+        // linkage still sometimes right by chance, but far from the memorizing case
+        let memorizing = reidentification_attack(&original, &original, 0.3, 100, 7);
+        assert!(acc <= memorizing + 0.05, "unrelated {acc} vs memorizing {memorizing}");
+    }
+
+    #[test]
+    fn attribute_inference_on_self_release_is_high() {
+        let original = lab(400, 4);
+        let acc =
+            attribute_inference_attack(&original, &original, "event", 150).unwrap();
+        assert!(acc > 0.7, "event is predictable from ports/protocol: {acc}");
+    }
+
+    #[test]
+    fn membership_inference_memorizing_vs_private() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = lab(600, 5);
+        let (train, holdout) = data.train_test_split(0.5, &mut rng);
+        let members_idx: Vec<usize> = (0..100).collect();
+        let members = train.select_rows(&members_idx);
+        let non_members = holdout.select_rows(&members_idx);
+        // memorizing release = training data itself
+        let leaky = membership_inference_attack(&members, &non_members, &train, None);
+        assert!(leaky.full_black_box > 0.8, "exact copies are detectable: {leaky:?}");
+        // private-ish release: independent fresh draw from the same simulator
+        let fresh = lab(300, 777);
+        let private = membership_inference_attack(&members, &non_members, &fresh, None);
+        assert!(
+            private.full_black_box < leaky.full_black_box,
+            "fresh draw {private:?} must leak less than memorized {leaky:?}"
+        );
+    }
+
+    #[test]
+    fn threshold_attack_on_random_scores_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let scores: Vec<f64> = (0..2000).map(|_| rng.random::<f64>()).collect();
+        let truth: Vec<bool> = (0..2000).map(|i| i % 2 == 0).collect();
+        let acc = threshold_attack_accuracy(&scores, &truth);
+        assert!(acc < 0.56, "random scores should not be exploitable: {acc}");
+    }
+
+    #[test]
+    fn white_box_uses_critic_when_provided() {
+        let members = lab(50, 7);
+        let non_members = lab(50, 8);
+        let synth = lab(50, 9);
+        // perfect oracle critic: members high, non-members low
+        let critic: Vec<f64> =
+            (0..100).map(|i| if i < 50 { 10.0 } else { -10.0 }).collect();
+        let rep = membership_inference_attack(&members, &non_members, &synth, Some(&critic));
+        assert!((rep.white_box - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "knowledge fraction")]
+    fn reidentification_validates_fraction() {
+        let t = lab(20, 10);
+        let _ = reidentification_attack(&t, &t, 0.0, 10, 0);
+    }
+}

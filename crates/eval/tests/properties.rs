@@ -1,0 +1,87 @@
+//! Property-based tests for the evaluation metrics: distance axioms and
+//! classifier invariants on arbitrary inputs.
+
+use kinet_eval::classifiers::{accuracy, macro_f1, Classifier, DecisionTree, GaussianNb};
+use kinet_eval::metrics::{emd_categorical, emd_continuous, l1_marginal_distance};
+use kinet_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn emd_identity_and_symmetry(a in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        prop_assert!(emd_continuous(&a, &a) < 1e-9);
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 3.0).collect();
+        let ab = emd_continuous(&a, &b);
+        let ba = emd_continuous(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn emd_normalized_to_unit_range(
+        a in prop::collection::vec(-1e3f64..1e3, 2..60),
+        b in prop::collection::vec(-1e3f64..1e3, 2..60),
+    ) {
+        let d = emd_continuous(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d), "emd {d}");
+    }
+
+    #[test]
+    fn categorical_distance_axioms(
+        a in prop::collection::vec(prop::sample::select(vec!["x", "y", "z"]), 1..50),
+        b in prop::collection::vec(prop::sample::select(vec!["x", "y", "z"]), 1..50),
+    ) {
+        let a: Vec<String> = a.into_iter().map(str::to_string).collect();
+        let b: Vec<String> = b.into_iter().map(str::to_string).collect();
+        prop_assert!(l1_marginal_distance(&a, &a) < 1e-12);
+        let d = emd_categorical(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        prop_assert!((emd_categorical(&b, &a) - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_bounds(truth in prop::collection::vec(0usize..4, 1..100)) {
+        let pred = truth.clone();
+        prop_assert!((accuracy(&pred, &truth) - 1.0).abs() < 1e-12);
+        let wrong: Vec<usize> = truth.iter().map(|&t| (t + 1) % 4).collect();
+        prop_assert!(accuracy(&wrong, &truth) < 1e-12);
+        let f1 = macro_f1(&pred, &truth, 4);
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn tree_memorizes_separable_training_data(
+        xs in prop::collection::vec(0.0f32..1.0, 8..60),
+    ) {
+        // one feature, labels by thresholding at the median: separable
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let x = Matrix::from_fn(xs.len(), 1, |r, _| xs[r]);
+        let y: Vec<usize> = xs.iter().map(|&v| usize::from(v > median)).collect();
+        let mut tree = DecisionTree::new(12);
+        tree.fit(&x, &y, 2);
+        let acc = accuracy(&tree.predict(&x), &y);
+        prop_assert!(acc > 0.9, "separable training data should be memorized: {acc}");
+    }
+
+    #[test]
+    fn naive_bayes_predictions_in_class_range(
+        n in 4usize..40,
+        k in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        use kinet_tensor::MatrixRandomExt;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::randn(n, 3, 0.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..n).map(|i| i % k).collect();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &y, k);
+        for p in nb.predict(&x) {
+            prop_assert!(p < k);
+        }
+    }
+}

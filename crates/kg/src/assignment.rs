@@ -1,0 +1,190 @@
+//! Attribute assignments: the bridge between tabular rows and the reasoner.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single attribute value: categorical (string) or numeric.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// A categorical value such as a protocol or event name.
+    Cat(String),
+    /// A numeric value such as a port number or byte count.
+    Num(f64),
+}
+
+impl AttrValue {
+    /// Builds a categorical value.
+    pub fn cat(s: impl Into<String>) -> Self {
+        AttrValue::Cat(s.into())
+    }
+
+    /// Builds a numeric value.
+    pub fn num(v: f64) -> Self {
+        AttrValue::Num(v)
+    }
+
+    /// The categorical payload, if this is one.
+    pub fn as_cat(&self) -> Option<&str> {
+        match self {
+            AttrValue::Cat(s) => Some(s),
+            AttrValue::Num(_) => None,
+        }
+    }
+
+    /// The numeric payload, if this is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(v) => Some(*v),
+            AttrValue::Cat(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Cat(s) => f.write_str(s),
+            AttrValue::Num(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::cat(s)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::num(v)
+    }
+}
+
+/// A partial or complete assignment of values to named attributes —
+/// one (candidate) network-event record as seen by the reasoner.
+///
+/// ```
+/// use kinet_kg::{Assignment, AttrValue};
+/// let mut a = Assignment::new();
+/// a.set("protocol", AttrValue::cat("udp"));
+/// a.set("dst_port", AttrValue::num(33000.0));
+/// assert_eq!(a.get_cat("protocol"), Some("udp"));
+/// assert_eq!(a.get_num("dst_port"), Some(33000.0));
+/// assert_eq!(a.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Assignment {
+    values: BTreeMap<String, AttrValue>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or replaces) a field.
+    pub fn set(&mut self, field: impl Into<String>, value: AttrValue) -> &mut Self {
+        self.values.insert(field.into(), value);
+        self
+    }
+
+    /// Builder-style [`Assignment::set`].
+    pub fn with(mut self, field: impl Into<String>, value: AttrValue) -> Self {
+        self.set(field, value);
+        self
+    }
+
+    /// The value of `field`, if assigned.
+    pub fn get(&self, field: &str) -> Option<&AttrValue> {
+        self.values.get(field)
+    }
+
+    /// The categorical value of `field`, if assigned and categorical.
+    pub fn get_cat(&self, field: &str) -> Option<&str> {
+        self.get(field).and_then(AttrValue::as_cat)
+    }
+
+    /// The numeric value of `field`, if assigned and numeric.
+    pub fn get_num(&self, field: &str) -> Option<f64> {
+        self.get(field).and_then(AttrValue::as_num)
+    }
+
+    /// Number of assigned fields.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no field is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(field, value)` pairs in field order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Removes a field, returning its previous value.
+    pub fn remove(&mut self, field: &str) -> Option<AttrValue> {
+        self.values.remove(field)
+    }
+
+    /// Merges `other` into `self`, overwriting shared fields.
+    pub fn merge(&mut self, other: &Assignment) {
+        for (k, v) in other.iter() {
+            self.set(k, v.clone());
+        }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, AttrValue)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (String, AttrValue)>>(iter: T) -> Self {
+        Assignment { values: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut a = Assignment::new();
+        a.set("protocol", "udp".into());
+        assert_eq!(a.get_cat("protocol"), Some("udp"));
+        assert_eq!(a.get_num("protocol"), None);
+        assert_eq!(a.remove("protocol").unwrap().as_cat(), Some("udp"));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn merge_overwrites() {
+        let mut a = Assignment::new().with("x", AttrValue::num(1.0));
+        let b = Assignment::new().with("x", AttrValue::num(2.0)).with("y", "z".into());
+        a.merge(&b);
+        assert_eq!(a.get_num("x"), Some(2.0));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Assignment::new().with("p", "udp".into()).with("q", AttrValue::num(5.0));
+        assert_eq!(a.to_string(), "{p=udp, q=5}");
+    }
+}

@@ -1,0 +1,48 @@
+//! NetworkKG: the knowledge-graph substrate of the KiNETGAN reproduction.
+//!
+//! The paper (§IV-A) extends the Unified Cybersecurity Ontology (UCO) with
+//! network-activity concepts (`networkEvent`, `domainURL`, protocols, IP
+//! addresses, ports) and builds a *Network Traffic Knowledge Graph* whose
+//! reasoner answers the question the knowledge-guided discriminator needs:
+//! **is this combination of attribute values valid?** (e.g. for the
+//! CVE-1999-0003 attack, a valid destination port lies in 32771–34000).
+//!
+//! This crate provides that stack from scratch:
+//!
+//! * [`Iri`], [`Term`], [`Triple`] and an indexed [`TripleStore`];
+//! * [`ontology`]: the UCO-extension vocabulary of Figure 2 and a builder
+//!   for domain graphs;
+//! * [`rules`]: typed validity constraints compiled *from the triples*;
+//! * [`reasoner::Reasoner`]: validity checks, valid-value queries, and
+//!   sampling of KG-valid attribute combinations (the positives fed to the
+//!   D_KG discriminator);
+//! * ready-made graphs: [`NetworkKg::lab_default`] models the paper's lab
+//!   IoT capture, [`NetworkKg::unsw_default`] the UNSW-NB15 schema.
+//!
+//! ```
+//! use kinet_kg::{AttrValue, Assignment, NetworkKg};
+//!
+//! let kg = NetworkKg::lab_default();
+//! let mut a = Assignment::new();
+//! a.set("event", AttrValue::cat("cve_1999_0003"));
+//! a.set("protocol", AttrValue::cat("udp"));
+//! a.set("dst_port", AttrValue::num(33000.0));
+//! assert!(kg.reasoner().is_valid(&a).is_valid());
+//! a.set("dst_port", AttrValue::num(80.0));
+//! assert!(!kg.reasoner().is_valid(&a).is_valid());
+//! ```
+
+mod assignment;
+mod network;
+mod store;
+mod term;
+
+pub mod ontology;
+pub mod reasoner;
+pub mod rules;
+
+pub use assignment::{Assignment, AttrValue};
+pub use network::NetworkKg;
+pub use reasoner::{Reasoner, Validity, Violation};
+pub use store::TripleStore;
+pub use term::{Iri, Term, Triple};

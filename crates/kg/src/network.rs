@@ -1,0 +1,346 @@
+//! Ready-made NetworkKG instances: the lab IoT deployment of §IV-B-1 and a
+//! UNSW-NB15-shaped graph for §IV-B-2.
+//!
+//! These graphs are the single source of truth for domain validity in this
+//! workspace: the dataset simulators in `kinet-datasets` generate records
+//! that satisfy them, and the KiNETGAN knowledge-guided discriminator
+//! penalizes generated records that violate them.
+
+use crate::ontology::GraphBuilder;
+use crate::reasoner::Reasoner;
+use crate::store::TripleStore;
+use std::fmt;
+
+/// A named knowledge graph bundled with its compiled reasoner and the
+/// field lists the GAN conditions on.
+///
+/// ```
+/// use kinet_kg::NetworkKg;
+/// let kg = NetworkKg::lab_default();
+/// assert_eq!(kg.scope_field(), "event");
+/// assert!(kg.reasoner().rules().len() > 10);
+/// ```
+pub struct NetworkKg {
+    name: String,
+    store: TripleStore,
+    reasoner: Reasoner,
+    scope_field: String,
+    conditional_fields: Vec<String>,
+}
+
+impl NetworkKg {
+    /// Builds a graph from parts (for custom domains).
+    pub fn new(
+        name: &str,
+        store: TripleStore,
+        scope_field: &str,
+        conditional_fields: &[&str],
+    ) -> Self {
+        let reasoner = Reasoner::from_store(&store, scope_field);
+        Self {
+            name: name.to_string(),
+            store,
+            reasoner,
+            scope_field: scope_field.to_string(),
+            conditional_fields: conditional_fields.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Human-readable graph name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw triples.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// The compiled validity reasoner.
+    pub fn reasoner(&self) -> &Reasoner {
+        &self.reasoner
+    }
+
+    /// The record field naming the event class (rule scope).
+    pub fn scope_field(&self) -> &str {
+        &self.scope_field
+    }
+
+    /// The discrete fields the GAN builds its condition vector from.
+    pub fn conditional_fields(&self) -> &[String] {
+        &self.conditional_fields
+    }
+
+    /// The knowledge graph for the paper's lab IoT capture: a Blink camera,
+    /// a smart plug, a motion sensor and a tag manager behind a hub on
+    /// `192.168.1.0/24`, with benign device behaviours and three attack
+    /// families (traffic flooding, port scanning and the CVE-1999-0003
+    /// portmap exploit with its 32771–34000 destination-port window).
+    pub fn lab_default() -> Self {
+        let cloud_dsts = [
+            "34.206.10.5",   // blink cloud
+            "52.94.236.248", // aws iot
+            "142.250.80.46", // google time/dns
+            "192.168.1.1",   // local hub
+        ];
+        let builder = GraphBuilder::new("lab")
+            // devices (Figure 2 instances)
+            .device("blink_camera", "192.168.1.10")
+            .device("smart_plug", "192.168.1.11")
+            .device("motion_sensor", "192.168.1.12")
+            .device("tag_manager", "192.168.1.13")
+            .device("hub", "192.168.1.1")
+            // protocols
+            .protocol("tcp")
+            .protocol("udp")
+            .protocol("icmp")
+            // benign event classes
+            .benign_event("motion_detected")
+            .benign_event("lamp_on")
+            .benign_event("lamp_off")
+            .benign_event("tag_sync")
+            .benign_event("heartbeat")
+            .benign_event("dns_lookup")
+            .benign_event("firmware_check")
+            // attack event classes
+            .attack_event("traffic_flooding", None)
+            .attack_event("port_scan", None)
+            .attack_event("cve_1999_0003", Some("CVE-1999-0003"))
+            // ---- global constraints ----
+            .allow_values("*", "protocol", &["tcp", "udp", "icmp"])
+            .require_prefix("*", "src_ip", "192.168.1.")
+            .numeric_range("*", "src_port", 1, 65535)
+            .numeric_range("*", "dst_port", 1, 65535)
+            // ---- benign behaviour constraints ----
+            .allow_values("motion_detected", "protocol", &["tcp"])
+            .allow_values("motion_detected", "device", &["blink_camera", "motion_sensor"])
+            .numeric_range("motion_detected", "dst_port", 443, 443)
+            .numeric_range("motion_detected", "src_port", 1024, 65535)
+            .allow_values("motion_detected", "dst_ip", &cloud_dsts)
+            .allow_values("lamp_on", "protocol", &["tcp"])
+            .allow_values("lamp_on", "device", &["smart_plug"])
+            .numeric_range("lamp_on", "dst_port", 8883, 8883)
+            .numeric_range("lamp_on", "src_port", 1024, 65535)
+            .allow_values("lamp_on", "dst_ip", &cloud_dsts)
+            .allow_values("lamp_off", "protocol", &["tcp"])
+            .allow_values("lamp_off", "device", &["smart_plug"])
+            .numeric_range("lamp_off", "dst_port", 8883, 8883)
+            .numeric_range("lamp_off", "src_port", 1024, 65535)
+            .allow_values("lamp_off", "dst_ip", &cloud_dsts)
+            .allow_values("tag_sync", "protocol", &["tcp"])
+            .allow_values("tag_sync", "device", &["tag_manager"])
+            .numeric_range("tag_sync", "dst_port", 443, 443)
+            .numeric_range("tag_sync", "src_port", 1024, 65535)
+            .allow_values("tag_sync", "dst_ip", &cloud_dsts)
+            .allow_values("heartbeat", "protocol", &["udp"])
+            .numeric_range("heartbeat", "dst_port", 123, 123)
+            .numeric_range("heartbeat", "src_port", 1024, 65535)
+            .allow_values("heartbeat", "dst_ip", &cloud_dsts)
+            .allow_values("dns_lookup", "protocol", &["udp"])
+            .numeric_range("dns_lookup", "dst_port", 53, 53)
+            .numeric_range("dns_lookup", "src_port", 1024, 65535)
+            .allow_values("dns_lookup", "dst_ip", &["192.168.1.1", "142.250.80.46"])
+            .allow_values("firmware_check", "protocol", &["tcp"])
+            .numeric_range("firmware_check", "dst_port", 80, 443)
+            .numeric_range("firmware_check", "src_port", 1024, 65535)
+            .allow_values("firmware_check", "dst_ip", &cloud_dsts)
+            // ---- attack constraints ----
+            .allow_values("traffic_flooding", "protocol", &["udp", "icmp"])
+            .require_prefix("traffic_flooding", "dst_ip", "192.168.1.")
+            .allow_values("port_scan", "protocol", &["tcp"])
+            .numeric_range("port_scan", "dst_port", 1, 1024)
+            .require_prefix("port_scan", "dst_ip", "192.168.1.")
+            .allow_values("cve_1999_0003", "protocol", &["udp"])
+            .numeric_range("cve_1999_0003", "dst_port", 32771, 34000)
+            .require_prefix("cve_1999_0003", "dst_ip", "192.168.1.");
+        let store = builder.build();
+        Self::new("lab", store, "event", &["event", "device", "protocol"])
+    }
+
+    /// A UNSW-NB15-shaped knowledge graph: 9 attack categories plus normal
+    /// traffic, with protocol/service/state validity knowledge for the
+    /// modeling view of the dataset.
+    pub fn unsw_default() -> Self {
+        let builder = GraphBuilder::new("unsw")
+            .protocol("tcp")
+            .protocol("udp")
+            .protocol("icmp")
+            .protocol("arp")
+            .service("dns")
+            .service("http")
+            .service("smtp")
+            .service("ftp")
+            .service("ssh")
+            .service("pop3")
+            .benign_event("normal")
+            .attack_event("fuzzers", None)
+            .attack_event("analysis", None)
+            .attack_event("backdoors", None)
+            .attack_event("dos", None)
+            .attack_event("exploits", None)
+            .attack_event("generic", None)
+            .attack_event("reconnaissance", None)
+            .attack_event("shellcode", None)
+            .attack_event("worms", None)
+            // global domains
+            .allow_values("*", "proto", &["tcp", "udp", "icmp", "arp"])
+            .allow_values("*", "state", &["FIN", "INT", "CON", "REQ", "RST"])
+            .allow_values(
+                "*",
+                "service",
+                &["-", "dns", "http", "smtp", "ftp", "ftp-data", "ssh", "pop3"],
+            )
+            .numeric_range("*", "sttl", 1, 255)
+            .numeric_range("*", "dttl", 0, 255)
+            .numeric_range("*", "spkts", 1, 500_000)
+            .numeric_range("*", "dpkts", 0, 500_000)
+            .numeric_range("*", "sbytes", 28, 500_000_000)
+            .numeric_range("*", "dbytes", 0, 500_000_000)
+            // category knowledge (service/protocol fingerprints)
+            .allow_values("normal", "service", &["-", "dns", "http", "smtp", "ftp", "ssh", "pop3"])
+            .allow_values("generic", "service", &["-", "dns", "http", "smtp"])
+            .allow_values("generic", "proto", &["udp", "tcp"])
+            .allow_values("exploits", "service", &["-", "http", "ftp", "smtp", "dns"])
+            .allow_values("exploits", "proto", &["tcp", "udp"])
+            .allow_values("fuzzers", "service", &["-", "http", "dns", "ftp-data"])
+            .allow_values("fuzzers", "proto", &["tcp", "udp"])
+            .allow_values("dos", "service", &["-", "http", "dns", "smtp"])
+            .allow_values("dos", "proto", &["tcp", "udp"])
+            .allow_values("reconnaissance", "service", &["-", "dns", "http"])
+            .allow_values("reconnaissance", "proto", &["tcp", "udp", "icmp"])
+            .allow_values("analysis", "service", &["-", "http"])
+            .allow_values("analysis", "proto", &["tcp"])
+            .allow_values("backdoors", "service", &["-", "ftp"])
+            .allow_values("backdoors", "proto", &["tcp", "udp"])
+            .allow_values("shellcode", "service", &["-"])
+            .allow_values("shellcode", "proto", &["tcp", "udp"])
+            .allow_values("worms", "service", &["-", "http"])
+            .allow_values("worms", "proto", &["tcp"])
+            // state knowledge per category (udp-heavy categories keep INT/CON)
+            .allow_values("generic", "state", &["INT", "CON", "FIN"])
+            .allow_values("normal", "state", &["FIN", "CON", "INT", "REQ"])
+            .allow_values("dos", "state", &["INT", "CON", "FIN", "RST"])
+            .allow_values("shellcode", "state", &["INT", "FIN"]);
+        let store = builder.build();
+        Self::new("unsw-nb15", store, "attack_cat", &["attack_cat", "proto", "service", "state"])
+    }
+}
+
+impl fmt::Debug for NetworkKg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NetworkKg({}, {} triples, {} rules)",
+            self.name,
+            self.store.len(),
+            self.reasoner.rules().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{Assignment, AttrValue};
+    use crate::ontology::vocab;
+    use crate::term::Iri;
+
+    #[test]
+    fn lab_graph_inventory() {
+        let kg = NetworkKg::lab_default();
+        let devices = kg.store().instances_of(&Iri::new(vocab::DEVICE));
+        assert_eq!(devices.len(), 5);
+        let attacks = kg.store().instances_of(&Iri::new(vocab::ATTACK));
+        assert_eq!(attacks.len(), 3);
+        let benign = kg.store().instances_of(&Iri::new(vocab::BENIGN_EVENT));
+        assert_eq!(benign.len(), 7);
+    }
+
+    #[test]
+    fn lab_valid_benign_record() {
+        let kg = NetworkKg::lab_default();
+        let a = Assignment::new()
+            .with("event", "motion_detected".into())
+            .with("device", "blink_camera".into())
+            .with("protocol", "tcp".into())
+            .with("src_ip", "192.168.1.10".into())
+            .with("dst_ip", "34.206.10.5".into())
+            .with("src_port", AttrValue::num(50000.0))
+            .with("dst_port", AttrValue::num(443.0));
+        let v = kg.reasoner().is_valid(&a);
+        assert!(v.is_valid(), "{:?}", v.violations());
+    }
+
+    #[test]
+    fn lab_rejects_cross_attribute_confusion() {
+        let kg = NetworkKg::lab_default();
+        // A smart plug reporting motion: invalid device for the event class.
+        let a = Assignment::new()
+            .with("event", "motion_detected".into())
+            .with("device", "smart_plug".into())
+            .with("protocol", "tcp".into());
+        assert!(!kg.reasoner().is_valid(&a).is_valid());
+    }
+
+    #[test]
+    fn lab_cve_port_window() {
+        let kg = NetworkKg::lab_default();
+        assert_eq!(
+            kg.reasoner().valid_range("cve_1999_0003", "dst_port"),
+            Some((32771.0, 34000.0))
+        );
+        let vals = kg.reasoner().valid_values("cve_1999_0003", "protocol").unwrap();
+        assert_eq!(vals.len(), 1);
+        assert!(vals.contains("udp"));
+    }
+
+    #[test]
+    fn lab_flooding_must_target_subnet() {
+        let kg = NetworkKg::lab_default();
+        let a = Assignment::new()
+            .with("event", "traffic_flooding".into())
+            .with("protocol", "udp".into())
+            .with("dst_ip", "8.8.8.8".into());
+        assert!(!kg.reasoner().is_valid(&a).is_valid());
+    }
+
+    #[test]
+    fn unsw_graph_inventory() {
+        let kg = NetworkKg::unsw_default();
+        let attacks = kg.store().instances_of(&Iri::new(vocab::ATTACK));
+        assert_eq!(attacks.len(), 9);
+        assert_eq!(kg.scope_field(), "attack_cat");
+        assert_eq!(kg.conditional_fields().len(), 4);
+    }
+
+    #[test]
+    fn unsw_service_fingerprints() {
+        let kg = NetworkKg::unsw_default();
+        let a = Assignment::new()
+            .with("attack_cat", "shellcode".into())
+            .with("service", "http".into());
+        assert!(!kg.reasoner().is_valid(&a).is_valid(), "shellcode never runs over http here");
+        let ok = Assignment::new()
+            .with("attack_cat", "shellcode".into())
+            .with("service", "-".into())
+            .with("proto", "tcp".into())
+            .with("state", "INT".into());
+        assert!(kg.reasoner().is_valid(&ok).is_valid());
+    }
+
+    #[test]
+    fn unsw_ttl_bounds() {
+        let kg = NetworkKg::unsw_default();
+        let a = Assignment::new()
+            .with("attack_cat", "normal".into())
+            .with("sttl", AttrValue::num(300.0));
+        assert!(!kg.reasoner().is_valid(&a).is_valid());
+    }
+
+    #[test]
+    fn debug_shows_counts() {
+        let s = format!("{:?}", NetworkKg::lab_default());
+        assert!(s.contains("lab"));
+        assert!(s.contains("rules"));
+    }
+}

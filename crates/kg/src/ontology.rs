@@ -1,0 +1,282 @@
+//! The UCO-extension ontology of the paper's Figure 2, and a builder for
+//! populating domain knowledge graphs against it.
+//!
+//! The paper extends the Unified Cybersecurity Ontology with network-
+//! activity concepts: every `net:networkEvent` has a protocol, source and
+//! destination IP addresses and ports, and may be associated with a
+//! `net:attack` (e.g. a CVE) or a benign device behaviour. Constraint
+//! properties (`net:minDstPort`, `net:allowedProtocol`, …) attach validity
+//! knowledge to event classes; the [`crate::rules`] module compiles them
+//! into executable checks.
+
+use crate::store::TripleStore;
+use crate::term::{Iri, Term};
+
+/// Vocabulary constants: every class and property IRI used by the
+/// KiNETGAN graphs.
+pub mod vocab {
+    /// `rdf:type`.
+    pub const RDF_TYPE: &str = "rdf:type";
+    /// `rdfs:subClassOf`.
+    pub const SUB_CLASS_OF: &str = "rdfs:subClassOf";
+    /// `rdfs:label`.
+    pub const LABEL: &str = "rdfs:label";
+
+    // ---- classes (Figure 2) ----
+    /// Root UCO observable class.
+    pub const OBSERVABLE: &str = "uco:Observable";
+    /// A captured network event (the paper's `networkEvent`).
+    pub const NETWORK_EVENT: &str = "net:networkEvent";
+    /// A device participating in the network.
+    pub const DEVICE: &str = "net:device";
+    /// A network protocol.
+    pub const PROTOCOL: &str = "net:protocol";
+    /// An IP address.
+    pub const IP_ADDRESS: &str = "net:ipAddress";
+    /// A transport-layer port.
+    pub const PORT: &str = "net:port";
+    /// A domain URL (the paper's `domainURL`).
+    pub const DOMAIN_URL: &str = "net:domainURL";
+    /// An event category (benign behaviour or attack).
+    pub const EVENT_CLASS: &str = "net:eventClass";
+    /// Benign event category.
+    pub const BENIGN_EVENT: &str = "net:benignEvent";
+    /// Attack event category.
+    pub const ATTACK: &str = "net:attack";
+    /// CVE-linked attack category.
+    pub const CVE_ATTACK: &str = "net:cveAttack";
+    /// A named network service (dns, http, …).
+    pub const SERVICE: &str = "net:service";
+
+    // ---- event description properties ----
+    /// Event → protocol.
+    pub const HAS_PROTOCOL: &str = "net:hasProtocol";
+    /// Event → source IP.
+    pub const HAS_SRC_IP: &str = "net:hasSrcIp";
+    /// Event → destination IP.
+    pub const HAS_DST_IP: &str = "net:hasDstIp";
+    /// Event → source port.
+    pub const HAS_SRC_PORT: &str = "net:hasSrcPort";
+    /// Event → destination port.
+    pub const HAS_DST_PORT: &str = "net:hasDstPort";
+    /// Event → event class.
+    pub const HAS_EVENT_TYPE: &str = "net:hasEventType";
+    /// Event → service.
+    pub const HAS_SERVICE: &str = "net:hasService";
+    /// Device → IP literal.
+    pub const HAS_IP: &str = "net:hasIp";
+    /// Attack → CVE identifier literal.
+    pub const HAS_CVE: &str = "net:hasCve";
+
+    // ---- constraint properties (consumed by the reasoner) ----
+    /// Event class → allowed value literal for a named field; subject is a
+    /// constraint node.
+    pub const CONSTRAINS_EVENT: &str = "net:constrainsEvent";
+    /// Constraint node → constrained field name.
+    pub const ON_FIELD: &str = "net:onField";
+    /// Constraint node → one allowed categorical value.
+    pub const ALLOWS_VALUE: &str = "net:allowsValue";
+    /// Constraint node → inclusive numeric lower bound.
+    pub const MIN_VALUE: &str = "net:minValue";
+    /// Constraint node → inclusive numeric upper bound.
+    pub const MAX_VALUE: &str = "net:maxValue";
+    /// Constraint node → required IP prefix (subnet membership).
+    pub const REQUIRES_PREFIX: &str = "net:requiresPrefix";
+    /// Marker type for constraint nodes.
+    pub const VALUE_CONSTRAINT: &str = "net:valueConstraint";
+    /// Wildcard event name meaning "applies to every event class".
+    pub const ANY_EVENT: &str = "*";
+}
+
+/// Installs the class hierarchy of Figure 2 into `store`.
+pub fn install_schema(store: &mut TripleStore) {
+    use vocab::*;
+    let classes: &[(&str, &str)] = &[
+        (NETWORK_EVENT, OBSERVABLE),
+        (DEVICE, OBSERVABLE),
+        (PROTOCOL, OBSERVABLE),
+        (IP_ADDRESS, OBSERVABLE),
+        (PORT, OBSERVABLE),
+        (DOMAIN_URL, OBSERVABLE),
+        (SERVICE, OBSERVABLE),
+        (EVENT_CLASS, OBSERVABLE),
+        (BENIGN_EVENT, EVENT_CLASS),
+        (ATTACK, EVENT_CLASS),
+        (CVE_ATTACK, ATTACK),
+    ];
+    for (child, parent) in classes {
+        store.add(*child, SUB_CLASS_OF, Term::iri(*parent));
+    }
+}
+
+/// Fluent builder for a domain knowledge graph: devices, event classes and
+/// the constraints that make attribute combinations valid or invalid.
+///
+/// ```
+/// use kinet_kg::ontology::GraphBuilder;
+/// let store = GraphBuilder::new("lab")
+///     .device("blink_camera", "192.168.1.10")
+///     .benign_event("motion_detected")
+///     .allow_values("motion_detected", "protocol", &["tcp"])
+///     .build();
+/// assert!(store.len() > 0);
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    ns: String,
+    store: TripleStore,
+    constraint_counter: usize,
+}
+
+impl GraphBuilder {
+    /// Starts a graph in namespace `ns` with the Figure-2 schema installed.
+    pub fn new(ns: &str) -> Self {
+        let mut store = TripleStore::new();
+        install_schema(&mut store);
+        Self { ns: ns.to_string(), store, constraint_counter: 0 }
+    }
+
+    fn iri(&self, local: &str) -> Iri {
+        Iri::new(format!("{}:{}", self.ns, local))
+    }
+
+    /// Registers a device and its IP address.
+    pub fn device(mut self, name: &str, ip: &str) -> Self {
+        let d = self.iri(name);
+        self.store.add(d.clone(), vocab::RDF_TYPE, Term::iri(vocab::DEVICE));
+        self.store.add(d, vocab::HAS_IP, ip);
+        self
+    }
+
+    /// Registers a benign event class.
+    pub fn benign_event(mut self, name: &str) -> Self {
+        let e = self.iri(name);
+        self.store.add(e, vocab::RDF_TYPE, Term::iri(vocab::BENIGN_EVENT));
+        self
+    }
+
+    /// Registers an attack event class (optionally CVE-linked).
+    pub fn attack_event(mut self, name: &str, cve: Option<&str>) -> Self {
+        let e = self.iri(name);
+        let class = if cve.is_some() { vocab::CVE_ATTACK } else { vocab::ATTACK };
+        self.store.add(e.clone(), vocab::RDF_TYPE, Term::iri(class));
+        if let Some(cve) = cve {
+            self.store.add(e, vocab::HAS_CVE, cve);
+        }
+        self
+    }
+
+    /// Registers a protocol resource.
+    pub fn protocol(mut self, name: &str) -> Self {
+        let p = self.iri(name);
+        self.store.add(p, vocab::RDF_TYPE, Term::iri(vocab::PROTOCOL));
+        self
+    }
+
+    /// Registers a service resource.
+    pub fn service(mut self, name: &str) -> Self {
+        let s = self.iri(name);
+        self.store.add(s, vocab::RDF_TYPE, Term::iri(vocab::SERVICE));
+        self
+    }
+
+    fn constraint_node(&mut self, event: &str, field: &str) -> Iri {
+        self.constraint_counter += 1;
+        let node = self.iri(&format!("constraint_{}", self.constraint_counter));
+        self.store.add(node.clone(), vocab::RDF_TYPE, Term::iri(vocab::VALUE_CONSTRAINT));
+        self.store.add(node.clone(), vocab::CONSTRAINS_EVENT, Term::str(event));
+        self.store.add(node.clone(), vocab::ON_FIELD, Term::str(field));
+        node
+    }
+
+    /// Constrains `field` of `event` (use [`vocab::ANY_EVENT`] for all
+    /// events) to the given categorical values.
+    pub fn allow_values(mut self, event: &str, field: &str, values: &[&str]) -> Self {
+        let node = self.constraint_node(event, field);
+        for v in values {
+            self.store.add(node.clone(), vocab::ALLOWS_VALUE, Term::str(*v));
+        }
+        self
+    }
+
+    /// Constrains numeric `field` of `event` to the inclusive range
+    /// `[min, max]` — e.g. the CVE-1999-0003 destination-port window.
+    pub fn numeric_range(mut self, event: &str, field: &str, min: i64, max: i64) -> Self {
+        assert!(min <= max, "numeric_range bounds inverted for {event}.{field}: {min} > {max}");
+        let node = self.constraint_node(event, field);
+        self.store.add(node.clone(), vocab::MIN_VALUE, Term::int(min));
+        self.store.add(node, vocab::MAX_VALUE, Term::int(max));
+        self
+    }
+
+    /// Requires string `field` of `event` to start with `prefix`
+    /// (subnet membership for IP fields).
+    pub fn require_prefix(mut self, event: &str, field: &str, prefix: &str) -> Self {
+        let node = self.constraint_node(event, field);
+        self.store.add(node, vocab::REQUIRES_PREFIX, Term::str(prefix));
+        self
+    }
+
+    /// Adds an arbitrary extra triple.
+    pub fn triple(mut self, s: impl Into<Iri>, p: impl Into<Iri>, o: impl Into<Term>) -> Self {
+        self.store.add(s, p, o);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> TripleStore {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_hierarchy_installed() {
+        let mut s = TripleStore::new();
+        install_schema(&mut s);
+        let supers = s.superclasses(&Iri::new(vocab::CVE_ATTACK));
+        assert!(supers.contains(&Iri::new(vocab::ATTACK)));
+        assert!(supers.contains(&Iri::new(vocab::EVENT_CLASS)));
+        assert!(supers.contains(&Iri::new(vocab::OBSERVABLE)));
+    }
+
+    #[test]
+    fn builder_registers_entities() {
+        let store = GraphBuilder::new("lab")
+            .device("cam", "192.168.1.10")
+            .benign_event("heartbeat")
+            .attack_event("cve_1999_0003", Some("CVE-1999-0003"))
+            .protocol("udp")
+            .build();
+        assert!(store.is_instance_of(&"lab:cam".into(), &vocab::DEVICE.into()));
+        assert!(store.is_instance_of(&"lab:cve_1999_0003".into(), &vocab::ATTACK.into()));
+        let cve = store.object(&"lab:cve_1999_0003".into(), &vocab::HAS_CVE.into()).unwrap();
+        assert_eq!(cve.as_str_lit(), Some("CVE-1999-0003"));
+    }
+
+    #[test]
+    fn constraints_stored_as_triples() {
+        let store = GraphBuilder::new("lab")
+            .numeric_range("cve_1999_0003", "dst_port", 32771, 34000)
+            .allow_values("cve_1999_0003", "protocol", &["udp"])
+            .build();
+        let nodes = store.instances_of(&vocab::VALUE_CONSTRAINT.into());
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn numeric_range_validates_bounds() {
+        let _ = GraphBuilder::new("x").numeric_range("e", "f", 10, 5);
+    }
+
+    #[test]
+    fn attack_without_cve_is_plain_attack() {
+        let store = GraphBuilder::new("lab").attack_event("flooding", None).build();
+        assert!(store.is_instance_of(&"lab:flooding".into(), &vocab::ATTACK.into()));
+        assert!(!store.is_instance_of(&"lab:flooding".into(), &vocab::CVE_ATTACK.into()));
+    }
+}

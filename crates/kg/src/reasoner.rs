@@ -1,0 +1,284 @@
+//! The reasoner: validity queries over a knowledge graph, with a memoized
+//! fast path for the hot loop inside GAN training.
+
+use crate::assignment::{Assignment, AttrValue};
+use crate::rules::RuleSet;
+use crate::store::TripleStore;
+use parking_lot::RwLock;
+use rand::{Rng, RngExt};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One rule violation, as a human-readable description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The outcome of a validity query.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Validity {
+    /// Every applicable rule is satisfied.
+    Valid,
+    /// At least one rule is violated.
+    Invalid(Vec<Violation>),
+}
+
+impl Validity {
+    /// `true` for [`Validity::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Validity::Valid)
+    }
+
+    /// The violations (empty when valid).
+    pub fn violations(&self) -> &[Violation] {
+        match self {
+            Validity::Valid => &[],
+            Validity::Invalid(v) => v,
+        }
+    }
+}
+
+/// Validity reasoner over a compiled [`RuleSet`].
+///
+/// The reasoner is the KG query interface `Q` of the paper (§III-B): the
+/// knowledge-guided discriminator asks it whether generated attribute
+/// combinations are valid, and samples valid combinations to use as
+/// positive examples.
+///
+/// Categorical validity queries are memoized (the GAN asks about the same
+/// discrete combinations over and over), making the hot path a hash lookup.
+#[derive(Debug)]
+pub struct Reasoner {
+    rules: RuleSet,
+    /// Per-event, per-field categorical domains observed from the rules;
+    /// used by [`Reasoner::sample_valid`].
+    cache: RwLock<HashMap<String, bool>>,
+}
+
+impl Reasoner {
+    /// Builds a reasoner from a graph by compiling its constraint nodes,
+    /// scoping rules by `scope_field` (the event-class column).
+    pub fn from_store(store: &TripleStore, scope_field: &str) -> Self {
+        Self::new(RuleSet::compile(store, scope_field))
+    }
+
+    /// Builds a reasoner over an explicit rule set.
+    pub fn new(rules: RuleSet) -> Self {
+        Self { rules, cache: RwLock::new(HashMap::new()) }
+    }
+
+    /// The underlying rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Full validity check with violation details (not memoized).
+    pub fn is_valid(&self, a: &Assignment) -> Validity {
+        let v = self.rules.violations(a);
+        if v.is_empty() {
+            Validity::Valid
+        } else {
+            Validity::Invalid(v.into_iter().map(Violation).collect())
+        }
+    }
+
+    /// Memoized boolean validity check. Equivalent to
+    /// `self.is_valid(a).is_valid()` but cached on the assignment's
+    /// canonical string form — the fast path for GAN training loops.
+    pub fn is_valid_cached(&self, a: &Assignment) -> bool {
+        let key = a.to_string();
+        if let Some(&hit) = self.cache.read().get(&key) {
+            return hit;
+        }
+        let verdict = self.rules.violations(a).is_empty();
+        self.cache.write().insert(key, verdict);
+        verdict
+    }
+
+    /// Number of memoized validity entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Valid categorical values for `field` given the event class, if the
+    /// KG restricts them.
+    pub fn valid_values(&self, event: &str, field: &str) -> Option<BTreeSet<String>> {
+        self.rules.allowed_values(event, field)
+    }
+
+    /// Valid numeric range for `field` given the event class, if the KG
+    /// restricts it.
+    pub fn valid_range(&self, event: &str, field: &str) -> Option<(f64, f64)> {
+        self.rules.numeric_range(event, field)
+    }
+
+    /// Fraction of assignments in `batch` that are valid — the batch score
+    /// used by evaluation and by the hard D_KG signal.
+    pub fn validity_rate(&self, batch: &[Assignment]) -> f64 {
+        if batch.is_empty() {
+            return 1.0;
+        }
+        let ok = batch.iter().filter(|a| self.is_valid_cached(a)).count();
+        ok as f64 / batch.len() as f64
+    }
+
+    /// Samples a KG-valid completion of `partial`: every field in `fields`
+    /// that the KG constrains is drawn from its valid set/range; fields the
+    /// KG does not constrain keep their `domains` fallback. Returns `None`
+    /// if no valid combination is found within `max_tries` rejection
+    /// rounds (e.g. contradictory constraints).
+    ///
+    /// This implements the paper's "input … consists of all valid sets of
+    /// attributes for the conditional vector C queried from the knowledge
+    /// graph": the returned assignments are the D_KG positives.
+    pub fn sample_valid(
+        &self,
+        partial: &Assignment,
+        fields: &[String],
+        domains: &BTreeMap<String, Vec<String>>,
+        rng: &mut impl Rng,
+        max_tries: usize,
+    ) -> Option<Assignment> {
+        let scope = self.rules.scope_field();
+        let event = partial.get_cat(scope).unwrap_or("*").to_string();
+        for _ in 0..max_tries.max(1) {
+            let mut candidate = partial.clone();
+            for field in fields {
+                if candidate.get(field).is_some() {
+                    continue;
+                }
+                if let Some(vals) = self.valid_values(&event, field) {
+                    if vals.is_empty() {
+                        return None; // contradictory categorical constraints
+                    }
+                    let pick = vals.iter().nth(rng.random_range(0..vals.len())).unwrap();
+                    candidate.set(field, AttrValue::cat(pick.clone()));
+                } else if let Some((lo, hi)) = self.valid_range(&event, field) {
+                    let v = if hi > lo { rng.random_range(lo..hi) } else { lo };
+                    candidate.set(field, AttrValue::num(v.round()));
+                } else if let Some(domain) = domains.get(field) {
+                    if domain.is_empty() {
+                        continue;
+                    }
+                    let pick = &domain[rng.random_range(0..domain.len())];
+                    candidate.set(field, AttrValue::cat(pick.clone()));
+                }
+            }
+            if self.is_valid_cached(&candidate) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::GraphBuilder;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn reasoner() -> Reasoner {
+        let store = GraphBuilder::new("lab")
+            .numeric_range("cve_1999_0003", "dst_port", 32771, 34000)
+            .allow_values("cve_1999_0003", "protocol", &["udp"])
+            .allow_values("*", "protocol", &["tcp", "udp", "icmp"])
+            .build();
+        Reasoner::from_store(&store, "event")
+    }
+
+    fn cve_record(port: f64, proto: &str) -> Assignment {
+        Assignment::new()
+            .with("event", "cve_1999_0003".into())
+            .with("protocol", proto.into())
+            .with("dst_port", AttrValue::num(port))
+    }
+
+    #[test]
+    fn validity_verdicts() {
+        let r = reasoner();
+        assert!(r.is_valid(&cve_record(33000.0, "udp")).is_valid());
+        let bad = r.is_valid(&cve_record(80.0, "tcp"));
+        assert_eq!(bad.violations().len(), 2);
+    }
+
+    #[test]
+    fn cached_path_agrees_and_caches() {
+        let r = reasoner();
+        let a = cve_record(33000.0, "udp");
+        let b = cve_record(80.0, "udp");
+        assert!(r.is_valid_cached(&a));
+        assert!(!r.is_valid_cached(&b));
+        assert_eq!(r.cache_len(), 2);
+        // repeat hits the cache (same result)
+        assert!(r.is_valid_cached(&a));
+        assert_eq!(r.cache_len(), 2);
+    }
+
+    #[test]
+    fn validity_rate_fraction() {
+        let r = reasoner();
+        let batch =
+            vec![cve_record(33000.0, "udp"), cve_record(80.0, "udp"), cve_record(32771.0, "udp")];
+        let rate = r.validity_rate(&batch);
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.validity_rate(&[]), 1.0);
+    }
+
+    #[test]
+    fn sample_valid_respects_constraints() {
+        let r = reasoner();
+        let mut rng = StdRng::seed_from_u64(3);
+        let partial = Assignment::new().with("event", "cve_1999_0003".into());
+        let fields = vec!["protocol".to_string(), "dst_port".to_string()];
+        for _ in 0..50 {
+            let s = r.sample_valid(&partial, &fields, &BTreeMap::new(), &mut rng, 10).unwrap();
+            assert_eq!(s.get_cat("protocol"), Some("udp"));
+            let port = s.get_num("dst_port").unwrap();
+            assert!((32771.0..=34000.0).contains(&port), "port {port}");
+        }
+    }
+
+    #[test]
+    fn sample_valid_uses_domain_fallback() {
+        let r = reasoner();
+        let mut rng = StdRng::seed_from_u64(4);
+        let partial = Assignment::new().with("event", "heartbeat".into());
+        let mut domains = BTreeMap::new();
+        domains.insert("device".to_string(), vec!["cam".to_string(), "plug".to_string()]);
+        let s = r
+            .sample_valid(&partial, &["device".to_string()], &domains, &mut rng, 10)
+            .unwrap();
+        assert!(matches!(s.get_cat("device"), Some("cam") | Some("plug")));
+    }
+
+    #[test]
+    fn sample_valid_gives_up_on_contradiction() {
+        // protocol must be simultaneously {udp} and {tcp} => empty intersection
+        let store = GraphBuilder::new("x")
+            .allow_values("e", "protocol", &["udp"])
+            .allow_values("e", "protocol", &["tcp"])
+            .build();
+        let r = Reasoner::from_store(&store, "event");
+        let mut rng = StdRng::seed_from_u64(5);
+        let partial = Assignment::new().with("event", "e".into());
+        let got =
+            r.sample_valid(&partial, &["protocol".to_string()], &BTreeMap::new(), &mut rng, 5);
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn partial_fields_left_when_unknown() {
+        let r = reasoner();
+        let mut rng = StdRng::seed_from_u64(6);
+        let partial = Assignment::new().with("event", "heartbeat".into());
+        let s = r
+            .sample_valid(&partial, &["unconstrained".to_string()], &BTreeMap::new(), &mut rng, 3)
+            .unwrap();
+        assert!(s.get("unconstrained").is_none(), "no constraint and no domain => untouched");
+    }
+}

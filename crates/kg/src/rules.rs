@@ -1,0 +1,357 @@
+//! Typed validity rules compiled from knowledge-graph triples.
+//!
+//! The ontology stores constraints declaratively (`net:valueConstraint`
+//! nodes, see [`crate::ontology::vocab`]); [`RuleSet::compile`] turns them
+//! into executable [`Rule`]s the reasoner evaluates against an
+//! [`Assignment`]. Rules are *scoped* by event class: a rule applies to a
+//! record when the record's scoping field (by default `event`) equals the
+//! rule's event name, or when the rule is declared for
+//! [`crate::ontology::vocab::ANY_EVENT`].
+
+use crate::assignment::Assignment;
+use crate::ontology::vocab;
+use crate::store::TripleStore;
+use crate::term::Iri;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The body of one validity rule.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// The field (categorical) must take one of these values.
+    AllowedValues(BTreeSet<String>),
+    /// The field (numeric) must lie in the inclusive range.
+    NumericRange {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// The field (string) must start with this prefix.
+    RequiredPrefix(String),
+}
+
+/// One compiled validity rule.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Rule {
+    /// Event-class name this rule is scoped to, or `*`.
+    pub event: String,
+    /// The constrained field.
+    pub field: String,
+    /// The constraint body.
+    pub kind: RuleKind,
+}
+
+impl Rule {
+    /// `true` when the rule applies to a record of class `event`.
+    pub fn applies_to(&self, event: &str) -> bool {
+        self.event == vocab::ANY_EVENT || self.event == event
+    }
+
+    /// Checks one assignment. Returns `None` when satisfied or not
+    /// applicable (field absent counts as not applicable), or a
+    /// human-readable violation.
+    pub fn check(&self, a: &Assignment) -> Option<String> {
+        let value = a.get(&self.field)?;
+        match &self.kind {
+            RuleKind::AllowedValues(allowed) => {
+                let v = value.as_cat()?;
+                if allowed.contains(v) {
+                    None
+                } else {
+                    Some(format!(
+                        "{}={v} not in allowed set {:?} (event {})",
+                        self.field, allowed, self.event
+                    ))
+                }
+            }
+            RuleKind::NumericRange { min, max } => {
+                let v = value.as_num()?;
+                if v >= *min && v <= *max {
+                    None
+                } else {
+                    Some(format!(
+                        "{}={v} outside [{min}, {max}] (event {})",
+                        self.field, self.event
+                    ))
+                }
+            }
+            RuleKind::RequiredPrefix(prefix) => {
+                let v = value.as_cat()?;
+                if v.starts_with(prefix.as_str()) {
+                    None
+                } else {
+                    Some(format!(
+                        "{}={v} lacks required prefix {prefix:?} (event {})",
+                        self.field, self.event
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            RuleKind::AllowedValues(v) => {
+                write!(f, "[{}] {} ∈ {:?}", self.event, self.field, v)
+            }
+            RuleKind::NumericRange { min, max } => {
+                write!(f, "[{}] {} ∈ [{min}, {max}]", self.event, self.field)
+            }
+            RuleKind::RequiredPrefix(p) => {
+                write!(f, "[{}] {} starts with {p:?}", self.event, self.field)
+            }
+        }
+    }
+}
+
+/// All rules compiled from a graph, indexed for evaluation.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    /// Field used to scope rules to records (`event` by default).
+    scope_field: String,
+}
+
+impl RuleSet {
+    /// Compiles every `net:valueConstraint` node in `store` into rules,
+    /// scoping applicability by `scope_field` (the column naming the event
+    /// class in tabular data).
+    pub fn compile(store: &TripleStore, scope_field: &str) -> Self {
+        let mut rules = Vec::new();
+        for node in store.instances_of(&Iri::new(vocab::VALUE_CONSTRAINT)) {
+            let event = store
+                .object(&node, &Iri::new(vocab::CONSTRAINS_EVENT))
+                .and_then(|t| t.as_str_lit())
+                .unwrap_or(vocab::ANY_EVENT)
+                .to_string();
+            let Some(field) = store
+                .object(&node, &Iri::new(vocab::ON_FIELD))
+                .and_then(|t| t.as_str_lit())
+                .map(str::to_string)
+            else {
+                continue; // malformed constraint node: no field
+            };
+            let allowed: BTreeSet<String> = store
+                .objects(&node, &Iri::new(vocab::ALLOWS_VALUE))
+                .into_iter()
+                .filter_map(|t| t.as_str_lit())
+                .map(str::to_string)
+                .collect();
+            if !allowed.is_empty() {
+                rules.push(Rule {
+                    event: event.clone(),
+                    field: field.clone(),
+                    kind: RuleKind::AllowedValues(allowed),
+                });
+            }
+            let min = store.object(&node, &Iri::new(vocab::MIN_VALUE)).and_then(|t| t.as_int());
+            let max = store.object(&node, &Iri::new(vocab::MAX_VALUE)).and_then(|t| t.as_int());
+            if let (Some(min), Some(max)) = (min, max) {
+                rules.push(Rule {
+                    event: event.clone(),
+                    field: field.clone(),
+                    kind: RuleKind::NumericRange { min: min as f64, max: max as f64 },
+                });
+            }
+            if let Some(prefix) = store
+                .object(&node, &Iri::new(vocab::REQUIRES_PREFIX))
+                .and_then(|t| t.as_str_lit())
+            {
+                rules.push(Rule {
+                    event,
+                    field,
+                    kind: RuleKind::RequiredPrefix(prefix.to_string()),
+                });
+            }
+        }
+        // Deterministic evaluation and display order.
+        rules.sort_by(|a, b| (&a.event, &a.field).cmp(&(&b.event, &b.field)));
+        Self { rules, scope_field: scope_field.to_string() }
+    }
+
+    /// Builds a rule set directly (for tests and synthetic scenarios).
+    pub fn from_rules(rules: Vec<Rule>, scope_field: &str) -> Self {
+        Self { rules, scope_field: scope_field.to_string() }
+    }
+
+    /// The record field that names the event class.
+    pub fn scope_field(&self) -> &str {
+        &self.scope_field
+    }
+
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when no rule was compiled.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over all rules.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter()
+    }
+
+    /// The rules applicable to a record whose scope field is `event`.
+    pub fn applicable<'a>(&'a self, event: &'a str) -> impl Iterator<Item = &'a Rule> + 'a {
+        self.rules.iter().filter(move |r| r.applies_to(event))
+    }
+
+    /// Evaluates every applicable rule against `a`; returns all violations.
+    ///
+    /// A record with no scope field is checked only against `*`-scoped
+    /// rules.
+    pub fn violations(&self, a: &Assignment) -> Vec<String> {
+        let event = a.get_cat(&self.scope_field).unwrap_or(vocab::ANY_EVENT);
+        self.applicable(event).filter_map(|r| r.check(a)).collect()
+    }
+
+    /// The set of allowed values for a categorical field of `event`,
+    /// intersecting all applicable `AllowedValues` rules. `None` means the
+    /// KG places no restriction.
+    pub fn allowed_values(&self, event: &str, field: &str) -> Option<BTreeSet<String>> {
+        let mut out: Option<BTreeSet<String>> = None;
+        for r in self.applicable(event) {
+            if r.field != field {
+                continue;
+            }
+            if let RuleKind::AllowedValues(vals) = &r.kind {
+                out = Some(match out {
+                    None => vals.clone(),
+                    Some(prev) => prev.intersection(vals).cloned().collect(),
+                });
+            }
+        }
+        out
+    }
+
+    /// The tightest numeric range for `field` of `event`, intersecting all
+    /// applicable `NumericRange` rules. `None` means unrestricted.
+    pub fn numeric_range(&self, event: &str, field: &str) -> Option<(f64, f64)> {
+        let mut out: Option<(f64, f64)> = None;
+        for r in self.applicable(event) {
+            if r.field != field {
+                continue;
+            }
+            if let RuleKind::NumericRange { min, max } = &r.kind {
+                out = Some(match out {
+                    None => (*min, *max),
+                    Some((lo, hi)) => (lo.max(*min), hi.min(*max)),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::AttrValue;
+    use crate::ontology::GraphBuilder;
+
+    fn lab_rules() -> RuleSet {
+        let store = GraphBuilder::new("lab")
+            .numeric_range("cve_1999_0003", "dst_port", 32771, 34000)
+            .allow_values("cve_1999_0003", "protocol", &["udp"])
+            .allow_values("*", "protocol", &["tcp", "udp", "icmp"])
+            .require_prefix("*", "src_ip", "192.168.1.")
+            .build();
+        RuleSet::compile(&store, "event")
+    }
+
+    #[test]
+    fn compile_produces_all_rules() {
+        let rs = lab_rules();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.scope_field(), "event");
+    }
+
+    #[test]
+    fn valid_record_passes() {
+        let rs = lab_rules();
+        let a = Assignment::new()
+            .with("event", "cve_1999_0003".into())
+            .with("protocol", "udp".into())
+            .with("dst_port", AttrValue::num(33000.0))
+            .with("src_ip", "192.168.1.12".into());
+        assert!(rs.violations(&a).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_port_flagged() {
+        let rs = lab_rules();
+        let a = Assignment::new()
+            .with("event", "cve_1999_0003".into())
+            .with("protocol", "udp".into())
+            .with("dst_port", AttrValue::num(80.0));
+        let v = rs.violations(&a);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("dst_port"), "{v:?}");
+    }
+
+    #[test]
+    fn wrong_protocol_flagged_by_scoped_rule() {
+        let rs = lab_rules();
+        let a = Assignment::new()
+            .with("event", "cve_1999_0003".into())
+            .with("protocol", "tcp".into());
+        let v = rs.violations(&a);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn wildcard_rules_apply_to_all_events() {
+        let rs = lab_rules();
+        let a = Assignment::new()
+            .with("event", "heartbeat".into())
+            .with("protocol", "gopher".into());
+        assert_eq!(rs.violations(&a).len(), 1);
+        let b = Assignment::new()
+            .with("event", "heartbeat".into())
+            .with("src_ip", "10.0.0.1".into());
+        assert_eq!(rs.violations(&b).len(), 1);
+    }
+
+    #[test]
+    fn absent_fields_are_not_violations() {
+        let rs = lab_rules();
+        let a = Assignment::new().with("event", "cve_1999_0003".into());
+        assert!(rs.violations(&a).is_empty(), "partial records only checked on present fields");
+    }
+
+    #[test]
+    fn allowed_values_intersects() {
+        let rs = lab_rules();
+        // event-scoped {udp} ∩ wildcard {tcp,udp,icmp}… allowed_values takes event arg
+        let vals = rs.allowed_values("cve_1999_0003", "protocol").unwrap();
+        assert_eq!(vals, BTreeSet::from(["udp".to_string()]));
+        let any = rs.allowed_values("heartbeat", "protocol").unwrap();
+        assert_eq!(any.len(), 3);
+        assert!(rs.allowed_values("heartbeat", "dst_port").is_none());
+    }
+
+    #[test]
+    fn numeric_range_lookup() {
+        let rs = lab_rules();
+        assert_eq!(rs.numeric_range("cve_1999_0003", "dst_port"), Some((32771.0, 34000.0)));
+        assert_eq!(rs.numeric_range("heartbeat", "dst_port"), None);
+    }
+
+    #[test]
+    fn type_mismatch_is_not_a_silent_pass() {
+        // A categorical value in a numeric-range field: check() returns None
+        // (not applicable) by design; the reasoner layers stricter typing.
+        let rs = lab_rules();
+        let a = Assignment::new()
+            .with("event", "cve_1999_0003".into())
+            .with("dst_port", "not_a_number".into());
+        assert!(rs.violations(&a).is_empty());
+    }
+}

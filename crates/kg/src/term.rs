@@ -1,0 +1,205 @@
+//! RDF-style terms: IRIs, literals and triples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compact IRI (namespace-prefixed identifier) such as `net:networkEvent`.
+///
+/// The KiNETGAN graphs stay within a handful of namespaces (`uco:`, `net:`,
+/// `lab:`, `unsw:`), so IRIs are stored as plain interned-ish strings rather
+/// than full URI machinery.
+///
+/// ```
+/// use kinet_kg::Iri;
+/// let iri = Iri::new("net:networkEvent");
+/// assert_eq!(iri.namespace(), Some("net"));
+/// assert_eq!(iri.local_name(), "networkEvent");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Iri(String);
+
+impl Iri {
+    /// Wraps a string as an IRI.
+    pub fn new(s: impl Into<String>) -> Self {
+        Iri(s.into())
+    }
+
+    /// Full text of the IRI.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The namespace prefix before the first `:`, if any.
+    pub fn namespace(&self) -> Option<&str> {
+        self.0.split_once(':').map(|(ns, _)| ns)
+    }
+
+    /// The part after the namespace prefix (or the whole string).
+    pub fn local_name(&self) -> &str {
+        self.0.split_once(':').map(|(_, l)| l).unwrap_or(&self.0)
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(s: &str) -> Self {
+        Iri::new(s)
+    }
+}
+
+impl From<String> for Iri {
+    fn from(s: String) -> Self {
+        Iri::new(s)
+    }
+}
+
+/// An RDF object position: either a resource or a literal.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Term {
+    /// A resource reference.
+    Iri(Iri),
+    /// A string literal.
+    Str(String),
+    /// An integer literal (ports, counts, thresholds).
+    Int(i64),
+}
+
+impl Term {
+    /// Convenience constructor for a resource term.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(Iri::new(s))
+    }
+
+    /// Convenience constructor for a string literal.
+    pub fn str(s: impl Into<String>) -> Self {
+        Term::Str(s.into())
+    }
+
+    /// Convenience constructor for an integer literal.
+    pub fn int(v: i64) -> Self {
+        Term::Int(v)
+    }
+
+    /// The resource, if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The string literal, if this term is one.
+    pub fn as_str_lit(&self) -> Option<&str> {
+        match self {
+            Term::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer literal, if this term is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Term::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => write!(f, "{i}"),
+            Term::Str(s) => write!(f, "{s:?}"),
+            Term::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(i: Iri) -> Self {
+        Term::Iri(i)
+    }
+}
+
+impl From<&str> for Term {
+    fn from(s: &str) -> Self {
+        Term::Str(s.to_string())
+    }
+}
+
+impl From<i64> for Term {
+    fn from(v: i64) -> Self {
+        Term::Int(v)
+    }
+}
+
+/// A subject–predicate–object statement.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject resource.
+    pub subject: Iri,
+    /// Predicate resource.
+    pub predicate: Iri,
+    /// Object resource or literal.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Builds a triple from anything convertible to its parts.
+    pub fn new(s: impl Into<Iri>, p: impl Into<Iri>, o: impl Into<Term>) -> Self {
+        Triple { subject: s.into(), predicate: p.into(), object: o.into() }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_parts() {
+        let i = Iri::new("net:hasProtocol");
+        assert_eq!(i.namespace(), Some("net"));
+        assert_eq!(i.local_name(), "hasProtocol");
+        let bare = Iri::new("thing");
+        assert_eq!(bare.namespace(), None);
+        assert_eq!(bare.local_name(), "thing");
+    }
+
+    #[test]
+    fn term_accessors() {
+        assert_eq!(Term::iri("a:b").as_iri().unwrap().as_str(), "a:b");
+        assert_eq!(Term::str("x").as_str_lit(), Some("x"));
+        assert_eq!(Term::int(5).as_int(), Some(5));
+        assert_eq!(Term::int(5).as_str_lit(), None);
+    }
+
+    #[test]
+    fn triple_display() {
+        let t = Triple::new("lab:cam", "net:hasIp", "192.168.1.10");
+        assert_eq!(t.to_string(), "lab:cam net:hasIp \"192.168.1.10\" .");
+    }
+
+    #[test]
+    fn terms_order_deterministically() {
+        let mut v = vec![Term::int(2), Term::str("b"), Term::iri("a:a"), Term::int(1)];
+        v.sort();
+        assert_eq!(v[0], Term::iri("a:a"));
+    }
+}

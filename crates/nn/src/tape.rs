@@ -1,0 +1,791 @@
+//! The dynamic computation graph: [`Tape`], [`Var`] and the reverse pass.
+//!
+//! A [`Tape`] records every forward operation as a node; [`Tape::backward`]
+//! walks the nodes in reverse creation order (a valid topological order,
+//! since operands always precede results) and accumulates gradients, finally
+//! writing parameter gradients back into their [`Param`] cells.
+//!
+//! Tapes are intended to be short-lived: build one per training step, run
+//! `backward`, drop it.
+
+use crate::param::Param;
+use kinet_tensor::Matrix;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Clone)]
+enum Op {
+    Leaf,
+    Param(Param),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+    Neg(usize),
+    Matmul(usize, usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    AddConst(usize),
+    MulConst(usize, Rc<Matrix>),
+    AddRow(usize, usize),
+    SubRow(usize, usize),
+    MulRow(usize, usize),
+    DivRow(usize, usize),
+    MeanRows(usize),
+    Sum(usize),
+    Mean(usize),
+    Relu(usize),
+    LeakyRelu(usize, f32),
+    Tanh(usize),
+    Sigmoid(usize),
+    Exp(usize),
+    Ln(usize),
+    Sqrt(usize),
+    Softmax(usize),
+    ConcatCols(Rc<Vec<usize>>),
+    SliceCols(usize, usize, usize),
+    Reshape(usize),
+    BceWithLogits(usize, Rc<Matrix>),
+    SoftmaxCrossEntropy(usize, Rc<Matrix>),
+    Mse(usize, Rc<Matrix>),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Matrix,
+    op: Op,
+}
+
+/// A computation graph recording forward operations for reverse-mode
+/// differentiation.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+/// A handle to a node on a [`Tape`].
+///
+/// `Var` is `Copy`; all arithmetic methods allocate a new node and return a
+/// new handle. Mixing `Var`s from different tapes is a logic error and will
+/// panic (on an index out of bounds) or silently corrupt gradients; each
+/// training step should use exactly one tape.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    idx: usize,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// `true` when no node has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(&self, value: Matrix, op: Op) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        nodes.push(Node { value, grad, op });
+        nodes.len() - 1
+    }
+
+    fn value_of(&self, idx: usize) -> Matrix {
+        self.nodes.borrow()[idx].value.clone()
+    }
+
+    /// Registers a constant (non-differentiable) input.
+    pub fn constant(&self, value: Matrix) -> Var<'_> {
+        Var { tape: self, idx: self.push(value, Op::Leaf) }
+    }
+
+    /// Registers a trainable parameter; its gradient is filled in by
+    /// [`Tape::backward`].
+    pub fn param(&self, p: &Param) -> Var<'_> {
+        Var { tape: self, idx: self.push(p.value(), Op::Param(p.clone())) }
+    }
+
+    /// Runs the reverse pass from `loss`, which must be a `1 × 1` scalar
+    /// node, accumulating gradients into every [`Param`] on the tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar-shaped.
+    pub fn backward(&self, loss: Var<'_>) {
+        let mut nodes = self.nodes.borrow_mut();
+        {
+            let l = &mut nodes[loss.idx];
+            assert_eq!(l.value.shape(), (1, 1), "backward target must be a 1x1 scalar");
+            l.grad = Matrix::ones(1, 1);
+        }
+        for i in (0..nodes.len()).rev() {
+            let g = nodes[i].grad.clone();
+            if g.as_slice().iter().all(|&v| v == 0.0) {
+                if let Op::Param(_) = nodes[i].op {
+                    // nothing flowed here; skip write-back
+                }
+                continue;
+            }
+            let op = nodes[i].op.clone();
+            let out_val = || nodes[i].value.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Param(p) => p.accumulate_grad(&g),
+                Op::Add(a, b) => {
+                    nodes[a].grad.add_assign_scaled(&g, 1.0);
+                    nodes[b].grad.add_assign_scaled(&g, 1.0);
+                }
+                Op::Sub(a, b) => {
+                    nodes[a].grad.add_assign_scaled(&g, 1.0);
+                    nodes[b].grad.add_assign_scaled(&g, -1.0);
+                }
+                Op::Mul(a, b) => {
+                    let (va, vb) = (nodes[a].value.clone(), nodes[b].value.clone());
+                    nodes[a].grad.add_assign_scaled(&g.mul(&vb), 1.0);
+                    nodes[b].grad.add_assign_scaled(&g.mul(&va), 1.0);
+                }
+                Op::Div(a, b) => {
+                    let vb = nodes[b].value.clone();
+                    let out = out_val();
+                    nodes[a].grad.add_assign_scaled(&g.div(&vb), 1.0);
+                    nodes[b].grad.add_assign_scaled(&g.mul(&out).div(&vb), -1.0);
+                }
+                Op::Neg(a) => nodes[a].grad.add_assign_scaled(&g, -1.0),
+                Op::Matmul(a, b) => {
+                    let (va, vb) = (nodes[a].value.clone(), nodes[b].value.clone());
+                    nodes[a].grad.add_assign_scaled(&g.matmul_nt(&vb), 1.0);
+                    nodes[b].grad.add_assign_scaled(&va.matmul_tn(&g), 1.0);
+                }
+                Op::Scale(a, s) => nodes[a].grad.add_assign_scaled(&g, s),
+                Op::AddScalar(a) => nodes[a].grad.add_assign_scaled(&g, 1.0),
+                Op::AddConst(a) => nodes[a].grad.add_assign_scaled(&g, 1.0),
+                Op::MulConst(a, c) => nodes[a].grad.add_assign_scaled(&g.mul(&c), 1.0),
+                Op::AddRow(a, r) => {
+                    nodes[a].grad.add_assign_scaled(&g, 1.0);
+                    nodes[r].grad.add_assign_scaled(&g.sum_rows(), 1.0);
+                }
+                Op::SubRow(a, r) => {
+                    nodes[a].grad.add_assign_scaled(&g, 1.0);
+                    nodes[r].grad.add_assign_scaled(&g.sum_rows(), -1.0);
+                }
+                Op::MulRow(a, r) => {
+                    let (va, vr) = (nodes[a].value.clone(), nodes[r].value.clone());
+                    nodes[a].grad.add_assign_scaled(&g.mul_row_broadcast(&vr), 1.0);
+                    nodes[r].grad.add_assign_scaled(&g.mul(&va).sum_rows(), 1.0);
+                }
+                Op::DivRow(a, r) => {
+                    let vr = nodes[r].value.clone();
+                    let out = out_val();
+                    nodes[a].grad.add_assign_scaled(&g.div_row_broadcast(&vr), 1.0);
+                    nodes[r]
+                        .grad
+                        .add_assign_scaled(&g.mul(&out).div_row_broadcast(&vr).sum_rows(), -1.0);
+                }
+                Op::MeanRows(a) => {
+                    let n = nodes[a].value.rows() as f32;
+                    let (rows, cols) = nodes[a].value.shape();
+                    let spread = Matrix::zeros(rows, cols).add_row_broadcast(&g.scale(1.0 / n));
+                    nodes[a].grad.add_assign_scaled(&spread, 1.0);
+                }
+                Op::Sum(a) => {
+                    let (rows, cols) = nodes[a].value.shape();
+                    let gv = g[(0, 0)];
+                    nodes[a].grad.add_assign_scaled(&Matrix::full(rows, cols, gv), 1.0);
+                }
+                Op::Mean(a) => {
+                    let (rows, cols) = nodes[a].value.shape();
+                    let gv = g[(0, 0)] / (rows * cols) as f32;
+                    nodes[a].grad.add_assign_scaled(&Matrix::full(rows, cols, gv), 1.0);
+                }
+                Op::Relu(a) => {
+                    let va = nodes[a].value.clone();
+                    let masked = g.zip_map(&va, |gi, vi| if vi > 0.0 { gi } else { 0.0 });
+                    nodes[a].grad.add_assign_scaled(&masked, 1.0);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let va = nodes[a].value.clone();
+                    let masked = g.zip_map(&va, |gi, vi| if vi > 0.0 { gi } else { gi * alpha });
+                    nodes[a].grad.add_assign_scaled(&masked, 1.0);
+                }
+                Op::Tanh(a) => {
+                    let out = out_val();
+                    let d = g.zip_map(&out, |gi, oi| gi * (1.0 - oi * oi));
+                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                }
+                Op::Sigmoid(a) => {
+                    let out = out_val();
+                    let d = g.zip_map(&out, |gi, oi| gi * oi * (1.0 - oi));
+                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                }
+                Op::Exp(a) => {
+                    let out = out_val();
+                    nodes[a].grad.add_assign_scaled(&g.mul(&out), 1.0);
+                }
+                Op::Ln(a) => {
+                    let va = nodes[a].value.clone();
+                    let d = g.zip_map(&va, |gi, vi| gi / vi.max(LN_EPS));
+                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                }
+                Op::Sqrt(a) => {
+                    let out = out_val();
+                    let d = g.zip_map(&out, |gi, oi| gi * 0.5 / oi.max(1e-6));
+                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                }
+                Op::Softmax(a) => {
+                    let out = out_val();
+                    let mut d = Matrix::zeros(out.rows(), out.cols());
+                    for r in 0..out.rows() {
+                        let orow = out.row(r);
+                        let grow = g.row(r);
+                        let dot: f32 = orow.iter().zip(grow).map(|(&o, &gi)| o * gi).sum();
+                        for (c, dv) in d.row_mut(r).iter_mut().enumerate() {
+                            *dv = orow[c] * (grow[c] - dot);
+                        }
+                    }
+                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                }
+                Op::ConcatCols(parents) => {
+                    let mut offset = 0;
+                    for &p in parents.iter() {
+                        let w = nodes[p].value.cols();
+                        let slice = g.slice_cols(offset, offset + w);
+                        nodes[p].grad.add_assign_scaled(&slice, 1.0);
+                        offset += w;
+                    }
+                }
+                Op::SliceCols(a, start, end) => {
+                    let (rows, cols) = nodes[a].value.shape();
+                    let mut padded = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        padded.row_mut(r)[start..end].copy_from_slice(g.row(r));
+                    }
+                    nodes[a].grad.add_assign_scaled(&padded, 1.0);
+                }
+                Op::Reshape(a) => {
+                    let (rows, cols) = nodes[a].value.shape();
+                    let back = g.clone().reshape(rows, cols);
+                    nodes[a].grad.add_assign_scaled(&back, 1.0);
+                }
+                Op::BceWithLogits(a, target) => {
+                    let va = nodes[a].value.clone();
+                    let n = va.len() as f32;
+                    let gv = g[(0, 0)];
+                    let d = va.zip_map(&target, |x, t| (sigmoid_scalar(x) - t) * gv / n);
+                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                }
+                Op::SoftmaxCrossEntropy(a, target) => {
+                    let va = nodes[a].value.clone();
+                    let probs = softmax_forward(&va);
+                    let n = va.rows() as f32;
+                    let gv = g[(0, 0)];
+                    let d = probs.zip_map(&target, |p, t| (p - t) * gv / n);
+                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                }
+                Op::Mse(a, target) => {
+                    let va = nodes[a].value.clone();
+                    let n = va.len() as f32;
+                    let gv = g[(0, 0)];
+                    let d = va.zip_map(&target, |x, t| 2.0 * (x - t) * gv / n);
+                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                }
+            }
+        }
+    }
+}
+
+const LN_EPS: f32 = 1e-8;
+
+fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn softmax_forward(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+impl<'t> Var<'t> {
+    /// Clones this node's current value.
+    pub fn value(&self) -> Matrix {
+        self.tape.value_of(self.idx)
+    }
+
+    /// `(rows, cols)` of this node's value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.tape.nodes.borrow()[self.idx].value.shape()
+    }
+
+    /// Clones this node's accumulated gradient (meaningful after
+    /// [`Tape::backward`]).
+    pub fn grad(&self) -> Matrix {
+        self.tape.nodes.borrow()[self.idx].grad.clone()
+    }
+
+    fn unary(self, value: Matrix, op: Op) -> Var<'t> {
+        Var { tape: self.tape, idx: self.tape.push(value, op) }
+    }
+
+    /// Element-wise sum.
+    pub fn add(self, other: Var<'t>) -> Var<'t> {
+        let v = self.value().add(&other.value());
+        self.unary(v, Op::Add(self.idx, other.idx))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(self, other: Var<'t>) -> Var<'t> {
+        let v = self.value().sub(&other.value());
+        self.unary(v, Op::Sub(self.idx, other.idx))
+    }
+
+    /// Element-wise product.
+    pub fn mul(self, other: Var<'t>) -> Var<'t> {
+        let v = self.value().mul(&other.value());
+        self.unary(v, Op::Mul(self.idx, other.idx))
+    }
+
+    /// Element-wise quotient.
+    pub fn div(self, other: Var<'t>) -> Var<'t> {
+        let v = self.value().div(&other.value());
+        self.unary(v, Op::Div(self.idx, other.idx))
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Var<'t> {
+        let v = self.value().scale(-1.0);
+        self.unary(v, Op::Neg(self.idx))
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(self, other: Var<'t>) -> Var<'t> {
+        let v = self.value().matmul(&other.value());
+        self.unary(v, Op::Matmul(self.idx, other.idx))
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(self, s: f32) -> Var<'t> {
+        let v = self.value().scale(s);
+        self.unary(v, Op::Scale(self.idx, s))
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(self, s: f32) -> Var<'t> {
+        let v = self.value().add_scalar(s);
+        self.unary(v, Op::AddScalar(self.idx))
+    }
+
+    /// Adds a constant matrix (no gradient flows into it).
+    pub fn add_const(self, c: &Matrix) -> Var<'t> {
+        let v = self.value().add(c);
+        self.unary(v, Op::AddConst(self.idx))
+    }
+
+    /// Multiplies element-wise by a constant matrix (e.g. a dropout mask).
+    pub fn mul_const(self, c: &Matrix) -> Var<'t> {
+        let v = self.value().mul(c);
+        self.unary(v, Op::MulConst(self.idx, Rc::new(c.clone())))
+    }
+
+    /// Adds a `1 × cols` row node to every row.
+    pub fn add_row(self, row: Var<'t>) -> Var<'t> {
+        let v = self.value().add_row_broadcast(&row.value());
+        self.unary(v, Op::AddRow(self.idx, row.idx))
+    }
+
+    /// Subtracts a `1 × cols` row node from every row.
+    pub fn sub_row(self, row: Var<'t>) -> Var<'t> {
+        let v = self.value().sub_row_broadcast(&row.value());
+        self.unary(v, Op::SubRow(self.idx, row.idx))
+    }
+
+    /// Multiplies every row element-wise by a `1 × cols` row node.
+    pub fn mul_row(self, row: Var<'t>) -> Var<'t> {
+        let v = self.value().mul_row_broadcast(&row.value());
+        self.unary(v, Op::MulRow(self.idx, row.idx))
+    }
+
+    /// Divides every row element-wise by a `1 × cols` row node.
+    pub fn div_row(self, row: Var<'t>) -> Var<'t> {
+        let v = self.value().div_row_broadcast(&row.value());
+        self.unary(v, Op::DivRow(self.idx, row.idx))
+    }
+
+    /// Column-wise mean as a `1 × cols` node.
+    pub fn mean_rows(self) -> Var<'t> {
+        let v = self.value().mean_rows();
+        self.unary(v, Op::MeanRows(self.idx))
+    }
+
+    /// Sum of all elements as a `1 × 1` node.
+    pub fn sum(self) -> Var<'t> {
+        let v = Matrix::full(1, 1, self.value().sum());
+        self.unary(v, Op::Sum(self.idx))
+    }
+
+    /// Mean of all elements as a `1 × 1` node.
+    pub fn mean(self) -> Var<'t> {
+        let v = Matrix::full(1, 1, self.value().mean());
+        self.unary(v, Op::Mean(self.idx))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        let v = self.value().map(|x| x.max(0.0));
+        self.unary(v, Op::Relu(self.idx))
+    }
+
+    /// Leaky ReLU with slope `alpha` for negative inputs.
+    pub fn leaky_relu(self, alpha: f32) -> Var<'t> {
+        let v = self.value().map(|x| if x > 0.0 { x } else { alpha * x });
+        self.unary(v, Op::LeakyRelu(self.idx, alpha))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Var<'t> {
+        let v = self.value().map(f32::tanh);
+        self.unary(v, Op::Tanh(self.idx))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'t> {
+        let v = self.value().map(sigmoid_scalar);
+        self.unary(v, Op::Sigmoid(self.idx))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(self) -> Var<'t> {
+        let v = self.value().map(f32::exp);
+        self.unary(v, Op::Exp(self.idx))
+    }
+
+    /// Element-wise natural log, clamped below at a small epsilon.
+    pub fn ln(self) -> Var<'t> {
+        let v = self.value().map(|x| x.max(LN_EPS).ln());
+        self.unary(v, Op::Ln(self.idx))
+    }
+
+    /// Element-wise square root, clamped below at zero.
+    pub fn sqrt(self) -> Var<'t> {
+        let v = self.value().map(|x| x.max(0.0).sqrt());
+        self.unary(v, Op::Sqrt(self.idx))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(self) -> Var<'t> {
+        let v = softmax_forward(&self.value());
+        self.unary(v, Op::Softmax(self.idx))
+    }
+
+    /// Concatenates `vars` along columns (all must share the row count and
+    /// live on the same tape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or row counts differ.
+    pub fn concat_cols(vars: &[Var<'t>]) -> Var<'t> {
+        assert!(!vars.is_empty(), "concat of zero vars");
+        let values: Vec<Matrix> = vars.iter().map(|v| v.value()).collect();
+        let refs: Vec<&Matrix> = values.iter().collect();
+        let v = Matrix::hstack(&refs);
+        let tape = vars[0].tape;
+        let idxs: Vec<usize> = vars.iter().map(|v| v.idx).collect();
+        Var { tape, idx: tape.push(v, Op::ConcatCols(Rc::new(idxs))) }
+    }
+
+    /// Copies the column range `[start, end)` as a new node.
+    pub fn slice_cols(self, start: usize, end: usize) -> Var<'t> {
+        let v = self.value().slice_cols(start, end);
+        self.unary(v, Op::SliceCols(self.idx, start, end))
+    }
+
+    /// Reshapes to `rows × cols` (same element count).
+    pub fn reshape(self, rows: usize, cols: usize) -> Var<'t> {
+        let v = self.value().reshape(rows, cols);
+        self.unary(v, Op::Reshape(self.idx))
+    }
+
+    /// Mean binary-cross-entropy between these logits and constant targets,
+    /// as a `1 × 1` node (numerically stable log-sum-exp form).
+    pub fn bce_with_logits(self, target: &Matrix) -> Var<'t> {
+        let va = self.value();
+        assert_eq!(va.shape(), target.shape(), "bce target shape mismatch");
+        let total: f32 = va
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&x, &t)| x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln())
+            .sum();
+        let v = Matrix::full(1, 1, total / va.len() as f32);
+        self.unary(v, Op::BceWithLogits(self.idx, Rc::new(target.clone())))
+    }
+
+    /// Mean softmax cross-entropy between these logits and constant one-hot
+    /// (or soft) targets, as a `1 × 1` node.
+    pub fn softmax_cross_entropy(self, target: &Matrix) -> Var<'t> {
+        let va = self.value();
+        assert_eq!(va.shape(), target.shape(), "cross-entropy target shape mismatch");
+        let probs = softmax_forward(&va);
+        let mut total = 0.0;
+        for r in 0..va.rows() {
+            for (p, t) in probs.row(r).iter().zip(target.row(r)) {
+                total -= t * p.max(LN_EPS).ln();
+            }
+        }
+        let v = Matrix::full(1, 1, total / va.rows() as f32);
+        self.unary(v, Op::SoftmaxCrossEntropy(self.idx, Rc::new(target.clone())))
+    }
+
+    /// Mean squared error against constant targets as a `1 × 1` node.
+    pub fn mse(self, target: &Matrix) -> Var<'t> {
+        let va = self.value();
+        assert_eq!(va.shape(), target.shape(), "mse target shape mismatch");
+        let total: f32 =
+            va.as_slice().iter().zip(target.as_slice()).map(|(&x, &t)| (x - t) * (x - t)).sum();
+        let v = Matrix::full(1, 1, total / va.len() as f32);
+        self.unary(v, Op::Mse(self.idx, Rc::new(target.clone())))
+    }
+}
+
+impl std::fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Var#{} {:?}", self.idx, self.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinet_tensor::MatrixRandomExt;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn scalar(tape: &Tape, v: f32) -> Var<'_> {
+        tape.constant(Matrix::full(1, 1, v))
+    }
+
+    #[test]
+    fn add_mul_chain_gradients() {
+        // f(a, b) = sum(a * b + a); df/da = b + 1, df/db = a
+        let tape = Tape::new();
+        let pa = Param::new(Matrix::full(1, 1, 3.0));
+        let pb = Param::new(Matrix::full(1, 1, 4.0));
+        let a = tape.param(&pa);
+        let b = tape.param(&pb);
+        let f = a.mul(b).add(a).sum();
+        assert_eq!(f.value()[(0, 0)], 15.0);
+        tape.backward(f);
+        assert_eq!(pa.grad()[(0, 0)], 5.0);
+        assert_eq!(pb.grad()[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn div_gradients() {
+        // f = a / b at a=6, b=3: df/da = 1/3, df/db = -6/9
+        let tape = Tape::new();
+        let pa = Param::new(Matrix::full(1, 1, 6.0));
+        let pb = Param::new(Matrix::full(1, 1, 3.0));
+        let f = tape.param(&pa).div(tape.param(&pb)).sum();
+        tape.backward(f);
+        assert!((pa.grad()[(0, 0)] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((pb.grad()[(0, 0)] + 6.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_gradient_matches_manual() {
+        let tape = Tape::new();
+        let pw = Param::new(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]));
+        let w = tape.param(&pw);
+        let loss = x.matmul(w).sum();
+        tape.backward(loss);
+        // d sum(XW)/dW = Xᵀ · 1
+        assert_eq!(pw.grad(), Matrix::from_rows(&[&[2.0, 2.0], &[2.0, 2.0]]));
+    }
+
+    #[test]
+    fn activation_values() {
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::row_vector(&[-1.0, 0.0, 2.0]));
+        assert_eq!(x.relu().value().as_slice(), &[0.0, 0.0, 2.0]);
+        assert_eq!(x.leaky_relu(0.1).value().as_slice(), &[-0.1, 0.0, 2.0]);
+        let s = x.sigmoid().value();
+        assert!((s[(0, 1)] - 0.5).abs() < 1e-6);
+        let t = x.tanh().value();
+        assert!((t[(0, 2)] - 2.0f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]));
+        let s = x.softmax().value();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(!s.has_non_finite(), "softmax must be stable for large logits");
+    }
+
+    #[test]
+    fn broadcast_row_gradients() {
+        // loss = sum(x + b) where b is 1x2 and x is 3x2 -> db = [3, 3]
+        let tape = Tape::new();
+        let pb = Param::new(Matrix::row_vector(&[0.5, -0.5]));
+        let x = tape.constant(Matrix::ones(3, 2));
+        let loss = x.add_row(tape.param(&pb)).sum();
+        tape.backward(loss);
+        assert_eq!(pb.grad().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_gradients() {
+        let tape = Tape::new();
+        let pa = Param::new(Matrix::ones(2, 2));
+        let pb = Param::new(Matrix::ones(2, 3));
+        let a = tape.param(&pa);
+        let b = tape.param(&pb);
+        let cat = Var::concat_cols(&[a, b]);
+        assert_eq!(cat.shape(), (2, 5));
+        // only the second half contributes
+        let loss = cat.slice_cols(2, 5).sum();
+        tape.backward(loss);
+        assert_eq!(pa.grad().sum(), 0.0);
+        assert_eq!(pb.grad().sum(), 6.0);
+    }
+
+    #[test]
+    fn bce_with_logits_matches_closed_form() {
+        let tape = Tape::new();
+        let p = Param::new(Matrix::row_vector(&[0.0, 2.0]));
+        let target = Matrix::row_vector(&[1.0, 0.0]);
+        let loss = tape.param(&p).bce_with_logits(&target);
+        let expected = (0.5f32.ln() * -1.0 + (1.0 + 2.0f32.exp()).ln()) / 2.0;
+        assert!((loss.value()[(0, 0)] - expected).abs() < 1e-5);
+        tape.backward(loss);
+        let g = p.grad();
+        assert!((g[(0, 0)] - (0.5 - 1.0) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradient_direction() {
+        let tape = Tape::new();
+        let p = Param::new(Matrix::row_vector(&[0.0, 0.0, 0.0]));
+        let target = Matrix::row_vector(&[0.0, 1.0, 0.0]);
+        let loss = tape.param(&p).softmax_cross_entropy(&target);
+        assert!((loss.value()[(0, 0)] - 3.0f32.ln()).abs() < 1e-5);
+        tape.backward(loss);
+        let g = p.grad();
+        assert!(g[(0, 1)] < 0.0, "gradient must push the true-class logit up");
+        assert!(g[(0, 0)] > 0.0 && g[(0, 2)] > 0.0);
+    }
+
+    #[test]
+    fn mean_rows_gradient_spreads() {
+        let tape = Tape::new();
+        let p = Param::new(Matrix::ones(4, 2));
+        let loss = tape.param(&p).mean_rows().sum();
+        tape.backward(loss);
+        assert_eq!(p.grad(), Matrix::full(4, 2, 0.25));
+    }
+
+    #[test]
+    fn numeric_gradient_check_mlp_like_graph() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pw = Param::new(Matrix::randn(3, 4, 0.0, 0.5, &mut rng));
+        let x = Matrix::randn(5, 3, 0.0, 1.0, &mut rng);
+        let t = Matrix::randn(5, 4, 0.0, 1.0, &mut rng);
+
+        let loss_value = |pw: &Param, backward: bool| -> f32 {
+            let tape = Tape::new();
+            let out = tape.constant(x.clone()).matmul(tape.param(pw)).tanh();
+            let loss = out.mse(&t);
+            if backward {
+                tape.backward(loss);
+            }
+            loss.value()[(0, 0)]
+        };
+        let _ = loss_value(&pw, true);
+        let analytic = pw.grad();
+        pw.zero_grad();
+        let max_diff =
+            crate::gradient_check(&pw, || loss_value(&pw, false), &analytic, 1e-2);
+        assert!(max_diff < 2e-2, "numeric vs analytic gradient diff {max_diff}");
+    }
+
+    #[test]
+    fn gradient_does_not_flow_into_constants() {
+        let tape = Tape::new();
+        let p = Param::new(Matrix::full(1, 1, 2.0));
+        let c = scalar(&tape, 10.0);
+        let loss = tape.param(&p).mul(c).sum();
+        tape.backward(loss);
+        assert_eq!(p.grad()[(0, 0)], 10.0);
+        assert_eq!(c.grad()[(0, 0)], 10.0 - 10.0 + 2.0); // constant grad is tracked on-tape…
+        // …but constants have no Param cell, so nothing persists beyond the tape.
+    }
+
+    #[test]
+    fn param_used_twice_accumulates() {
+        let tape = Tape::new();
+        let p = Param::new(Matrix::full(1, 1, 3.0));
+        let a = tape.param(&p);
+        let b = tape.param(&p);
+        let loss = a.add(b).sum(); // d/dp = 2 (two separate registrations)
+        tape.backward(loss);
+        assert_eq!(p.grad()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_rejects_non_scalar() {
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::ones(2, 2));
+        tape.backward(x);
+    }
+
+    #[test]
+    fn exp_ln_sqrt_gradients() {
+        let tape = Tape::new();
+        let p = Param::new(Matrix::full(1, 1, 4.0));
+        let x = tape.param(&p);
+        let loss = x.exp().add(x.ln()).add(x.sqrt()).sum();
+        tape.backward(loss);
+        let expected = 4.0f32.exp() + 0.25 + 0.5 / 2.0;
+        assert!((p.grad()[(0, 0)] - expected).abs() < 1e-2);
+    }
+
+    #[test]
+    fn reshape_gradient_roundtrip() {
+        let tape = Tape::new();
+        let p = Param::new(Matrix::ones(2, 3));
+        let loss = tape.param(&p).reshape(3, 2).mse(&Matrix::zeros(3, 2));
+        tape.backward(loss);
+        assert_eq!(p.grad().shape(), (2, 3));
+        assert!((p.grad()[(0, 0)] - 2.0 / 6.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,45 @@
+//! Dense, row-major, CPU matrix algebra for the KiNETGAN reproduction.
+//!
+//! This crate is the lowest layer of the workspace: a deliberately small,
+//! BLAS-free `f32` matrix type with the operations the neural-network stack
+//! ([`kinet-nn`]) and the statistical tooling need. It favours clarity and
+//! determinism (all randomness flows through explicit [`rand`] generators)
+//! over peak throughput, while still using a cache-blocked matmul that is
+//! fast enough to train the paper's GANs on a laptop-class CPU.
+//!
+//! # Quick start
+//!
+//! ```
+//! use kinet_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! assert_eq!(c.sum(), 10.0);
+//! ```
+//!
+//! [`kinet-nn`]: https://example.org/kinetgan-rs
+
+mod matrix;
+mod ops;
+mod random;
+mod stats;
+
+pub use matrix::Matrix;
+pub use random::{gaussian_pair, MatrixRandomExt};
+
+/// Numerical tolerance used by the crate's own tests and recommended for
+/// comparisons of values produced by iterative routines.
+pub const EPSILON: f32 = 1e-5;
+
+/// Returns `true` when two floats are within `tol` of each other, treating
+/// NaNs as never close.
+///
+/// ```
+/// assert!(kinet_tensor::approx_eq(1.0, 1.0 + 1e-7, 1e-5));
+/// assert!(!kinet_tensor::approx_eq(1.0, 1.1, 1e-5));
+/// ```
+pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,361 @@
+//! Element-wise arithmetic, broadcasting helpers and the matrix product.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// Element-wise sum of two equally-shaped matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Element-wise quotient.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn div(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Matrix {
+        self.map(|v| v + s)
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix::from_vec(self.rows(), self.cols(), self.as_slice().iter().map(|&v| f(v)).collect())
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two equally-shaped matrices element-wise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip_map shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        Matrix::from_vec(
+            self.rows(),
+            self.cols(),
+            self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect(),
+        )
+    }
+
+    /// Accumulates `other * s` into `self` (axpy), in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign_scaled(&mut self, other: &Matrix, s: f32) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_assign_scaled shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b * s;
+        }
+    }
+
+    /// Adds the `1 × cols` row vector to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.rows() != 1` or column counts differ.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        self.broadcast_row(row, |a, b| a + b)
+    }
+
+    /// Subtracts the `1 × cols` row vector from every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.rows() != 1` or column counts differ.
+    pub fn sub_row_broadcast(&self, row: &Matrix) -> Matrix {
+        self.broadcast_row(row, |a, b| a - b)
+    }
+
+    /// Multiplies every row element-wise by the `1 × cols` row vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.rows() != 1` or column counts differ.
+    pub fn mul_row_broadcast(&self, row: &Matrix) -> Matrix {
+        self.broadcast_row(row, |a, b| a * b)
+    }
+
+    /// Divides every row element-wise by the `1 × cols` row vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.rows() != 1` or column counts differ.
+    pub fn div_row_broadcast(&self, row: &Matrix) -> Matrix {
+        self.broadcast_row(row, |a, b| a / b)
+    }
+
+    fn broadcast_row(&self, row: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(row.rows(), 1, "broadcast operand must be a row vector, got {:?}", row.shape());
+        assert_eq!(
+            self.cols(),
+            row.cols(),
+            "broadcast column mismatch: {} vs {}",
+            self.cols(),
+            row.cols()
+        );
+        let mut out = self.clone();
+        let rv = row.as_slice();
+        for r in 0..out.rows() {
+            for (c, v) in out.row_mut(r).iter_mut().enumerate() {
+                *v = f(*v, rv[c]);
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other` using a cache-blocked i-k-j loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul shape mismatch: {:?} · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (n, k, m) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(n, m);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        const BLOCK: usize = 64;
+        for kk in (0..k).step_by(BLOCK) {
+            let k_end = (kk + BLOCK).min(k);
+            for i in 0..n {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out.as_mut_slice()[i * m..(i + 1) * m];
+                for p in kk..k_end {
+                    let av = arow[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * m..(p + 1) * m];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_tn shape mismatch: {:?}ᵀ · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (k, n, m) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(n, m);
+        for p in 0..k {
+            let arow = self.row(p);
+            let brow = other.row(p);
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.as_mut_slice()[i * m..(i + 1) * m];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_nt shape mismatch: {:?} · {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let (n, m) = (self.rows(), other.rows());
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            let arow = self.row(i);
+            for j in 0..m {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp_values(&self, lo: f32, hi: f32) -> Matrix {
+        assert!(lo <= hi, "clamp bounds inverted: {lo} > {hi}");
+        self.map(|v| v.clamp(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn m22(a: f32, b: f32, c: f32, d: f32) -> Matrix {
+        Matrix::from_rows(&[&[a, b], &[c, d]])
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(4.0, 3.0, 2.0, 1.0);
+        assert_eq!(a.add(&b), Matrix::full(2, 2, 5.0));
+        assert_eq!(a.sub(&a), Matrix::zeros(2, 2));
+        assert_eq!(a.mul(&b)[(0, 0)], 4.0);
+        assert_eq!(a.div(&a), Matrix::ones(2, 2));
+        assert_eq!(a.scale(2.0)[(1, 1)], 8.0);
+        assert_eq!(a.add_scalar(1.0)[(0, 0)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let _ = Matrix::zeros(2, 2).add(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = m22(1.0, 1.0, 1.0, 1.0);
+        a.add_assign_scaled(&m22(1.0, 2.0, 3.0, 4.0), 0.5);
+        assert_eq!(a, m22(1.5, 2.0, 2.5, 3.0));
+    }
+
+    #[test]
+    fn broadcast_row_ops() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let r = Matrix::row_vector(&[10.0, 20.0]);
+        assert_eq!(a.add_row_broadcast(&r), m22(11.0, 22.0, 13.0, 24.0));
+        assert_eq!(a.sub_row_broadcast(&r), m22(-9.0, -18.0, -7.0, -16.0));
+        assert_eq!(a.mul_row_broadcast(&r), m22(10.0, 40.0, 30.0, 80.0));
+        assert_eq!(a.div_row_broadcast(&r), m22(0.1, 0.1, 0.3, 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "row vector")]
+    fn broadcast_requires_row_vector() {
+        let _ = Matrix::zeros(2, 2).add_row_broadcast(&Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn matmul_against_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(a.matmul(&Matrix::eye(4)), a);
+        assert_eq!(Matrix::eye(4).matmul(&a), a);
+    }
+
+    #[test]
+    fn transposed_products_match_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r + c) as f32 * 0.5);
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let tn = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in tn.as_slice().iter().zip(explicit.as_slice()) {
+            assert!(approx_eq(*x, *y, 1e-5));
+        }
+
+        let c = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f32 * 0.1);
+        let nt = a.matmul_nt(&c);
+        let explicit = a.matmul(&c.transpose());
+        for (x, y) in nt.as_slice().iter().zip(explicit.as_slice()) {
+            assert!(approx_eq(*x, *y, 1e-5));
+        }
+    }
+
+    #[test]
+    fn clamp_limits() {
+        let a = Matrix::row_vector(&[-2.0, 0.5, 9.0]);
+        assert_eq!(a.clamp_values(-1.0, 1.0).as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut a = Matrix::row_vector(&[1.0, -2.0]);
+        a.map_inplace(f32::abs);
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic random initialization for matrices.
+//!
+//! Every routine takes an explicit `&mut impl Rng` so experiments are
+//! reproducible from a single seed.
+
+use crate::Matrix;
+use rand::{Rng, RngExt};
+
+/// Draws a pair of independent standard-normal samples with the Box–Muller
+/// transform.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (a, b) = kinet_tensor::gaussian_pair(&mut rng);
+/// assert!(a.is_finite() && b.is_finite());
+/// ```
+pub fn gaussian_pair(rng: &mut impl Rng) -> (f32, f32) {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random::<f32>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Random-construction extension methods for [`Matrix`].
+///
+/// Implemented as an extension trait so the core type stays independent of
+/// the `rand` API surface.
+pub trait MatrixRandomExt: Sized {
+    /// Matrix with elements drawn uniformly from `[lo, hi)`.
+    fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Self;
+
+    /// Matrix with i.i.d. `N(mean, std²)` elements.
+    fn randn(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Self;
+
+    /// Glorot/Xavier-uniform initialization for a layer mapping
+    /// `fan_in -> fan_out` (shape `fan_in × fan_out`).
+    fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self;
+
+    /// Kaiming/He-normal initialization, appropriate before ReLU-family
+    /// activations (shape `fan_in × fan_out`).
+    fn kaiming_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self;
+
+    /// Bernoulli 0/1 mask with `P(1) = keep_prob`, scaled by
+    /// `1 / keep_prob` (inverted dropout convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < keep_prob <= 1`.
+    fn dropout_mask(rows: usize, cols: usize, keep_prob: f32, rng: &mut impl Rng) -> Self;
+
+    /// Matrix of standard Gumbel(0, 1) noise, used by Gumbel-Softmax heads.
+    fn gumbel(rows: usize, cols: usize, rng: &mut impl Rng) -> Self;
+}
+
+impl MatrixRandomExt for Matrix {
+    fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+    }
+
+    fn randn(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Self {
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() + 1 < n {
+            let (a, b) = gaussian_pair(rng);
+            data.push(mean + std * a);
+            data.push(mean + std * b);
+        }
+        if data.len() < n {
+            let (a, _) = gaussian_pair(rng);
+            data.push(mean + std * a);
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Self::rand_uniform(fan_in, fan_out, -limit, limit, rng)
+    }
+
+    fn kaiming_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self {
+        let std = (2.0 / fan_in as f32).sqrt();
+        Self::randn(fan_in, fan_out, 0.0, std, rng)
+    }
+
+    fn dropout_mask(rows: usize, cols: usize, keep_prob: f32, rng: &mut impl Rng) -> Self {
+        assert!(
+            keep_prob > 0.0 && keep_prob <= 1.0,
+            "keep_prob must be in (0, 1], got {keep_prob}"
+        );
+        let scale = 1.0 / keep_prob;
+        Matrix::from_fn(rows, cols, |_, _| {
+            if rng.random::<f32>() < keep_prob {
+                scale
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn gumbel(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| {
+            let u: f32 = (1.0f32 - rng.random::<f32>()).max(1e-12);
+            -(-u.ln()).ln()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::rand_uniform(50, 50, -0.5, 0.5, &mut rng);
+        assert!(m.max() < 0.5 && m.min() >= -0.5);
+    }
+
+    #[test]
+    fn randn_moments_close() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Matrix::randn(200, 200, 1.0, 2.0, &mut rng);
+        assert!((m.mean() - 1.0).abs() < 0.05, "mean {}", m.mean());
+        assert!((m.variance().sqrt() - 2.0).abs() < 0.05, "std {}", m.variance().sqrt());
+    }
+
+    #[test]
+    fn randn_odd_element_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Matrix::randn(3, 3, 0.0, 1.0, &mut rng);
+        assert_eq!(m.len(), 9);
+        assert!(!m.has_non_finite());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Matrix::randn(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        let b = Matrix::randn(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn glorot_within_limit() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Matrix::glorot_uniform(100, 100, &mut rng);
+        let limit = (6.0f32 / 200.0).sqrt();
+        assert!(m.max() <= limit && m.min() >= -limit);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Matrix::kaiming_normal(512, 64, &mut rng);
+        let expected = (2.0f32 / 512.0).sqrt();
+        assert!((m.variance().sqrt() - expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn dropout_mask_values() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = Matrix::dropout_mask(100, 100, 0.8, &mut rng);
+        let scale = 1.0 / 0.8;
+        for &v in m.as_slice() {
+            assert!(v == 0.0 || (v - scale).abs() < 1e-6);
+        }
+        let keep_frac = m.as_slice().iter().filter(|&&v| v > 0.0).count() as f32 / 10_000.0;
+        assert!((keep_frac - 0.8).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_prob")]
+    fn dropout_rejects_zero_keep() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = Matrix::dropout_mask(1, 1, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn gumbel_finite_and_centered() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = Matrix::gumbel(100, 100, &mut rng);
+        assert!(!m.has_non_finite());
+        // Gumbel(0,1) mean is the Euler–Mascheroni constant ≈ 0.5772.
+        assert!((m.mean() - 0.5772).abs() < 0.05, "mean {}", m.mean());
+    }
+}

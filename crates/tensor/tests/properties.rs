@@ -1,0 +1,107 @@
+//! Property-based tests for the matrix algebra: algebraic identities that
+//! must hold for arbitrary well-formed inputs.
+
+use kinet_tensor::Matrix;
+use proptest::prelude::*;
+
+const DIM: std::ops::RangeInclusive<usize> = 1..=8;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn arb_square_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    DIM.prop_flat_map(|n| (arb_matrix(n, n), arb_matrix(n, n)))
+}
+
+fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in arb_square_pair()) {
+        prop_assert!(close(&a.add(&b), &b.add(&a), 1e-6));
+    }
+
+    #[test]
+    fn sub_is_add_of_negation((a, b) in arb_square_pair()) {
+        prop_assert!(close(&a.sub(&b), &a.add(&b.scale(-1.0)), 1e-6));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(n in DIM, seed in any::<u64>()) {
+        use kinet_tensor::MatrixRandomExt;
+        use rand::{SeedableRng, rngs::StdRng};
+        let a = Matrix::randn(n, n, 0.0, 1.0, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(close(&a.matmul(&Matrix::eye(n)), &a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((a, b) in arb_square_pair()) {
+        let c = Matrix::eye(a.rows()).scale(0.5);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul((a, b) in arb_square_pair()) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit((a, b) in arb_square_pair()) {
+        prop_assert!(close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4));
+        prop_assert!(close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn hstack_then_slice_roundtrips((a, b) in arb_square_pair()) {
+        let h = Matrix::hstack(&[&a, &b]);
+        prop_assert_eq!(h.slice_cols(0, a.cols()), a.clone());
+        prop_assert_eq!(h.slice_cols(a.cols(), h.cols()), b);
+    }
+
+    #[test]
+    fn vstack_then_slice_roundtrips((a, b) in arb_square_pair()) {
+        let v = Matrix::vstack(&[&a, &b]);
+        prop_assert_eq!(v.slice_rows(0, a.rows()), a.clone());
+        prop_assert_eq!(v.slice_rows(a.rows(), v.rows()), b);
+    }
+
+    #[test]
+    fn sum_rows_matches_total(rows in DIM, cols in DIM, seed in any::<u64>()) {
+        use kinet_tensor::MatrixRandomExt;
+        use rand::{SeedableRng, rngs::StdRng};
+        let m = Matrix::rand_uniform(rows, cols, -1.0, 1.0, &mut StdRng::seed_from_u64(seed));
+        let total: f32 = m.sum_rows().as_slice().iter().sum();
+        prop_assert!((total - m.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn argmax_points_at_max(rows in DIM, cols in DIM, seed in any::<u64>()) {
+        use kinet_tensor::MatrixRandomExt;
+        use rand::{SeedableRng, rngs::StdRng};
+        let m = Matrix::rand_uniform(rows, cols, 0.0, 1.0, &mut StdRng::seed_from_u64(seed));
+        for (r, am) in m.argmax_rows().into_iter().enumerate() {
+            let row = m.row(r);
+            for &v in row {
+                prop_assert!(row[am] >= v);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_then_unscale_roundtrips(rows in DIM, cols in DIM, s in 0.25f32..4.0) {
+        let m = Matrix::from_fn(rows, cols, |r, c| (r * cols + c) as f32);
+        prop_assert!(close(&m.scale(s).scale(1.0 / s), &m, 1e-4));
+    }
+}

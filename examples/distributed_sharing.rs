@@ -1,0 +1,35 @@
+//! The distributed-NIDS deployment of §I/§VI: four devices share raw
+//! traffic, KiNETGAN synthetic traffic, or nothing, and we compare global
+//! detection quality against what left each device.
+//!
+//! ```sh
+//! cargo run --release --example distributed_sharing
+//! ```
+
+use kinet_nids::{DistributedConfig, DistributedSim, ModelKind, SharingPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("distributed NIDS: 4 devices, one aggregator\n");
+    for policy in [
+        SharingPolicy::Raw,
+        SharingPolicy::Synthetic(ModelKind::KinetGan),
+        SharingPolicy::LocalOnly,
+    ] {
+        let sim = DistributedSim::new(DistributedConfig {
+            n_devices: 4,
+            records_per_device: 500,
+            test_records: 800,
+            policy,
+            model_epochs: 8,
+            seed: 11,
+        });
+        let report = sim.run().map_err(std::io::Error::other)?;
+        println!("{report}");
+    }
+    println!(
+        "\nreading guide: synthetic sharing should approach raw-sharing accuracy\n\
+         while never placing a raw record on the wire; local-only shows the\n\
+         penalty of not collaborating at all."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! A tour of the NetworkKG ontology (paper §IV-A, Figure 2): entities,
+//! constraint rules, and live reasoner queries.
+//!
+//! ```sh
+//! cargo run --release --example ontology_tour
+//! ```
+
+use kinet_kg::ontology::vocab;
+use kinet_kg::{Assignment, AttrValue, Iri, NetworkKg};
+
+fn main() {
+    let kg = NetworkKg::lab_default();
+    println!("NetworkKG {:?}\n", kg);
+
+    println!("devices (instances of {}):", vocab::DEVICE);
+    for d in kg.store().instances_of(&Iri::new(vocab::DEVICE)) {
+        let ip = kg
+            .store()
+            .object(&d, &Iri::new(vocab::HAS_IP))
+            .map(|t| t.to_string())
+            .unwrap_or_default();
+        println!("  {d} -> {ip}");
+    }
+
+    println!("\nattack classes (instances of {}):", vocab::ATTACK);
+    for a in kg.store().instances_of(&Iri::new(vocab::ATTACK)) {
+        let cve = kg
+            .store()
+            .object(&a, &Iri::new(vocab::HAS_CVE))
+            .map(|t| format!(" ({t})"))
+            .unwrap_or_default();
+        println!("  {a}{cve}");
+    }
+
+    println!("\ncompiled validity rules:");
+    for rule in kg.reasoner().rules().iter() {
+        println!("  {rule}");
+    }
+
+    println!("\nreasoner queries:");
+    println!(
+        "  valid protocols for cve_1999_0003: {:?}",
+        kg.reasoner().valid_values("cve_1999_0003", "protocol")
+    );
+    println!(
+        "  valid dst_port range for cve_1999_0003: {:?}",
+        kg.reasoner().valid_range("cve_1999_0003", "dst_port")
+    );
+
+    let good = Assignment::new()
+        .with("event", "cve_1999_0003".into())
+        .with("protocol", "udp".into())
+        .with("dst_port", AttrValue::num(33000.0));
+    let bad = Assignment::new()
+        .with("event", "cve_1999_0003".into())
+        .with("protocol", "tcp".into())
+        .with("dst_port", AttrValue::num(80.0));
+    println!("  Q({good}) -> {:?}", kg.reasoner().is_valid(&good).is_valid());
+    let verdict = kg.reasoner().is_valid(&bad);
+    println!("  Q({bad}) -> {:?}", verdict.is_valid());
+    for v in verdict.violations() {
+        println!("      violation: {v}");
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end integration: simulate → train KiNETGAN → sample → measure
+//! fidelity, validity and downstream utility, crossing every crate.
+
+use kinet_data::synth::TabularSynthesizer;
+use kinet_datasets::lab::{LabSimConfig, LabSimulator};
+use kinet_eval::{metrics, utility::evaluate_tstr};
+use kinetgan::{KinetGan, KinetGanConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn full_lab_pipeline() {
+    let data = LabSimulator::new(LabSimConfig::small(900, 21)).generate().unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let (train, test) = data.train_test_split(0.3, &mut rng);
+
+    let mut model = KinetGan::new(
+        KinetGanConfig::fast_demo().with_epochs(6),
+        LabSimulator::knowledge_graph(),
+    );
+    model.fit(&train).expect("training succeeds");
+    let release = model.sample(train.n_rows(), 5).expect("sampling succeeds");
+
+    // structural invariants
+    assert_eq!(release.n_rows(), train.n_rows());
+    assert_eq!(release.schema(), train.schema());
+
+    // fidelity is finite and bounded
+    let fid = metrics::fidelity(&train, &release);
+    assert!(fid.emd.is_finite() && fid.emd >= 0.0);
+    assert!(fid.combined.is_finite() && fid.combined >= 0.0);
+
+    // the loss history exists and is finite
+    let report = model.report().unwrap();
+    assert_eq!(report.g_loss.len(), 6);
+    assert!(report.g_loss.iter().chain(&report.d_loss).all(|v| v.is_finite()));
+
+    // synthetic data can actually train a classifier panel
+    let utility = evaluate_tstr("KiNETGAN", &release, &test, &train, "event").unwrap();
+    assert!(utility.mean_accuracy > 0.1, "panel should beat trivial: {}", utility.mean_accuracy);
+}
+
+#[test]
+fn conditioning_respects_event_distribution() {
+    // Sampling uses the original data distribution (BalanceMode::None at
+    // test time), so the release's event marginal must roughly track the
+    // training marginal: benign events dominate.
+    let data = LabSimulator::new(LabSimConfig::small(1200, 22)).generate().unwrap();
+    let mut model = KinetGan::new(
+        KinetGanConfig::fast_demo().with_epochs(6),
+        LabSimulator::knowledge_graph(),
+    );
+    model.fit(&data).unwrap();
+    let release = model.sample(800, 9).unwrap();
+    let counts = release.category_counts("event").unwrap();
+    let attacks: usize = LabSimulator::attack_events()
+        .iter()
+        .filter_map(|e| counts.get(*e))
+        .sum();
+    let frac = attacks as f64 / 800.0;
+    assert!(frac < 0.5, "attacks must stay the minority in the release: {frac}");
+}
