@@ -150,7 +150,12 @@ mod tests {
             ColumnMeta::continuous("x"),
         ]);
         let rows = (0..40)
-            .map(|i| vec![Value::cat(if i % 2 == 0 { "a" } else { "b" }), Value::num(i as f64)])
+            .map(|i| {
+                vec![
+                    Value::cat(if i % 2 == 0 { "a" } else { "b" }),
+                    Value::num(i as f64),
+                ]
+            })
             .collect();
         DataTransformer::fit(&Table::from_rows(schema, rows).unwrap(), 3, 0).unwrap()
     }
@@ -184,7 +189,10 @@ mod tests {
         logits[(1, 1)] = 50.0;
         let loss =
             reconstruction_loss(tape.constant(logits), &target, &t.head_layout()).value()[(0, 0)];
-        assert!(loss < 0.2, "near-perfect reconstruction should be cheap: {loss}");
+        assert!(
+            loss < 0.2,
+            "near-perfect reconstruction should be cheap: {loss}"
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub struct CtGan {
 impl CtGan {
     /// Creates an unfitted CTGAN.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, fitted: None }
+        Self {
+            config,
+            fitted: None,
+        }
     }
 
     /// The configuration.
@@ -98,7 +101,9 @@ impl TabularSynthesizer for CtGan {
         let transformer = fit_transformer(table, cfg)?;
         let cat_cols = table.schema().categorical_names();
         if cat_cols.is_empty() {
-            return Err(SynthError::Training("CTGAN requires at least one categorical column".into()));
+            return Err(SynthError::Training(
+                "CTGAN requires at least one categorical column".into(),
+            ));
         }
         let cond_spec = ConditionVectorSpec::fit(table, &cat_cols)?;
         let sampler = TrainingSampler::fit(table, &cond_spec)?;
@@ -122,10 +127,9 @@ impl TabularSynthesizer for CtGan {
             blocks.push(b);
         }
         let out = Linear::new(dim, transformer.width(), &mut rng);
-        let disc_cfg =
-            MlpConfig::new(transformer.width() + cond_spec.width(), &cfg.hidden, 1)
-                .with_activation(Activation::LeakyRelu(0.2))
-                .with_dropout(0.25);
+        let disc_cfg = MlpConfig::new(transformer.width() + cond_spec.width(), &cfg.hidden, 1)
+            .with_activation(Activation::LeakyRelu(0.2))
+            .with_dropout(0.25);
         let disc = Mlp::new(&disc_cfg, &mut rng);
         let nets = Nets { blocks, out, disc };
 
@@ -140,7 +144,14 @@ impl TabularSynthesizer for CtGan {
 
         let encoded = transformer.transform(table, &mut rng);
         let steps = (table.n_rows() / cfg.batch_size).max(1);
-        let fitted = Fitted { transformer, cond_spec, sampler, nets, table: table.clone(), head_of_col };
+        let fitted = Fitted {
+            transformer,
+            cond_spec,
+            sampler,
+            nets,
+            table: table.clone(),
+            head_of_col,
+        };
 
         for _epoch in 0..cfg.epochs {
             for _step in 0..steps {
@@ -170,8 +181,7 @@ impl TabularSynthesizer for CtGan {
                         true,
                         &mut rng,
                     );
-                    let real_in =
-                        tape.constant(Matrix::hstack(&[&real, &c]));
+                    let real_in = tape.constant(Matrix::hstack(&[&real, &c]));
                     let d_real = fitted.nets.disc.forward(&tape, real_in, true, &mut rng);
                     let fake_in = Var::concat_cols(&[fake, tape.constant(c.clone())]);
                     let d_fake = fitted.nets.disc.forward(&tape, fake_in, true, &mut rng);
@@ -277,7 +287,10 @@ impl TabularSynthesizer for CtGan {
         let f = self.fitted.as_ref()?;
         let encoded = f.transformer.transform_deterministic(table);
         let c = Matrix::from_fn(table.n_rows(), f.cond_spec.width(), |r, j| {
-            f.cond_spec.vector_from_row(table, r).map(|v| v[j]).unwrap_or(0.0)
+            f.cond_spec
+                .vector_from_row(table, r)
+                .map(|v| v[j])
+                .unwrap_or(0.0)
         });
         let scores = f.nets.disc.infer(&Matrix::hstack(&[&encoded, &c]));
         Some(scores.column(0).iter().map(|&v| v as f64).collect())
@@ -296,11 +309,20 @@ mod tests {
     use kinet_datasets::lab::{LabSimConfig, LabSimulator};
 
     fn data(n: usize, seed: u64) -> Table {
-        LabSimulator::new(LabSimConfig::small(n, seed)).generate().unwrap()
+        LabSimulator::new(LabSimConfig::small(n, seed))
+            .generate()
+            .unwrap()
     }
 
     fn cfg() -> BaselineConfig {
-        BaselineConfig { epochs: 2, batch_size: 32, z_dim: 16, hidden: vec![32], max_modes: 3, ..Default::default() }
+        BaselineConfig {
+            epochs: 2,
+            batch_size: 32,
+            z_dim: 16,
+            hidden: vec![32],
+            max_modes: 3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -315,7 +337,10 @@ mod tests {
 
     #[test]
     fn not_fitted() {
-        assert!(matches!(CtGan::new(cfg()).sample(5, 0), Err(SynthError::NotFitted)));
+        assert!(matches!(
+            CtGan::new(cfg()).sample(5, 0),
+            Err(SynthError::NotFitted)
+        ));
     }
 
     #[test]

@@ -31,7 +31,12 @@ impl OdeBlock {
     /// Creates a block over `dim`-wide states.
     pub fn new(dim: usize, hidden: usize, steps: usize, rng: &mut impl rand::Rng) -> Self {
         assert!(steps > 0, "ODE integration needs at least one step");
-        Self { fc1: Linear::new(dim + 1, hidden, rng), fc2: Linear::new(hidden, dim, rng), dim, steps }
+        Self {
+            fc1: Linear::new(dim + 1, hidden, rng),
+            fc2: Linear::new(hidden, dim, rng),
+            dim,
+            steps,
+        }
     }
 
     fn dynamics<'t>(&self, tape: &'t Tape, h: Var<'t>, t: f32) -> Var<'t> {
@@ -92,7 +97,11 @@ pub struct OctGan {
 impl OctGan {
     /// Creates an unfitted OCT-GAN with 4 RK4 steps per block.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, ode_steps: 4, fitted: None }
+        Self {
+            config,
+            ode_steps: 4,
+            fitted: None,
+        }
     }
 
     /// Sets the RK4 step count.
@@ -260,7 +269,12 @@ impl TabularSynthesizer for OctGan {
 
 impl std::fmt::Debug for OctGan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "OctGan(ode_steps={}, fitted={})", self.ode_steps, self.fitted.is_some())
+        write!(
+            f,
+            "OctGan(ode_steps={}, fitted={})",
+            self.ode_steps,
+            self.fitted.is_some()
+        )
     }
 }
 
@@ -270,11 +284,20 @@ mod tests {
     use kinet_datasets::lab::{LabSimConfig, LabSimulator};
 
     fn data(n: usize, seed: u64) -> Table {
-        LabSimulator::new(LabSimConfig::small(n, seed)).generate().unwrap()
+        LabSimulator::new(LabSimConfig::small(n, seed))
+            .generate()
+            .unwrap()
     }
 
     fn cfg() -> BaselineConfig {
-        BaselineConfig { epochs: 2, batch_size: 32, z_dim: 16, hidden: vec![32], max_modes: 3, ..Default::default() }
+        BaselineConfig {
+            epochs: 2,
+            batch_size: 32,
+            z_dim: 16,
+            hidden: vec![32],
+            max_modes: 3,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub struct PateGan {
 impl PateGan {
     /// Creates an unfitted PATE-GAN with 5 teachers and `lambda = 1`.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, n_teachers: 5, lambda: 1.0, fitted: None }
+        Self {
+            config,
+            n_teachers: 5,
+            lambda: 1.0,
+            fitted: None,
+        }
     }
 
     /// Sets the number of teacher discriminators.
@@ -93,13 +98,14 @@ impl TabularSynthesizer for PateGan {
         let width = transformer.width();
         let heads = transformer.head_layout();
 
-        let gen_cfg = MlpConfig::new(cfg.z_dim, &cfg.hidden, width)
-            .with_activation(Activation::Relu);
+        let gen_cfg =
+            MlpConfig::new(cfg.z_dim, &cfg.hidden, width).with_activation(Activation::Relu);
         let gen = Mlp::new(&gen_cfg, &mut rng);
-        let disc_cfg = MlpConfig::new(width, &cfg.hidden, 1)
-            .with_activation(Activation::LeakyRelu(0.2));
-        let teachers: Vec<Mlp> =
-            (0..self.n_teachers).map(|_| Mlp::new(&disc_cfg, &mut rng)).collect();
+        let disc_cfg =
+            MlpConfig::new(width, &cfg.hidden, 1).with_activation(Activation::LeakyRelu(0.2));
+        let teachers: Vec<Mlp> = (0..self.n_teachers)
+            .map(|_| Mlp::new(&disc_cfg, &mut rng))
+            .collect();
         let student = Mlp::new(&disc_cfg, &mut rng);
 
         let g_params = gen.params();
@@ -137,8 +143,7 @@ impl TabularSynthesizer for PateGan {
                     let tape = Tape::new();
                     let logits = gen.forward(&tape, tape.constant(z.clone()), true, &mut rng);
                     let (fake, _) = apply_heads(logits, &heads, cfg.tau, &mut rng);
-                    let d_real =
-                        teacher.forward(&tape, tape.constant(real), true, &mut rng);
+                    let d_real = teacher.forward(&tape, tape.constant(real), true, &mut rng);
                     let d_fake = teacher.forward(&tape, fake, true, &mut rng);
                     let loss = kinet_nn::loss::gan_discriminator_loss(d_real, d_fake, 1.0);
                     tape.backward(loss);
@@ -198,7 +203,12 @@ impl TabularSynthesizer for PateGan {
                 }
             }
         }
-        self.fitted = Some(Fitted { transformer, gen, student, table: table.clone() });
+        self.fitted = Some(Fitted {
+            transformer,
+            gen,
+            student,
+            table: table.clone(),
+        });
         Ok(())
     }
 
@@ -248,11 +258,20 @@ mod tests {
     use kinet_datasets::lab::{LabSimConfig, LabSimulator};
 
     fn data(n: usize, seed: u64) -> Table {
-        LabSimulator::new(LabSimConfig::small(n, seed)).generate().unwrap()
+        LabSimulator::new(LabSimConfig::small(n, seed))
+            .generate()
+            .unwrap()
     }
 
     fn cfg() -> BaselineConfig {
-        BaselineConfig { epochs: 2, batch_size: 32, z_dim: 16, hidden: vec![32], max_modes: 3, ..Default::default() }
+        BaselineConfig {
+            epochs: 2,
+            batch_size: 32,
+            z_dim: 16,
+            hidden: vec![32],
+            max_modes: 3,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -37,8 +37,7 @@ impl MinMaxCodec {
         for col in table.schema().iter() {
             match col.kind() {
                 ColumnKind::Categorical => {
-                    let mut dict: Vec<String> =
-                        table.cat_column(col.name())?.to_vec();
+                    let mut dict: Vec<String> = table.cat_column(col.name())?.to_vec();
                     dict.sort();
                     dict.dedup();
                     mins.push(0.0);
@@ -67,13 +66,10 @@ impl MinMaxCodec {
         for (ci, col) in table.schema().iter().enumerate() {
             for r in 0..table.n_rows() {
                 let raw = match table.value(r, ci) {
-                    Value::Cat(s) => {
-                        self.cats[ci].iter().position(|c| c == &s).unwrap_or(0) as f64
-                    }
+                    Value::Cat(s) => self.cats[ci].iter().position(|c| c == &s).unwrap_or(0) as f64,
                     Value::Num(v) => v,
                 };
-                let scaled =
-                    2.0 * (raw - self.mins[ci]) / (self.maxs[ci] - self.mins[ci]) - 1.0;
+                let scaled = 2.0 * (raw - self.mins[ci]) / (self.maxs[ci] - self.mins[ci]) - 1.0;
                 out[(r, ci)] = scaled.clamp(-1.0, 1.0) as f32;
             }
             let _ = col;
@@ -123,7 +119,11 @@ pub struct TableGan {
 impl TableGan {
     /// Creates an unfitted TableGAN.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, label_column: None, fitted: None }
+        Self {
+            config,
+            label_column: None,
+            fitted: None,
+        }
     }
 
     /// Overrides the label column used by the classification loss.
@@ -168,16 +168,15 @@ impl TabularSynthesizer for TableGan {
             }
         };
 
-        let gen_cfg = MlpConfig::new(cfg.z_dim, &cfg.hidden, width)
-            .with_activation(Activation::Relu);
+        let gen_cfg =
+            MlpConfig::new(cfg.z_dim, &cfg.hidden, width).with_activation(Activation::Relu);
         let gen = Mlp::new(&gen_cfg, &mut rng);
         let disc_cfg = MlpConfig::new(width, &cfg.hidden, 1)
             .with_activation(Activation::LeakyRelu(0.2))
             .with_dropout(0.25);
         let disc = Mlp::new(&disc_cfg, &mut rng);
         // classifier: predicts the scaled label from the other columns
-        let clf_cfg = MlpConfig::new(width - 1, &cfg.hidden, 1)
-            .with_activation(Activation::Relu);
+        let clf_cfg = MlpConfig::new(width - 1, &cfg.hidden, 1).with_activation(Activation::Relu);
         let clf = Mlp::new(&clf_cfg, &mut rng);
 
         let g_params = gen.params();
@@ -227,8 +226,7 @@ impl TabularSynthesizer for TableGan {
                     let tape = Tape::new();
                     let z = Matrix::randn(cfg.batch_size, cfg.z_dim, 0.0, 1.0, &mut rng);
                     let fake = gen.forward(&tape, tape.constant(z), true, &mut rng).tanh();
-                    let d_real =
-                        disc.forward(&tape, tape.constant(real.clone()), true, &mut rng);
+                    let d_real = disc.forward(&tape, tape.constant(real.clone()), true, &mut rng);
                     let d_fake = disc.forward(&tape, fake, true, &mut rng);
                     let loss = kinet_nn::loss::gan_discriminator_loss(d_real, d_fake, 0.9);
                     tape.backward(loss);
@@ -271,7 +269,12 @@ impl TabularSynthesizer for TableGan {
                 }
             }
         }
-        self.fitted = Some(Fitted { codec, gen, disc, table: table.clone() });
+        self.fitted = Some(Fitted {
+            codec,
+            gen,
+            disc,
+            table: table.clone(),
+        });
         Ok(())
     }
 
@@ -303,11 +306,19 @@ mod tests {
     use kinet_datasets::lab::{LabSimConfig, LabSimulator};
 
     fn data(n: usize, seed: u64) -> Table {
-        LabSimulator::new(LabSimConfig::small(n, seed)).generate().unwrap()
+        LabSimulator::new(LabSimConfig::small(n, seed))
+            .generate()
+            .unwrap()
     }
 
     fn cfg() -> BaselineConfig {
-        BaselineConfig { epochs: 2, batch_size: 32, z_dim: 16, hidden: vec![32], ..Default::default() }
+        BaselineConfig {
+            epochs: 2,
+            batch_size: 32,
+            z_dim: 16,
+            hidden: vec![32],
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -326,8 +337,14 @@ mod tests {
         let codec = MinMaxCodec::fit(&t).unwrap();
         let enc = codec.encode(&t);
         let dec = codec.decode(&enc, t.schema()).unwrap();
-        assert_eq!(dec.cat_column("event").unwrap(), t.cat_column("event").unwrap());
-        assert_eq!(dec.cat_column("protocol").unwrap(), t.cat_column("protocol").unwrap());
+        assert_eq!(
+            dec.cat_column("event").unwrap(),
+            t.cat_column("event").unwrap()
+        );
+        assert_eq!(
+            dec.cat_column("protocol").unwrap(),
+            t.cat_column("protocol").unwrap()
+        );
     }
 
     #[test]

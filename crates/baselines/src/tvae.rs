@@ -44,7 +44,10 @@ pub struct Tvae {
 impl Tvae {
     /// Creates an unfitted TVAE.
     pub fn new(config: BaselineConfig) -> Self {
-        Self { config, fitted: None }
+        Self {
+            config,
+            fitted: None,
+        }
     }
 
     /// The configuration.
@@ -176,7 +179,9 @@ impl TabularSynthesizer for Tvae {
         let f = self.fitted.as_ref()?;
         let encoded = f.transformer.transform_deterministic(table);
         let h = f.encoder.infer(&encoded).map(|v| v.max(0.0));
-        let mu = h.matmul(&f.mu_head.weight().value()).add_row_broadcast(&f.mu_head.bias().value());
+        let mu = h
+            .matmul(&f.mu_head.weight().value())
+            .add_row_broadcast(&f.mu_head.bias().value());
         let logits = f.decoder.infer(&mu);
         let scores = (0..table.n_rows())
             .map(|r| {
@@ -204,7 +209,9 @@ mod tests {
     use kinet_datasets::lab::{LabSimConfig, LabSimulator};
 
     fn data(n: usize, seed: u64) -> Table {
-        LabSimulator::new(LabSimConfig::small(n, seed)).generate().unwrap()
+        LabSimulator::new(LabSimConfig::small(n, seed))
+            .generate()
+            .unwrap()
     }
 
     fn cfg() -> BaselineConfig {
@@ -240,7 +247,10 @@ mod tests {
     #[test]
     fn critic_prefers_training_data_direction() {
         let t = data(400, 3);
-        let mut m = Tvae::new(BaselineConfig { epochs: 10, ..cfg() });
+        let mut m = Tvae::new(BaselineConfig {
+            epochs: 10,
+            ..cfg()
+        });
         m.fit(&t).unwrap();
         let scores = m.critic_scores(&t).unwrap();
         assert!(scores.iter().all(|v| v.is_finite()));
@@ -248,6 +258,9 @@ mod tests {
 
     #[test]
     fn not_fitted() {
-        assert!(matches!(Tvae::new(cfg()).sample(5, 0), Err(SynthError::NotFitted)));
+        assert!(matches!(
+            Tvae::new(cfg()).sample(5, 0),
+            Err(SynthError::NotFitted)
+        ));
     }
 }

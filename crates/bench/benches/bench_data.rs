@@ -20,7 +20,9 @@ fn bench_gmm_fit(c: &mut Criterion) {
 }
 
 fn bench_transform(c: &mut Criterion) {
-    let table = LabSimulator::new(LabSimConfig::small(2000, 1)).generate().unwrap();
+    let table = LabSimulator::new(LabSimConfig::small(2000, 1))
+        .generate()
+        .unwrap();
     let tx = DataTransformer::fit(&table, 6, 0).unwrap();
     let mut rng = StdRng::seed_from_u64(2);
     c.bench_function("transform_2000_rows", |bencher| {
@@ -33,7 +35,9 @@ fn bench_transform(c: &mut Criterion) {
 }
 
 fn bench_condition_sampling(c: &mut Criterion) {
-    let table = LabSimulator::new(LabSimConfig::small(2000, 3)).generate().unwrap();
+    let table = LabSimulator::new(LabSimConfig::small(2000, 3))
+        .generate()
+        .unwrap();
     let spec = ConditionVectorSpec::fit(&table, &["event", "device", "protocol"]).unwrap();
     let sampler = TrainingSampler::fit(&table, &spec).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
@@ -48,5 +52,10 @@ fn bench_condition_sampling(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gmm_fit, bench_transform, bench_condition_sampling);
+criterion_group!(
+    benches,
+    bench_gmm_fit,
+    bench_transform,
+    bench_condition_sampling
+);
 criterion_main!(benches);

@@ -8,15 +8,21 @@ use kinet_eval::metrics;
 use kinetgan::{KinetGan, KinetGanConfig};
 
 fn bench_fidelity_metrics(c: &mut Criterion) {
-    let a = LabSimulator::new(LabSimConfig::small(2000, 1)).generate().unwrap();
-    let b = LabSimulator::new(LabSimConfig::small(2000, 2)).generate().unwrap();
+    let a = LabSimulator::new(LabSimConfig::small(2000, 1))
+        .generate()
+        .unwrap();
+    let b = LabSimulator::new(LabSimConfig::small(2000, 2))
+        .generate()
+        .unwrap();
     c.bench_function("fidelity_report_2000_rows", |bencher| {
         bencher.iter(|| std::hint::black_box(metrics::fidelity(&a, &b)));
     });
 }
 
 fn bench_kinetgan_epoch(c: &mut Criterion) {
-    let data = LabSimulator::new(LabSimConfig::small(512, 3)).generate().unwrap();
+    let data = LabSimulator::new(LabSimConfig::small(512, 3))
+        .generate()
+        .unwrap();
     c.bench_function("kinetgan_fit_1_epoch_512_rows", |bencher| {
         bencher.iter(|| {
             let cfg = KinetGanConfig {

@@ -26,7 +26,9 @@ fn bench_validity(c: &mut Criterion) {
 
 fn bench_batch_validity(c: &mut Criterion) {
     let kg = NetworkKg::lab_default();
-    let batch: Vec<Assignment> = (0..128).map(|i| record(32000.0 + i as f64 * 20.0)).collect();
+    let batch: Vec<Assignment> = (0..128)
+        .map(|i| record(32000.0 + i as f64 * 20.0))
+        .collect();
     c.bench_function("reasoner_validity_rate_128", |bencher| {
         bencher.iter(|| std::hint::black_box(kg.reasoner().validity_rate(&batch)));
     });
@@ -40,5 +42,10 @@ fn bench_store_query(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_validity, bench_batch_validity, bench_store_query);
+criterion_group!(
+    benches,
+    bench_validity,
+    bench_batch_validity,
+    bench_store_query
+);
 criterion_main!(benches);

@@ -7,8 +7,12 @@ use kinet_eval::privacy::{
 };
 
 fn bench_attacks(c: &mut Criterion) {
-    let original = LabSimulator::new(LabSimConfig::small(800, 1)).generate().unwrap();
-    let release = LabSimulator::new(LabSimConfig::small(800, 2)).generate().unwrap();
+    let original = LabSimulator::new(LabSimConfig::small(800, 1))
+        .generate()
+        .unwrap();
+    let release = LabSimulator::new(LabSimConfig::small(800, 2))
+        .generate()
+        .unwrap();
     let probe_idx: Vec<usize> = (0..100).collect();
     let members = original.select_rows(&probe_idx);
     let non_members = release.select_rows(&probe_idx);

@@ -42,5 +42,10 @@ fn bench_elementwise(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_transposed_products, bench_elementwise);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_transposed_products,
+    bench_elementwise
+);
 criterion_main!(benches);

@@ -7,7 +7,9 @@ use kinet_eval::classifiers::{Classifier, DecisionTree, GaussianNb, RandomForest
 use kinet_eval::encode::MlEncoder;
 
 fn bench_encode(c: &mut Criterion) {
-    let table = LabSimulator::new(LabSimConfig::small(2000, 1)).generate().unwrap();
+    let table = LabSimulator::new(LabSimConfig::small(2000, 1))
+        .generate()
+        .unwrap();
     let enc = MlEncoder::fit(&table, "event").unwrap();
     c.bench_function("ml_encode_2000_rows", |bencher| {
         bencher.iter(|| std::hint::black_box(enc.encode(&table).unwrap()));
@@ -15,7 +17,9 @@ fn bench_encode(c: &mut Criterion) {
 }
 
 fn bench_classifiers(c: &mut Criterion) {
-    let table = LabSimulator::new(LabSimConfig::small(1500, 2)).generate().unwrap();
+    let table = LabSimulator::new(LabSimConfig::small(1500, 2))
+        .generate()
+        .unwrap();
     let enc = MlEncoder::fit(&table, "event").unwrap();
     let (x, y) = enc.encode(&table).unwrap();
     let k = enc.n_classes();

@@ -36,10 +36,18 @@ fn main() {
     println!("{}", "-".repeat(68));
 
     let variants: Vec<(&str, KgMode, BalanceMode)> = vec![
-        ("full (neural D_KG, uniform)", KgMode::Neural, BalanceMode::Uniform),
+        (
+            "full (neural D_KG, uniform)",
+            KgMode::Neural,
+            BalanceMode::Uniform,
+        ),
         ("soft-mask only", KgMode::SoftMask, BalanceMode::Uniform),
         ("both guidance terms", KgMode::Both, BalanceMode::Uniform),
-        ("no knowledge (ablate D_KG)", KgMode::Off, BalanceMode::Uniform),
+        (
+            "no knowledge (ablate D_KG)",
+            KgMode::Off,
+            BalanceMode::Uniform,
+        ),
         ("log-freq balancing", KgMode::Neural, BalanceMode::LogFreq),
         ("no balancing", KgMode::Neural, BalanceMode::None),
     ];

@@ -7,7 +7,10 @@ use kinet_nids::{DistributedConfig, DistributedSim, ModelKind, SharingPolicy};
 
 fn main() {
     let cfg = ExpConfig::from_env();
-    println!("distributed — policy × fleet-size sweep (epochs={})\n", cfg.epochs.min(12));
+    println!(
+        "distributed — policy × fleet-size sweep (epochs={})\n",
+        cfg.epochs.min(12)
+    );
     let mut reports = Vec::new();
     for n_devices in [2usize, 4, 8] {
         for policy in [

@@ -15,13 +15,19 @@ pub(crate) fn run(dataset: Dataset, id: &str) {
     let label = dataset.label_column();
     println!(
         "{} — NIDS accuracy on {} (rows={}, epochs={})\n",
-        id, dataset.name(), cfg.rows, cfg.epochs
+        id,
+        dataset.name(),
+        cfg.rows,
+        cfg.epochs
     );
 
     let mut rows = Vec::new();
-    let baseline = evaluate_tstr("Baseline", &train, &test, &train, label)
-        .expect("baseline evaluation");
-    println!("{:<10} mean accuracy {:.3}", "Baseline", baseline.mean_accuracy);
+    let baseline =
+        evaluate_tstr("Baseline", &train, &test, &train, label).expect("baseline evaluation");
+    println!(
+        "{:<10} mean accuracy {:.3}",
+        "Baseline", baseline.mean_accuracy
+    );
     rows.push(UtilityRow {
         source: "Baseline".into(),
         dataset: dataset.name().into(),
@@ -33,7 +39,10 @@ pub(crate) fn run(dataset: Dataset, id: &str) {
         match fit_and_release(&mut named, &train, cfg.seed ^ 0x22) {
             Ok(release) => match evaluate_tstr(named.name, &release, &test, &train, label) {
                 Ok(report) => {
-                    println!("{:<10} mean accuracy {:.3}", named.name, report.mean_accuracy);
+                    println!(
+                        "{:<10} mean accuracy {:.3}",
+                        named.name, report.mean_accuracy
+                    );
                     rows.push(UtilityRow {
                         source: named.name.into(),
                         dataset: dataset.name().into(),

@@ -21,7 +21,10 @@ fn main() {
     let mut rows = Vec::new();
     let baseline =
         evaluate_tstr("Baseline", &train, &test, &train, label).expect("baseline evaluation");
-    println!("{:<10} mean accuracy {:.3}", "Baseline", baseline.mean_accuracy);
+    println!(
+        "{:<10} mean accuracy {:.3}",
+        "Baseline", baseline.mean_accuracy
+    );
     rows.push(UtilityRow {
         source: "Baseline".into(),
         dataset: dataset.name().into(),
@@ -33,7 +36,10 @@ fn main() {
         match fit_and_release(&mut named, &train, cfg.seed ^ 0x33) {
             Ok(release) => match evaluate_tstr(named.name, &release, &test, &train, label) {
                 Ok(report) => {
-                    println!("{:<10} mean accuracy {:.3}", named.name, report.mean_accuracy);
+                    println!(
+                        "{:<10} mean accuracy {:.3}",
+                        named.name, report.mean_accuracy
+                    );
                     rows.push(UtilityRow {
                         source: named.name.into(),
                         dataset: dataset.name().into(),

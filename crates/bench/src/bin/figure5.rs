@@ -8,7 +8,11 @@ fn main() {
     let cfg = ExpConfig::from_env();
     let dataset = Dataset::Lab;
     let (train, _) = dataset.load(&cfg);
-    println!("figure5 — re-identification attack on {} (probes={})\n", dataset.name(), cfg.probes);
+    println!(
+        "figure5 — re-identification attack on {} (probes={})\n",
+        dataset.name(),
+        cfg.probes
+    );
     println!("{:<10} | {:>7} {:>7} {:>7}", "Model", "30%", "60%", "90%");
     println!("{}", "-".repeat(36));
 
@@ -18,13 +22,8 @@ fn main() {
             Ok(release) => {
                 let mut accs = Vec::new();
                 for overlap in [0.3, 0.6, 0.9] {
-                    let acc = reidentification_attack(
-                        &train,
-                        &release,
-                        overlap,
-                        cfg.probes,
-                        cfg.seed,
-                    );
+                    let acc =
+                        reidentification_attack(&train, &release, overlap, cfg.probes, cfg.seed);
                     rows.push(PrivacyRow {
                         model: named.name.into(),
                         attack: format!("reid@{:.0}", overlap * 100.0),

@@ -7,7 +7,10 @@ use kinet_eval::metrics;
 fn main() {
     let cfg = ExpConfig::from_env();
     println!("Table I — distance between synthetic and original data");
-    println!("(rows={}, epochs={}, seed={})\n", cfg.rows, cfg.epochs, cfg.seed);
+    println!(
+        "(rows={}, epochs={}, seed={})\n",
+        cfg.rows, cfg.epochs, cfg.seed
+    );
     println!(
         "{:<10} | {:>9} {:>9} | {:>9} {:>9}",
         "Model", "Lab EMD", "Lab Dist", "UNSW EMD", "UNSW Dist"

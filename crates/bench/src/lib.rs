@@ -38,7 +38,12 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        Self { rows: 2000, epochs: 40, seed: 7, probes: 300 }
+        Self {
+            rows: 2000,
+            epochs: 40,
+            seed: 7,
+            probes: 300,
+        }
     }
 }
 
@@ -46,7 +51,10 @@ impl ExpConfig {
     /// Reads the scale from the `KINET_EXP_*` environment variables.
     pub fn from_env() -> Self {
         let get = |k: &str, d: usize| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         Self {
             rows: get("KINET_EXP_ROWS", 2000),
@@ -58,7 +66,12 @@ impl ExpConfig {
 
     /// A tiny configuration for unit tests of the harness itself.
     pub fn smoke() -> Self {
-        Self { rows: 250, epochs: 2, seed: 3, probes: 40 }
+        Self {
+            rows: 250,
+            epochs: 2,
+            seed: 3,
+            probes: 40,
+        }
     }
 }
 
@@ -108,9 +121,12 @@ impl Dataset {
             .generate()
             .expect("lab generation is infallible for valid configs"),
             Dataset::Unsw => {
-                let full = UnswSimulator::new(UnswSimConfig { n_records: total, seed: cfg.seed })
-                    .generate()
-                    .expect("unsw generation is infallible for valid configs");
+                let full = UnswSimulator::new(UnswSimConfig {
+                    n_records: total,
+                    seed: cfg.seed,
+                })
+                .generate()
+                .expect("unsw generation is infallible for valid configs");
                 UnswSimulator::modeling_view(&full).expect("modeling columns exist")
             }
         };
@@ -163,13 +179,14 @@ pub fn model_roster(dataset: Dataset, cfg: &ExpConfig) -> Vec<NamedModel> {
         },
         NamedModel {
             name: "TABLEGAN",
-            model: Box::new(
-                TableGan::new(base.clone()).with_label_column(dataset.label_column()),
-            ),
+            model: Box::new(TableGan::new(base.clone()).with_label_column(dataset.label_column())),
         },
         NamedModel {
             name: "TVAE",
-            model: Box::new(Tvae::new(BaselineConfig { lr: 1e-3, ..base.clone() })),
+            model: Box::new(Tvae::new(BaselineConfig {
+                lr: 1e-3,
+                ..base.clone()
+            })),
         },
         NamedModel {
             name: "KiNETGAN",

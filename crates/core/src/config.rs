@@ -175,10 +175,10 @@ impl KinetGanConfig {
         if self.disc_hidden.is_empty() {
             return Err("discriminator needs at least one hidden layer".into());
         }
-        if !(self.lr > 0.0) {
+        if self.lr.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("learning rate must be positive".into());
         }
-        if !(self.tau > 0.0) {
+        if self.tau.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("gumbel temperature must be positive".into());
         }
         if !(0.0..1.0).contains(&self.disc_dropout) {
@@ -220,13 +220,36 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        assert!(KinetGanConfig { epochs: 0, ..Default::default() }.validate().is_err());
-        assert!(KinetGanConfig { lr: 0.0, ..Default::default() }.validate().is_err());
-        assert!(KinetGanConfig { tau: 0.0, ..Default::default() }.validate().is_err());
-        assert!(KinetGanConfig { real_label: 0.4, ..Default::default() }.validate().is_err());
-        assert!(
-            KinetGanConfig { gen_hidden: vec![], ..Default::default() }.validate().is_err()
-        );
+        assert!(KinetGanConfig {
+            epochs: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(KinetGanConfig {
+            lr: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(KinetGanConfig {
+            tau: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(KinetGanConfig {
+            real_label: 0.4,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(KinetGanConfig {
+            gen_hidden: vec![],
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

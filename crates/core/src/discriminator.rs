@@ -32,7 +32,10 @@ impl RecordDiscriminator {
         let cfg = MlpConfig::new(encoded_dim + cond_dim, hidden, 1)
             .with_activation(Activation::LeakyRelu(0.2))
             .with_dropout(dropout);
-        Self { net: Mlp::new(&cfg, rng), input_dim: encoded_dim + cond_dim }
+        Self {
+            net: Mlp::new(&cfg, rng),
+            input_dim: encoded_dim + cond_dim,
+        }
     }
 
     /// Scores `(rows ⊕ C)`; returns `batch × 1` logits.
@@ -76,7 +79,10 @@ impl KnowledgeDiscriminator {
         let cfg = MlpConfig::new(encoded_dim, hidden, 1)
             .with_activation(Activation::LeakyRelu(0.2))
             .with_dropout(dropout);
-        Self { net: Mlp::new(&cfg, rng), input_dim: encoded_dim }
+        Self {
+            net: Mlp::new(&cfg, rng),
+            input_dim: encoded_dim,
+        }
     }
 
     /// Scores encoded rows; returns `batch × 1` logits (higher = more
@@ -119,7 +125,10 @@ mod tests {
         let c = Matrix::zeros(6, 4);
         let out = d.forward(&tape, rows, &c, true, &mut rng);
         assert_eq!(out.shape(), (6, 1));
-        assert_eq!(d.score(&Matrix::zeros(3, 10), &Matrix::zeros(3, 4)).shape(), (3, 1));
+        assert_eq!(
+            d.score(&Matrix::zeros(3, 10), &Matrix::zeros(3, 4)).shape(),
+            (3, 1)
+        );
     }
 
     #[test]

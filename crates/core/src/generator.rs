@@ -10,9 +10,9 @@
 //! normalized alpha) or a Gumbel-Softmax block (a mode or category one-hot),
 //! matching [`DataTransformer::head_layout`].
 
+use kinet_data::transform::{DataTransformer, HeadKind, HeadSpec};
 use kinet_nn::layers::{gumbel_softmax, Linear, ResidualBlock};
 use kinet_nn::{ParamSet, Tape, Var};
-use kinet_data::transform::{DataTransformer, HeadKind, HeadSpec};
 use kinet_tensor::{Matrix, MatrixRandomExt};
 use rand::Rng;
 
@@ -53,7 +53,13 @@ impl ConditionalGenerator {
             blocks.push(block);
         }
         let output = Linear::new(dim, transformer.width(), rng);
-        Self { blocks, output, heads, z_dim, cond_dim }
+        Self {
+            blocks,
+            output,
+            heads,
+            z_dim,
+            cond_dim,
+        }
     }
 
     /// Noise dimension.
@@ -111,7 +117,10 @@ impl ConditionalGenerator {
             activated.push(out);
             offset += head.width;
         }
-        GeneratorOutput { output: Var::concat_cols(&activated), head_logits }
+        GeneratorOutput {
+            output: Var::concat_cols(&activated),
+            head_logits,
+        }
     }
 
     /// Convenience: draws `batch` rows with fresh standard-normal noise.
@@ -192,7 +201,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let g = ConditionalGenerator::new(8, 2, &[16], &tx, &mut rng);
         let tape = Tape::new();
-        let out = g.generate(&tape, &Matrix::zeros(4, 2), 0.3, true, &mut rng).output.value();
+        let out = g
+            .generate(&tape, &Matrix::zeros(4, 2), 0.3, true, &mut rng)
+            .output
+            .value();
         // proto block: columns 0..2 must sum to 1
         for r in 0..4 {
             let s = out[(r, 0)] + out[(r, 1)];

@@ -49,12 +49,20 @@ pub struct KinetGan {
 impl KinetGan {
     /// Creates an unfitted model bound to a knowledge graph.
     pub fn new(config: KinetGanConfig, kg: NetworkKg) -> Self {
-        Self { config, kg: Arc::new(kg), fitted: None }
+        Self {
+            config,
+            kg: Arc::new(kg),
+            fitted: None,
+        }
     }
 
     /// Creates a model sharing an existing knowledge-graph handle.
     pub fn with_shared_kg(config: KinetGanConfig, kg: Arc<NetworkKg>) -> Self {
-        Self { config, kg, fitted: None }
+        Self {
+            config,
+            kg,
+            fitted: None,
+        }
     }
 
     /// The model configuration.
@@ -74,8 +82,9 @@ impl KinetGan {
 
     /// Fraction of `table` rows that satisfy the knowledge graph.
     pub fn validity_rate(&self, table: &Table) -> f64 {
-        let batch: Vec<Assignment> =
-            (0..table.n_rows()).map(|r| row_to_assignment(table, r)).collect();
+        let batch: Vec<Assignment> = (0..table.n_rows())
+            .map(|r| row_to_assignment(table, r))
+            .collect();
         self.kg.reasoner().validity_rate(&batch)
     }
 
@@ -160,7 +169,11 @@ impl KinetGan {
             partial.set(scope, AttrValue::cat(e));
         }
         let fields = self.constrained_fields(&event);
-        if let Some(valid) = self.kg.reasoner().sample_valid(&partial, &fields, domains, rng, 8) {
+        if let Some(valid) = self
+            .kg
+            .reasoner()
+            .sample_valid(&partial, &fields, domains, rng, 8)
+        {
             a.merge(&valid);
         }
         table
@@ -251,8 +264,14 @@ impl KinetGan {
             let mut d_epoch = 0.0f32;
             let mut g_epoch = 0.0f32;
             for _step in 0..steps {
-                let conditions = sampler
-                    .sample_batch(table, &cond_spec, cfg.balance, true, cfg.batch_size, &mut rng)?;
+                let conditions = sampler.sample_batch(
+                    table,
+                    &cond_spec,
+                    cfg.balance,
+                    true,
+                    cfg.batch_size,
+                    &mut rng,
+                )?;
                 let c = Matrix::from_fn(cfg.batch_size, cond_spec.width(), |r, ccol| {
                     conditions[r].vector[ccol]
                 });
@@ -266,11 +285,8 @@ impl KinetGan {
                     let real_node = tape.constant(real.clone());
                     let d_real = d_m.forward(&tape, real_node, &c, true, &mut rng);
                     let d_fake = d_m.forward(&tape, fake.output, &c, true, &mut rng);
-                    let mut loss = kinet_nn::loss::gan_discriminator_loss(
-                        d_real,
-                        d_fake,
-                        cfg.real_label,
-                    );
+                    let mut loss =
+                        kinet_nn::loss::gan_discriminator_loss(d_real, d_fake, cfg.real_label);
                     if let Some(dkg) = &d_kg {
                         let pos_rows: Vec<Vec<Value>> = real_idx
                             .iter()
@@ -280,8 +296,7 @@ impl KinetGan {
                         let pos = transformer.transform_deterministic(&pos_table);
                         let kg_pos = dkg.forward(&tape, tape.constant(pos), true, &mut rng);
                         let kg_neg = dkg.forward(&tape, fake.output, true, &mut rng);
-                        let kg_loss =
-                            kinet_nn::loss::gan_discriminator_loss(kg_pos, kg_neg, 1.0);
+                        let kg_loss = kinet_nn::loss::gan_discriminator_loss(kg_pos, kg_neg, 1.0);
                         loss = loss.add(kg_loss);
                     }
                     let loss_value = loss.value()[(0, 0)];
@@ -388,8 +403,7 @@ impl KinetGan {
                 // event of this row, decoded from the condition vector
                 let off = cond_spec.offset(scope_spec_idx);
                 let sw = cond_spec.encoder(scope_spec_idx).n_categories();
-                let event_code =
-                    (0..sw).find(|&j| cond.vector[off + j] > 0.5).unwrap_or(0);
+                let event_code = (0..sw).find(|&j| cond.vector[off + j] > 0.5).unwrap_or(0);
                 let event = cond_spec
                     .encoder(scope_spec_idx)
                     .decode(event_code)
@@ -475,7 +489,9 @@ impl TabularSynthesizer for KinetGan {
             )?;
             let c = Matrix::from_fn(want, f.cond_spec.width(), |r, j| conds[r].vector[j]);
             let tape = Tape::new();
-            let gen = f.generator.generate(&tape, &c, self.config.tau, false, &mut rng);
+            let gen = f
+                .generator
+                .generate(&tape, &c, self.config.tau, false, &mut rng);
             let mut decoded = f.transformer.inverse_transform(&gen.output.value())?;
             for round in 0..self.config.rejection_rounds {
                 let invalid_rows: Vec<usize> = (0..decoded.n_rows())
@@ -493,8 +509,9 @@ impl TabularSynthesizer for KinetGan {
                     c[(invalid_rows[i], j)]
                 });
                 let tape = Tape::new();
-                let regen =
-                    f.generator.generate(&tape, &retry_c, self.config.tau, false, &mut rng);
+                let regen = f
+                    .generator
+                    .generate(&tape, &retry_c, self.config.tau, false, &mut rng);
                 let redecoded = f.transformer.inverse_transform(&regen.output.value())?;
                 let mut rows: Vec<Vec<Value>> =
                     (0..decoded.n_rows()).map(|r| decoded.row(r)).collect();
@@ -546,7 +563,9 @@ mod tests {
     use kinet_datasets::lab::{LabSimConfig, LabSimulator};
 
     fn tiny_data(n: usize, seed: u64) -> Table {
-        LabSimulator::new(LabSimConfig::small(n, seed)).generate().unwrap()
+        LabSimulator::new(LabSimConfig::small(n, seed))
+            .generate()
+            .unwrap()
     }
 
     fn tiny_config() -> KinetGanConfig {
@@ -592,8 +611,10 @@ mod tests {
     #[test]
     fn kg_off_mode_trains_without_dkg() {
         let data = tiny_data(200, 3);
-        let mut model =
-            KinetGan::new(tiny_config().with_kg_mode(KgMode::Off), NetworkKg::lab_default());
+        let mut model = KinetGan::new(
+            tiny_config().with_kg_mode(KgMode::Off),
+            NetworkKg::lab_default(),
+        );
         model.fit(&data).unwrap();
         assert!(model.sample(20, 0).is_ok());
     }
@@ -601,8 +622,10 @@ mod tests {
     #[test]
     fn soft_mask_mode_trains() {
         let data = tiny_data(200, 4);
-        let mut model =
-            KinetGan::new(tiny_config().with_kg_mode(KgMode::SoftMask), NetworkKg::lab_default());
+        let mut model = KinetGan::new(
+            tiny_config().with_kg_mode(KgMode::SoftMask),
+            NetworkKg::lab_default(),
+        );
         model.fit(&data).unwrap();
         assert!(model.sample(20, 0).is_ok());
     }

@@ -49,7 +49,11 @@ impl GaussianMixture1d {
         // Degenerate: constant column or fewer points than components.
         let k = max_components.min(n);
         if std <= MIN_STD || k == 1 {
-            return Self { weights: vec![1.0], means: vec![mean], stds: vec![std] };
+            return Self {
+                weights: vec![1.0],
+                means: vec![mean],
+                stds: vec![std],
+            };
         }
 
         // Quantile-based deterministic init, jittered by the seed.
@@ -257,7 +261,11 @@ mod tests {
     fn finds_two_modes() {
         let data = bimodal(2000, 1);
         let gmm = GaussianMixture1d::fit(&data, 5, 100, 7);
-        assert!(gmm.n_components() >= 2, "components: {}", gmm.n_components());
+        assert!(
+            gmm.n_components() >= 2,
+            "components: {}",
+            gmm.n_components()
+        );
         // the two dominant means should be near 10 and 100
         let mut means = gmm.means().to_vec();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -320,7 +328,10 @@ mod tests {
                 (gmm.means()[c] - 10.0).abs() < 20.0
             })
             .count();
-        assert!(near > 190, "posterior sampling should stay in the local cluster: {near}");
+        assert!(
+            near > 190,
+            "posterior sampling should stay in the local cluster: {near}"
+        );
     }
 
     #[test]
@@ -336,7 +347,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let samples: Vec<f64> = (0..2000).map(|_| gmm.sample(&mut rng)).collect();
         let near_lo = samples.iter().filter(|&&x| (x - 10.0).abs() < 5.0).count();
-        let near_hi = samples.iter().filter(|&&x| (x - 100.0).abs() < 10.0).count();
+        let near_hi = samples
+            .iter()
+            .filter(|&&x| (x - 100.0).abs() < 10.0)
+            .count();
         assert!(near_lo > 500, "{near_lo}");
         assert!(near_hi > 500, "{near_hi}");
     }

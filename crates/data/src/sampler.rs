@@ -68,7 +68,9 @@ impl TrainingSampler {
     /// Propagates column-access failures; fails on an empty table.
     pub fn fit(table: &Table, spec: &ConditionVectorSpec) -> Result<Self, DataError> {
         if table.is_empty() {
-            return Err(DataError::SchemaMismatch("cannot sample from an empty table".into()));
+            return Err(DataError::SchemaMismatch(
+                "cannot sample from an empty table".into(),
+            ));
         }
         let mut rows_by_cat = Vec::with_capacity(spec.n_columns());
         let mut logfreq_cdf = Vec::with_capacity(spec.n_columns());
@@ -82,7 +84,10 @@ impl TrainingSampler {
                 }
             }
             // log-frequency mass per category: ln(1 + count)
-            let masses: Vec<f64> = buckets.iter().map(|b| (1.0 + b.len() as f64).ln()).collect();
+            let masses: Vec<f64> = buckets
+                .iter()
+                .map(|b| (1.0 + b.len() as f64).ln())
+                .collect();
             let total: f64 = masses.iter().sum();
             let mut acc = 0.0;
             let cdf: Vec<f64> = masses
@@ -95,7 +100,11 @@ impl TrainingSampler {
             rows_by_cat.push(buckets);
             logfreq_cdf.push(cdf);
         }
-        Ok(Self { rows_by_cat, logfreq_cdf, n_rows: table.n_rows() })
+        Ok(Self {
+            rows_by_cat,
+            logfreq_cdf,
+            n_rows: table.n_rows(),
+        })
     }
 
     /// Number of indexed rows.
@@ -133,7 +142,12 @@ impl TrainingSampler {
                 } else {
                     vec![0.0; spec.width()]
                 };
-                Ok(SampledCondition { vector, boosted_column: None, boosted_category: None, row })
+                Ok(SampledCondition {
+                    vector,
+                    boosted_column: None,
+                    boosted_category: None,
+                    row,
+                })
             }
             BalanceMode::LogFreq | BalanceMode::Uniform => {
                 let col = rng.random_range(0..spec.n_columns());
@@ -196,7 +210,12 @@ impl TrainingSampler {
 
 impl fmt::Debug for TrainingSampler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "TrainingSampler({} rows, {} cond cols)", self.n_rows, self.rows_by_cat.len())
+        write!(
+            f,
+            "TrainingSampler({} rows, {} cond cols)",
+            self.n_rows,
+            self.rows_by_cat.len()
+        )
     }
 }
 
@@ -246,7 +265,10 @@ mod tests {
                 rare += 1;
             }
         }
-        assert!((400..600).contains(&rare), "uniform should hit ~50% rare, got {rare}");
+        assert!(
+            (400..600).contains(&rare),
+            "uniform should hit ~50% rare, got {rare}"
+        );
     }
 
     #[test]
@@ -265,7 +287,10 @@ mod tests {
             }
         }
         // raw frequency would give ~5%; log-frequency gives ln6/(ln96+ln6) ≈ 28%
-        assert!(rare > 150, "log-freq should oversample the rare class, got {rare}");
+        assert!(
+            rare > 150,
+            "log-freq should oversample the rare class, got {rare}"
+        );
         assert!(rare < 450, "but not reach uniform, got {rare}");
     }
 
@@ -302,7 +327,9 @@ mod tests {
         let spec = ConditionVectorSpec::fit(&t, &["event"]).unwrap();
         let s = TrainingSampler::fit(&t, &spec).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let c = s.sample_condition(&t, &spec, BalanceMode::None, true, &mut rng).unwrap();
+        let c = s
+            .sample_condition(&t, &spec, BalanceMode::None, true, &mut rng)
+            .unwrap();
         assert!(c.boosted_column.is_none());
         assert!(spec.row_matches(&t, c.row, &c.vector).unwrap());
     }

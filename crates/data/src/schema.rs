@@ -31,12 +31,18 @@ pub struct ColumnMeta {
 impl ColumnMeta {
     /// Creates metadata for a categorical column.
     pub fn categorical(name: impl Into<String>) -> Self {
-        Self { name: name.into(), kind: ColumnKind::Categorical }
+        Self {
+            name: name.into(),
+            kind: ColumnKind::Categorical,
+        }
     }
 
     /// Creates metadata for a continuous column.
     pub fn continuous(name: impl Into<String>) -> Self {
-        Self { name: name.into(), kind: ColumnKind::Continuous }
+        Self {
+            name: name.into(),
+            kind: ColumnKind::Continuous,
+        }
     }
 
     /// Column name.
@@ -140,7 +146,9 @@ impl Schema {
         let columns = names
             .iter()
             .map(|n| {
-                self.by_name(n).unwrap_or_else(|| panic!("unknown column {n:?}")).clone()
+                self.by_name(n)
+                    .unwrap_or_else(|| panic!("unknown column {n:?}"))
+                    .clone()
             })
             .collect();
         Schema { columns }
@@ -164,7 +172,10 @@ mod tests {
         let s = schema();
         assert_eq!(s.index_of("event"), Some(2));
         assert_eq!(s.index_of("nope"), None);
-        assert_eq!(s.by_name("protocol").unwrap().kind(), ColumnKind::Categorical);
+        assert_eq!(
+            s.by_name("protocol").unwrap().kind(),
+            ColumnKind::Categorical
+        );
     }
 
     #[test]

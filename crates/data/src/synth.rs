@@ -119,14 +119,16 @@ mod tests {
         fn sample(&self, n: usize, seed: u64) -> Result<Table, SynthError> {
             let data = self.data.as_ref().ok_or(SynthError::NotFitted)?;
             let mut rng = StdRng::seed_from_u64(seed);
-            let idx: Vec<usize> =
-                (0..n).map(|_| rng.random_range(0..data.n_rows())).collect();
+            let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..data.n_rows())).collect();
             Ok(data.select_rows(&idx))
         }
     }
 
     fn table() -> Table {
-        let schema = Schema::new(vec![ColumnMeta::categorical("c"), ColumnMeta::continuous("x")]);
+        let schema = Schema::new(vec![
+            ColumnMeta::categorical("c"),
+            ColumnMeta::continuous("x"),
+        ]);
         Table::from_rows(
             schema,
             vec![
@@ -168,7 +170,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(SynthError::NotFitted.to_string().contains("not been fitted"));
+        assert!(SynthError::NotFitted
+            .to_string()
+            .contains("not been fitted"));
         let e = SynthError::Training("nan".into());
         assert!(e.to_string().contains("nan"));
     }

@@ -196,9 +196,9 @@ impl Table {
             .ok_or_else(|| DataError::UnknownColumn(name.to_string()))?;
         match &self.columns[idx] {
             ColumnData::Cat(v) => Ok(v),
-            ColumnData::Num(_) => {
-                Err(DataError::SchemaMismatch(format!("column {name:?} is continuous")))
-            }
+            ColumnData::Num(_) => Err(DataError::SchemaMismatch(format!(
+                "column {name:?} is continuous"
+            ))),
         }
     }
 
@@ -215,9 +215,9 @@ impl Table {
             .ok_or_else(|| DataError::UnknownColumn(name.to_string()))?;
         match &self.columns[idx] {
             ColumnData::Num(v) => Ok(v),
-            ColumnData::Cat(_) => {
-                Err(DataError::SchemaMismatch(format!("column {name:?} is categorical")))
-            }
+            ColumnData::Cat(_) => Err(DataError::SchemaMismatch(format!(
+                "column {name:?} is categorical"
+            ))),
         }
     }
 
@@ -248,9 +248,7 @@ impl Table {
                 (ColumnData::Cat(o), ColumnData::Cat(i)) => {
                     o.extend(indices.iter().map(|&r| i[r].clone()))
                 }
-                (ColumnData::Num(o), ColumnData::Num(i)) => {
-                    o.extend(indices.iter().map(|&r| i[r]))
-                }
+                (ColumnData::Num(o), ColumnData::Num(i)) => o.extend(indices.iter().map(|&r| i[r])),
                 _ => unreachable!("same schema"),
             }
         }
@@ -273,7 +271,10 @@ impl Table {
             metas.push(self.schema.column(idx).clone());
             cols.push(self.columns[idx].clone());
         }
-        Ok(Table { schema: Schema::new(metas), columns: cols })
+        Ok(Table {
+            schema: Schema::new(metas),
+            columns: cols,
+        })
     }
 
     /// Appends all rows of `other` (schemas must match).
@@ -283,7 +284,9 @@ impl Table {
     /// Returns [`DataError::SchemaMismatch`] when schemas differ.
     pub fn append(&mut self, other: &Table) -> Result<(), DataError> {
         if self.schema != other.schema {
-            return Err(DataError::SchemaMismatch("append with different schema".into()));
+            return Err(DataError::SchemaMismatch(
+                "append with different schema".into(),
+            ));
         }
         for (a, b) in self.columns.iter_mut().zip(&other.columns) {
             match (a, b) {
@@ -334,7 +337,9 @@ impl Table {
         let header: Vec<&str> = self.schema.iter().map(ColumnMeta::name).collect();
         writeln!(w, "{}", header.join(","))?;
         for r in 0..self.n_rows() {
-            let row: Vec<String> = (0..self.n_cols()).map(|c| self.value(r, c).to_string()).collect();
+            let row: Vec<String> = (0..self.n_cols())
+                .map(|c| self.value(r, c).to_string())
+                .collect();
             writeln!(w, "{}", row.join(","))?;
         }
         Ok(())
@@ -375,7 +380,10 @@ impl Table {
             }
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != t.schema.len() {
-                return Err(DataError::Parse(format!("line {}: wrong arity", lineno + 2)));
+                return Err(DataError::Parse(format!(
+                    "line {}: wrong arity",
+                    lineno + 2
+                )));
             }
             let row: Result<Vec<Value>, DataError> = fields
                 .iter()

@@ -39,7 +39,11 @@ impl CategoricalEncoder {
         let mut categories: Vec<String> = values.into_iter().collect();
         categories.sort();
         categories.dedup();
-        let index = categories.iter().enumerate().map(|(i, c)| (c.clone(), i)).collect();
+        let index = categories
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i))
+            .collect();
         Self { categories, index }
     }
 
@@ -78,7 +82,10 @@ impl ModeSpecificNormalizer {
     /// Fits the column's mixture (up to `max_modes` components).
     pub fn fit(data: &[f64], max_modes: usize, seed: u64) -> Self {
         let integral = data.iter().all(|v| v.fract() == 0.0);
-        Self { gmm: GaussianMixture1d::fit(data, max_modes, 100, seed), integral }
+        Self {
+            gmm: GaussianMixture1d::fit(data, max_modes, 100, seed),
+            integral,
+        }
     }
 
     /// Number of mixture modes (encoded width is `1 + n_modes`).
@@ -117,7 +124,11 @@ impl ModeSpecificNormalizer {
         let mode = mode.min(self.n_modes() - 1);
         let mu = self.gmm.means()[mode];
         let sd = self.gmm.stds()[mode];
-        let alpha = if alpha.is_finite() { alpha.clamp(-1.0, 1.0) } else { 0.0 };
+        let alpha = if alpha.is_finite() {
+            alpha.clamp(-1.0, 1.0)
+        } else {
+            0.0
+        };
         let raw = mu + (alpha as f64) * 4.0 * sd;
         if self.integral {
             raw.round()
@@ -199,7 +210,9 @@ impl DataTransformer {
     /// nothing to fit).
     pub fn fit(table: &Table, max_modes: usize, seed: u64) -> Result<Self, DataError> {
         if table.is_empty() {
-            return Err(DataError::SchemaMismatch("cannot fit a transformer on an empty table".into()));
+            return Err(DataError::SchemaMismatch(
+                "cannot fit a transformer on an empty table".into(),
+            ));
         }
         let schema = table.schema().clone();
         let mut encodings = Vec::with_capacity(schema.len());
@@ -211,7 +224,10 @@ impl DataTransformer {
                     let enc =
                         CategoricalEncoder::fit(table.cat_column(col.name())?.iter().cloned());
                     let w = enc.n_categories();
-                    spans.push(ColumnSpan { start: offset, width: w });
+                    spans.push(ColumnSpan {
+                        start: offset,
+                        width: w,
+                    });
                     offset += w;
                     encodings.push(ColumnEncoding::Categorical(enc));
                 }
@@ -222,13 +238,21 @@ impl DataTransformer {
                         seed.wrapping_add(ci as u64),
                     );
                     let w = 1 + norm.n_modes();
-                    spans.push(ColumnSpan { start: offset, width: w });
+                    spans.push(ColumnSpan {
+                        start: offset,
+                        width: w,
+                    });
                     offset += w;
                     encodings.push(ColumnEncoding::Continuous(norm));
                 }
             }
         }
-        Ok(Self { schema, encodings, spans, width: offset })
+        Ok(Self {
+            schema,
+            encodings,
+            spans,
+            width: offset,
+        })
     }
 
     /// Total encoded width.
@@ -254,11 +278,20 @@ impl DataTransformer {
         for enc in &self.encodings {
             match enc {
                 ColumnEncoding::Categorical(e) => {
-                    heads.push(HeadSpec { kind: HeadKind::Softmax, width: e.n_categories() });
+                    heads.push(HeadSpec {
+                        kind: HeadKind::Softmax,
+                        width: e.n_categories(),
+                    });
                 }
                 ColumnEncoding::Continuous(n) => {
-                    heads.push(HeadSpec { kind: HeadKind::Tanh, width: 1 });
-                    heads.push(HeadSpec { kind: HeadKind::Softmax, width: n.n_modes() });
+                    heads.push(HeadSpec {
+                        kind: HeadKind::Tanh,
+                        width: 1,
+                    });
+                    heads.push(HeadSpec {
+                        kind: HeadKind::Softmax,
+                        width: n.n_modes(),
+                    });
                 }
             }
         }
@@ -304,7 +337,11 @@ impl DataTransformer {
     }
 
     fn transform_impl<R: Rng>(&self, table: &Table, mut rng: Option<&mut R>) -> Matrix {
-        assert_eq!(table.schema(), &self.schema, "table schema differs from fitted schema");
+        assert_eq!(
+            table.schema(),
+            &self.schema,
+            "table schema differs from fitted schema"
+        );
         let n = table.n_rows();
         let mut out = Matrix::zeros(n, self.width);
         for (ci, enc) in self.encodings.iter().enumerate() {
@@ -403,7 +440,11 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..60 {
             let proto = if i % 3 == 0 { "udp" } else { "tcp" };
-            let port = if i % 3 == 0 { 53.0 + (i % 5) as f64 } else { 443.0 + (i % 7) as f64 };
+            let port = if i % 3 == 0 {
+                53.0 + (i % 5) as f64
+            } else {
+                443.0 + (i % 7) as f64
+            };
             let event = if i % 2 == 0 { "dns" } else { "web" };
             rows.push(vec![Value::cat(proto), Value::num(port), Value::cat(event)]);
         }
@@ -433,7 +474,7 @@ mod tests {
     fn normalizer_alpha_bounded() {
         let n = ModeSpecificNormalizer::fit(&[0.0, 1.0, 2.0, 3.0], 2, 0);
         let (alpha, _) = n.encode_deterministic(1e9);
-        assert!(alpha <= 1.0 && alpha >= -1.0);
+        assert!((-1.0..=1.0).contains(&alpha));
     }
 
     #[test]
@@ -467,8 +508,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let m = tx.transform(&t, &mut rng);
         let back = tx.inverse_transform(&m).unwrap();
-        assert_eq!(back.cat_column("proto").unwrap(), t.cat_column("proto").unwrap());
-        assert_eq!(back.cat_column("event").unwrap(), t.cat_column("event").unwrap());
+        assert_eq!(
+            back.cat_column("proto").unwrap(),
+            t.cat_column("proto").unwrap()
+        );
+        assert_eq!(
+            back.cat_column("event").unwrap(),
+            t.cat_column("event").unwrap()
+        );
         let orig = t.num_column("port").unwrap();
         let dec = back.num_column("port").unwrap();
         for (a, b) in orig.iter().zip(dec) {
@@ -480,7 +527,10 @@ mod tests {
     fn deterministic_transform_is_stable() {
         let t = table();
         let tx = DataTransformer::fit(&t, 4, 3).unwrap();
-        assert_eq!(tx.transform_deterministic(&t), tx.transform_deterministic(&t));
+        assert_eq!(
+            tx.transform_deterministic(&t),
+            tx.transform_deterministic(&t)
+        );
     }
 
     #[test]
@@ -514,7 +564,11 @@ mod tests {
         let tx = DataTransformer::fit(&t, 4, 0).unwrap();
         let mut other = Table::empty(t.schema().clone());
         other
-            .push_row(vec![Value::cat("gopher"), Value::num(1.0), Value::cat("dns")])
+            .push_row(vec![
+                Value::cat("gopher"),
+                Value::num(1.0),
+                Value::cat("dns"),
+            ])
             .unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let _ = tx.transform(&other, &mut rng);

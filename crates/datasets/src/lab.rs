@@ -28,14 +28,22 @@ pub struct LabSimConfig {
 
 impl Default for LabSimConfig {
     fn default() -> Self {
-        Self { n_records: 14_520, seed: 7, attack_fraction: 0.08 }
+        Self {
+            n_records: 14_520,
+            seed: 7,
+            attack_fraction: 0.08,
+        }
     }
 }
 
 impl LabSimConfig {
     /// A smaller configuration for unit tests and fast benches.
     pub fn small(n_records: usize, seed: u64) -> Self {
-        Self { n_records, seed, ..Self::default() }
+        Self {
+            n_records,
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -45,14 +53,34 @@ struct DeviceInfo {
 }
 
 const DEVICES: &[DeviceInfo] = &[
-    DeviceInfo { name: "blink_camera", ip: "192.168.1.10" },
-    DeviceInfo { name: "smart_plug", ip: "192.168.1.11" },
-    DeviceInfo { name: "motion_sensor", ip: "192.168.1.12" },
-    DeviceInfo { name: "tag_manager", ip: "192.168.1.13" },
-    DeviceInfo { name: "hub", ip: "192.168.1.1" },
+    DeviceInfo {
+        name: "blink_camera",
+        ip: "192.168.1.10",
+    },
+    DeviceInfo {
+        name: "smart_plug",
+        ip: "192.168.1.11",
+    },
+    DeviceInfo {
+        name: "motion_sensor",
+        ip: "192.168.1.12",
+    },
+    DeviceInfo {
+        name: "tag_manager",
+        ip: "192.168.1.13",
+    },
+    DeviceInfo {
+        name: "hub",
+        ip: "192.168.1.1",
+    },
 ];
 
-const CLOUD_DSTS: &[&str] = &["34.206.10.5", "52.94.236.248", "142.250.80.46", "192.168.1.1"];
+const CLOUD_DSTS: &[&str] = &[
+    "34.206.10.5",
+    "52.94.236.248",
+    "142.250.80.46",
+    "192.168.1.1",
+];
 
 /// Benign events with their relative frequencies.
 const BENIGN_EVENTS: &[(&str, f64)] = &[
@@ -143,14 +171,22 @@ impl LabSimulator {
     pub fn record_for(&self, event: &str, rng: &mut StdRng) -> Vec<Value> {
         let (device, dst_ip, protocol, src_port, dst_port) = match event {
             "motion_detected" => {
-                let device = if rng.random_bool(0.7) { "blink_camera" } else { "motion_sensor" };
+                let device = if rng.random_bool(0.7) {
+                    "blink_camera"
+                } else {
+                    "motion_sensor"
+                };
                 (device, cloud(rng), "tcp", ephemeral(rng), 443.0)
             }
             "lamp_on" | "lamp_off" => ("smart_plug", cloud(rng), "tcp", ephemeral(rng), 8883.0),
             "tag_sync" => ("tag_manager", cloud(rng), "tcp", ephemeral(rng), 443.0),
             "heartbeat" => (any_device(rng), cloud(rng), "udp", ephemeral(rng), 123.0),
             "dns_lookup" => {
-                let dst = if rng.random_bool(0.8) { "192.168.1.1" } else { "142.250.80.46" };
+                let dst = if rng.random_bool(0.8) {
+                    "192.168.1.1"
+                } else {
+                    "142.250.80.46"
+                };
                 (any_device(rng), dst, "udp", ephemeral(rng), 53.0)
             }
             "firmware_check" => {
@@ -159,18 +195,36 @@ impl LabSimulator {
             }
             "traffic_flooding" => {
                 let proto = if rng.random_bool(0.7) { "udp" } else { "icmp" };
-                (any_device(rng), victim(rng), proto, ephemeral(rng), rng.random_range(1..65535) as f64)
+                (
+                    any_device(rng),
+                    victim(rng),
+                    proto,
+                    ephemeral(rng),
+                    rng.random_range(1..65535) as f64,
+                )
             }
-            "port_scan" => {
-                (any_device(rng), victim(rng), "tcp", ephemeral(rng), rng.random_range(1..=1024) as f64)
-            }
-            "cve_1999_0003" => {
-                (any_device(rng), victim(rng), "udp", ephemeral(rng), rng.random_range(32771..=34000) as f64)
-            }
+            "port_scan" => (
+                any_device(rng),
+                victim(rng),
+                "tcp",
+                ephemeral(rng),
+                rng.random_range(1..=1024) as f64,
+            ),
+            "cve_1999_0003" => (
+                any_device(rng),
+                victim(rng),
+                "udp",
+                ephemeral(rng),
+                rng.random_range(32771..=34000) as f64,
+            ),
             other => panic!("unknown lab event class {other:?}"),
         };
         let (pkts, bytes, duration) = numeric_signature(event, rng);
-        let src_ip = DEVICES.iter().find(|d| d.name == device).map(|d| d.ip).unwrap_or("192.168.1.99");
+        let src_ip = DEVICES
+            .iter()
+            .find(|d| d.name == device)
+            .map(|d| d.ip)
+            .unwrap_or("192.168.1.99");
         vec![
             Value::cat(event),
             Value::cat(device),
@@ -217,7 +271,9 @@ impl LabSimulator {
 }
 
 fn hash_name(s: &str) -> u64 {
-    s.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 fn weighted_choice(options: &[(&'static str, f64)], rng: &mut StdRng) -> &'static str {
@@ -292,23 +348,33 @@ mod tests {
 
     #[test]
     fn generates_requested_rows_with_schema() {
-        let t = LabSimulator::new(LabSimConfig::small(500, 3)).generate().unwrap();
+        let t = LabSimulator::new(LabSimConfig::small(500, 3))
+            .generate()
+            .unwrap();
         assert_eq!(t.n_rows(), 500);
         assert_eq!(t.n_cols(), 10);
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a = LabSimulator::new(LabSimConfig::small(100, 5)).generate().unwrap();
-        let b = LabSimulator::new(LabSimConfig::small(100, 5)).generate().unwrap();
+        let a = LabSimulator::new(LabSimConfig::small(100, 5))
+            .generate()
+            .unwrap();
+        let b = LabSimulator::new(LabSimConfig::small(100, 5))
+            .generate()
+            .unwrap();
         assert_eq!(a, b);
-        let c = LabSimulator::new(LabSimConfig::small(100, 6)).generate().unwrap();
+        let c = LabSimulator::new(LabSimConfig::small(100, 6))
+            .generate()
+            .unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn attack_fraction_respected() {
-        let t = LabSimulator::new(LabSimConfig::small(5000, 11)).generate().unwrap();
+        let t = LabSimulator::new(LabSimConfig::small(5000, 11))
+            .generate()
+            .unwrap();
         let attacks = LabSimulator::attack_events();
         let n_attack = t
             .cat_column("event")
@@ -322,7 +388,9 @@ mod tests {
 
     #[test]
     fn every_clean_record_is_kg_valid() {
-        let t = LabSimulator::new(LabSimConfig::small(800, 13)).generate().unwrap();
+        let t = LabSimulator::new(LabSimConfig::small(800, 13))
+            .generate()
+            .unwrap();
         let kg = LabSimulator::knowledge_graph();
         for r in 0..t.n_rows() {
             let a = assignment_from_row(&t, r);
@@ -333,17 +401,24 @@ mod tests {
 
     #[test]
     fn class_imbalance_present() {
-        let t = LabSimulator::new(LabSimConfig::small(4000, 17)).generate().unwrap();
+        let t = LabSimulator::new(LabSimConfig::small(4000, 17))
+            .generate()
+            .unwrap();
         let counts = t.category_counts("event").unwrap();
         let heartbeat = counts.get("heartbeat").copied().unwrap_or(0);
         let cve = counts.get("cve_1999_0003").copied().unwrap_or(0);
-        assert!(heartbeat > 10 * cve.max(1), "expected heavy imbalance: {counts:?}");
+        assert!(
+            heartbeat > 10 * cve.max(1),
+            "expected heavy imbalance: {counts:?}"
+        );
         assert!(cve > 0, "minority class must still appear");
     }
 
     #[test]
     fn flooding_has_heavy_packet_signature() {
-        let t = LabSimulator::new(LabSimConfig::small(6000, 19)).generate().unwrap();
+        let t = LabSimulator::new(LabSimConfig::small(6000, 19))
+            .generate()
+            .unwrap();
         let events = t.cat_column("event").unwrap().to_vec();
         let pkts = t.num_column("pkt_count").unwrap();
         let mean_for = |name: &str| {
@@ -370,7 +445,9 @@ mod tests {
 
     #[test]
     fn src_ip_always_in_subnet() {
-        let t = LabSimulator::new(LabSimConfig::small(300, 29)).generate().unwrap();
+        let t = LabSimulator::new(LabSimConfig::small(300, 29))
+            .generate()
+            .unwrap();
         for ip in t.cat_column("src_ip").unwrap() {
             assert!(ip.starts_with("192.168.1."), "{ip}");
         }

@@ -53,11 +53,7 @@ mod tests {
             ColumnMeta::categorical("proto"),
             ColumnMeta::continuous("port"),
         ]);
-        let t = Table::from_rows(
-            schema,
-            vec![vec![Value::cat("udp"), Value::num(53.0)]],
-        )
-        .unwrap();
+        let t = Table::from_rows(schema, vec![vec![Value::cat("udp"), Value::num(53.0)]]).unwrap();
         let a = assignment_from_row(&t, 0);
         assert_eq!(a.get_cat("proto"), Some("udp"));
         assert_eq!(a.get_num("port"), Some(53.0));

@@ -26,7 +26,10 @@ pub struct UnswSimConfig {
 
 impl Default for UnswSimConfig {
     fn default() -> Self {
-        Self { n_records: 20_000, seed: 15 }
+        Self {
+            n_records: 20_000,
+            seed: 15,
+        }
     }
 }
 
@@ -53,18 +56,44 @@ const CATEGORIES: &[(&str, f64)] = &[
 
 /// Per-category discrete fingerprints: (protos, services, states), all
 /// consistent with the `unsw_default` knowledge graph.
-fn fingerprint(cat: &str) -> (&'static [&'static str], &'static [&'static str], &'static [&'static str]) {
+fn fingerprint(
+    cat: &str,
+) -> (
+    &'static [&'static str],
+    &'static [&'static str],
+    &'static [&'static str],
+) {
     match cat {
         "normal" => (
             &["tcp", "udp"],
             &["-", "dns", "http", "smtp", "ftp", "ssh", "pop3"],
             &["FIN", "CON", "INT", "REQ"],
         ),
-        "generic" => (&["udp", "tcp"], &["dns", "-", "http", "smtp"], &["INT", "CON", "FIN"]),
-        "exploits" => (&["tcp", "udp"], &["-", "http", "ftp", "smtp", "dns"], &["FIN", "INT", "CON"]),
-        "fuzzers" => (&["tcp", "udp"], &["-", "http", "dns", "ftp-data"], &["FIN", "INT", "CON"]),
-        "dos" => (&["tcp", "udp"], &["-", "http", "dns", "smtp"], &["INT", "CON", "FIN", "RST"]),
-        "reconnaissance" => (&["tcp", "udp", "icmp"], &["-", "dns", "http"], &["INT", "FIN", "REQ"]),
+        "generic" => (
+            &["udp", "tcp"],
+            &["dns", "-", "http", "smtp"],
+            &["INT", "CON", "FIN"],
+        ),
+        "exploits" => (
+            &["tcp", "udp"],
+            &["-", "http", "ftp", "smtp", "dns"],
+            &["FIN", "INT", "CON"],
+        ),
+        "fuzzers" => (
+            &["tcp", "udp"],
+            &["-", "http", "dns", "ftp-data"],
+            &["FIN", "INT", "CON"],
+        ),
+        "dos" => (
+            &["tcp", "udp"],
+            &["-", "http", "dns", "smtp"],
+            &["INT", "CON", "FIN", "RST"],
+        ),
+        "reconnaissance" => (
+            &["tcp", "udp", "icmp"],
+            &["-", "dns", "http"],
+            &["INT", "FIN", "REQ"],
+        ),
         "analysis" => (&["tcp"], &["-", "http"], &["FIN", "INT"]),
         "backdoors" => (&["tcp", "udp"], &["-", "ftp"], &["FIN", "INT"]),
         "shellcode" => (&["tcp", "udp"], &["-"], &["INT", "FIN"]),
@@ -173,8 +202,19 @@ impl UnswSimulator {
     /// than raw IPs/timestamps).
     pub fn modeling_columns() -> [&'static str; 13] {
         [
-            "proto", "service", "state", "dur", "sbytes", "dbytes", "sttl", "dttl", "sload",
-            "spkts", "dpkts", "smeansz", "attack_cat",
+            "proto",
+            "service",
+            "state",
+            "dur",
+            "sbytes",
+            "dbytes",
+            "sttl",
+            "dttl",
+            "sload",
+            "spkts",
+            "dpkts",
+            "smeansz",
+            "attack_cat",
         ]
     }
 
@@ -222,19 +262,33 @@ impl UnswSimulator {
         let (dur_mu, sb_mu, db_mu, sp_mu, dp_mu) = numeric_profile(cat);
 
         let dur = lognormal(dur_mu.max(1e-3), 0.6, rng).min(3_600.0);
-        let spkts = lognormal(sp_mu, 0.5, rng).round().max(1.0).min(500_000.0);
-        let dpkts = lognormal(dp_mu.max(0.2), 0.5, rng).round().max(0.0).min(500_000.0);
+        let spkts = lognormal(sp_mu, 0.5, rng).round().clamp(1.0, 500_000.0);
+        let dpkts = lognormal(dp_mu.max(0.2), 0.5, rng)
+            .round()
+            .clamp(0.0, 500_000.0);
         let sbytes = (lognormal(sb_mu, 0.7, rng).round()).clamp(28.0, 5e8);
-        let dbytes = if dpkts == 0.0 { 0.0 } else { lognormal(db_mu.max(1.0), 0.7, rng).round().clamp(0.0, 5e8) };
+        let dbytes = if dpkts == 0.0 {
+            0.0
+        } else {
+            lognormal(db_mu.max(1.0), 0.7, rng).round().clamp(0.0, 5e8)
+        };
         let sttl = *pick(&[62.0, 63.0, 254.0, 255.0], rng);
-        let dttl = if dpkts == 0.0 { 0.0 } else { *pick(&[29.0, 30.0, 60.0, 252.0, 253.0], rng) };
+        let dttl = if dpkts == 0.0 {
+            0.0
+        } else {
+            *pick(&[29.0, 30.0, 60.0, 252.0, 253.0], rng)
+        };
         let sload = if dur > 0.0 { sbytes * 8.0 / dur } else { 0.0 };
         let dload = if dur > 0.0 { dbytes * 8.0 / dur } else { 0.0 };
         let is_tcp = proto == "tcp";
         let swin = if is_tcp { 255.0 } else { 0.0 };
         let dwin = if is_tcp && dpkts > 0.0 { 255.0 } else { 0.0 };
         let smeansz = (sbytes / spkts).round().clamp(24.0, 1504.0);
-        let dmeansz = if dpkts > 0.0 { (dbytes / dpkts).round().clamp(0.0, 1504.0) } else { 0.0 };
+        let dmeansz = if dpkts > 0.0 {
+            (dbytes / dpkts).round().clamp(0.0, 1504.0)
+        } else {
+            0.0
+        };
         let http_like = service == "http";
         let ftp_like = service == "ftp";
 
@@ -265,8 +319,8 @@ impl UnswSimulator {
             Value::num(dbytes),
             Value::num(sttl),
             Value::num(dttl),
-            Value::num((spkts * rng.random_range(0.0..0.05)).round()), // sloss
-            Value::num((dpkts * rng.random_range(0.0..0.05)).round()), // dloss
+            Value::num((spkts * rng.random_range(0.0..0.05f64)).round()), // sloss
+            Value::num((dpkts * rng.random_range(0.0..0.05f64)).round()), // dloss
             Value::cat(service.to_string()),
             Value::num(sload),
             Value::num(dload),
@@ -274,26 +328,74 @@ impl UnswSimulator {
             Value::num(dpkts),
             Value::num(swin),
             Value::num(dwin),
-            Value::num(if is_tcp { rng.random_range(0.0..4e9f64) } else { 0.0 }), // stcpb
-            Value::num(if is_tcp { rng.random_range(0.0..4e9f64) } else { 0.0 }), // dtcpb
+            Value::num(if is_tcp {
+                rng.random_range(0.0..4e9f64)
+            } else {
+                0.0
+            }), // stcpb
+            Value::num(if is_tcp {
+                rng.random_range(0.0..4e9f64)
+            } else {
+                0.0
+            }), // dtcpb
             Value::num(smeansz),
             Value::num(dmeansz),
-            Value::num(if http_like { rng.random_range(1.0..3.0f64).round() } else { 0.0 }),
-            Value::num(if http_like { lognormal(2_000.0, 1.0, rng).round() } else { 0.0 }),
+            Value::num(if http_like {
+                rng.random_range(1.0..3.0f64).round()
+            } else {
+                0.0
+            }),
+            Value::num(if http_like {
+                lognormal(2_000.0, 1.0, rng).round()
+            } else {
+                0.0
+            }),
             Value::num(lognormal(100.0, 1.0, rng)), // sjit
             Value::num(lognormal(80.0, 1.0, rng)),  // djit
             Value::num(stime),
             Value::num(stime + dur),
-            Value::num(if spkts > 1.0 { dur * 1000.0 / spkts } else { 0.0 }), // sintpkt
-            Value::num(if dpkts > 1.0 { dur * 1000.0 / dpkts } else { 0.0 }), // dintpkt
-            Value::num(if is_tcp { lognormal(0.08, 0.5, rng) } else { 0.0 }), // tcprtt
-            Value::num(if is_tcp { lognormal(0.04, 0.5, rng) } else { 0.0 }), // synack
-            Value::num(if is_tcp { lognormal(0.04, 0.5, rng) } else { 0.0 }), // ackdat
+            Value::num(if spkts > 1.0 {
+                dur * 1000.0 / spkts
+            } else {
+                0.0
+            }), // sintpkt
+            Value::num(if dpkts > 1.0 {
+                dur * 1000.0 / dpkts
+            } else {
+                0.0
+            }), // dintpkt
+            Value::num(if is_tcp {
+                lognormal(0.08, 0.5, rng)
+            } else {
+                0.0
+            }), // tcprtt
+            Value::num(if is_tcp {
+                lognormal(0.04, 0.5, rng)
+            } else {
+                0.0
+            }), // synack
+            Value::num(if is_tcp {
+                lognormal(0.04, 0.5, rng)
+            } else {
+                0.0
+            }), // ackdat
             Value::cat(if same_endpoint { "1" } else { "0" }),
             Value::num(rng.random_range(0.0..6.0f64).round()), // ct_state_ttl
-            Value::num(if http_like { rng.random_range(0.0..4.0f64).round() } else { 0.0 }),
-            Value::cat(if ftp_like && rng.random_bool(0.3) { "1" } else { "0" }),
-            Value::num(if ftp_like { rng.random_range(0.0..4.0f64).round() } else { 0.0 }),
+            Value::num(if http_like {
+                rng.random_range(0.0..4.0f64).round()
+            } else {
+                0.0
+            }),
+            Value::cat(if ftp_like && rng.random_bool(0.3) {
+                "1"
+            } else {
+                "0"
+            }),
+            Value::num(if ftp_like {
+                rng.random_range(0.0..4.0f64).round()
+            } else {
+                0.0
+            }),
             Value::num(rng.random_range(1.0..40.0f64).round()), // ct_srv_src
             Value::num(rng.random_range(1.0..40.0f64).round()), // ct_srv_dst
             Value::num(rng.random_range(1.0..30.0f64).round()), // ct_dst_ltm
@@ -342,17 +444,24 @@ mod tests {
 
     #[test]
     fn generates_with_imbalance() {
-        let t = UnswSimulator::new(UnswSimConfig::small(4000, 1)).generate().unwrap();
+        let t = UnswSimulator::new(UnswSimConfig::small(4000, 1))
+            .generate()
+            .unwrap();
         assert_eq!(t.n_rows(), 4000);
         let counts = t.category_counts("attack_cat").unwrap();
         let normal = counts.get("normal").copied().unwrap_or(0);
         assert!(normal > 3000, "normal should dominate: {counts:?}");
-        assert!(counts.len() >= 6, "most categories should appear: {counts:?}");
+        assert!(
+            counts.len() >= 6,
+            "most categories should appear: {counts:?}"
+        );
     }
 
     #[test]
     fn label_agrees_with_category() {
-        let t = UnswSimulator::new(UnswSimConfig::small(500, 2)).generate().unwrap();
+        let t = UnswSimulator::new(UnswSimConfig::small(500, 2))
+            .generate()
+            .unwrap();
         let cats = t.cat_column("attack_cat").unwrap();
         let labels = t.cat_column("label").unwrap();
         for (c, l) in cats.iter().zip(labels) {
@@ -362,7 +471,9 @@ mod tests {
 
     #[test]
     fn modeling_view_is_kg_consistent() {
-        let t = UnswSimulator::new(UnswSimConfig::small(600, 3)).generate().unwrap();
+        let t = UnswSimulator::new(UnswSimConfig::small(600, 3))
+            .generate()
+            .unwrap();
         let view = UnswSimulator::modeling_view(&t).unwrap();
         assert_eq!(view.n_cols(), 13);
         let kg = UnswSimulator::knowledge_graph();
@@ -375,14 +486,20 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = UnswSimulator::new(UnswSimConfig::small(100, 9)).generate().unwrap();
-        let b = UnswSimulator::new(UnswSimConfig::small(100, 9)).generate().unwrap();
+        let a = UnswSimulator::new(UnswSimConfig::small(100, 9))
+            .generate()
+            .unwrap();
+        let b = UnswSimulator::new(UnswSimConfig::small(100, 9))
+            .generate()
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn port_service_consistency() {
-        let t = UnswSimulator::new(UnswSimConfig::small(800, 4)).generate().unwrap();
+        let t = UnswSimulator::new(UnswSimConfig::small(800, 4))
+            .generate()
+            .unwrap();
         let services = t.cat_column("service").unwrap().to_vec();
         let dsports = t.num_column("dsport").unwrap();
         for (s, &p) in services.iter().zip(dsports) {
@@ -397,9 +514,14 @@ mod tests {
 
     #[test]
     fn numeric_invariants() {
-        let t = UnswSimulator::new(UnswSimConfig::small(800, 5)).generate().unwrap();
-        for (&sb, &sp) in
-            t.num_column("sbytes").unwrap().iter().zip(t.num_column("spkts").unwrap())
+        let t = UnswSimulator::new(UnswSimConfig::small(800, 5))
+            .generate()
+            .unwrap();
+        for (&sb, &sp) in t
+            .num_column("sbytes")
+            .unwrap()
+            .iter()
+            .zip(t.num_column("spkts").unwrap())
         {
             assert!(sb >= 28.0);
             assert!(sp >= 1.0);
@@ -416,7 +538,9 @@ mod tests {
 
     #[test]
     fn dos_flows_are_heavier_than_generic() {
-        let t = UnswSimulator::new(UnswSimConfig::small(6000, 6)).generate().unwrap();
+        let t = UnswSimulator::new(UnswSimConfig::small(6000, 6))
+            .generate()
+            .unwrap();
         let cats = t.cat_column("attack_cat").unwrap().to_vec();
         let spkts = t.num_column("spkts").unwrap();
         let mean_for = |name: &str| {

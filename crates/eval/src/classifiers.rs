@@ -36,11 +36,27 @@ pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
 pub fn macro_f1(pred: &[usize], truth: &[usize], n_classes: usize) -> f64 {
     let mut f1_sum = 0.0;
     for c in 0..n_classes {
-        let tp = pred.iter().zip(truth).filter(|(p, t)| **p == c && **t == c).count() as f64;
-        let fp = pred.iter().zip(truth).filter(|(p, t)| **p == c && **t != c).count() as f64;
-        let fneg = pred.iter().zip(truth).filter(|(p, t)| **p != c && **t == c).count() as f64;
+        let tp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == c && **t == c)
+            .count() as f64;
+        let fp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == c && **t != c)
+            .count() as f64;
+        let fneg = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p != c && **t == c)
+            .count() as f64;
         let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
-        let recall = if tp + fneg > 0.0 { tp / (tp + fneg) } else { 0.0 };
+        let recall = if tp + fneg > 0.0 {
+            tp / (tp + fneg)
+        } else {
+            0.0
+        };
         f1_sum += if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
         } else {
@@ -78,7 +94,13 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// A tree with the given depth cap.
     pub fn new(max_depth: usize) -> Self {
-        Self { max_depth, min_samples: 4, feature_subsample: None, seed: 0, root: None }
+        Self {
+            max_depth,
+            min_samples: 4,
+            feature_subsample: None,
+            seed: 0,
+            root: None,
+        }
     }
 
     fn with_feature_subsample(mut self, k: usize, seed: u64) -> Self {
@@ -172,8 +194,7 @@ impl DecisionTree {
                 if ln == 0 || rn == 0 {
                     continue;
                 }
-                let w_gini = (ln as f64 * Self::gini(&lc, ln)
-                    + rn as f64 * Self::gini(&rc, rn))
+                let w_gini = (ln as f64 * Self::gini(&lc, ln) + rn as f64 * Self::gini(&rc, rn))
                     / rows.len() as f64;
                 let gain = parent_gini - w_gini;
                 if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-9) {
@@ -189,7 +210,12 @@ impl DecisionTree {
                     rows.iter().partition(|&&r| x[(r, feature)] <= threshold);
                 let left = self.build(x, y, &left_rows, n_classes, depth + 1, rng);
                 let right = self.build(x, y, &right_rows, n_classes, depth + 1, rng);
-                TreeNode::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
             }
         }
     }
@@ -199,8 +225,17 @@ impl DecisionTree {
         loop {
             match node {
                 TreeNode::Leaf { class } => return *class,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    node = if x[(r, *feature)] <= *threshold { left } else { right };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[(r, *feature)] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -246,7 +281,13 @@ pub struct RandomForest {
 impl RandomForest {
     /// A forest of `n_trees` trees with the given depth cap.
     pub fn new(n_trees: usize, max_depth: usize) -> Self {
-        Self { n_trees, max_depth, seed: 7, trees: Vec::new(), n_classes: 0 }
+        Self {
+            n_trees,
+            max_depth,
+            seed: 7,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
     }
 
     /// Sets the RNG seed.
@@ -276,8 +317,9 @@ impl Classifier for RandomForest {
         let mut rng = StdRng::seed_from_u64(self.seed);
         for t in 0..self.n_trees {
             // bootstrap sample
-            let rows: Vec<usize> =
-                (0..x.rows()).map(|_| rng.random_range(0..x.rows())).collect();
+            let rows: Vec<usize> = (0..x.rows())
+                .map(|_| rng.random_range(0..x.rows()))
+                .collect();
             let bx = x.select_rows(&rows);
             let by: Vec<usize> = rows.iter().map(|&r| y[r]).collect();
             let mut tree = DecisionTree::new(self.max_depth)
@@ -321,7 +363,15 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// A model trained for `epochs` full-batch steps.
     pub fn new(epochs: usize, lr: f32) -> Self {
-        Self { epochs, lr, l2: 1e-4, w: None, b: None, mu: None, sd: None }
+        Self {
+            epochs,
+            lr,
+            l2: 1e-4,
+            w: None,
+            b: None,
+            mu: None,
+            sd: None,
+        }
     }
 }
 
@@ -406,7 +456,12 @@ pub struct KNearest {
 impl KNearest {
     /// A k-NN classifier with the given neighbourhood size.
     pub fn new(k: usize) -> Self {
-        Self { k: k.max(1), max_reference: 4000, x: None, y: Vec::new() }
+        Self {
+            k: k.max(1),
+            max_reference: 4000,
+            x: None,
+            y: Vec::new(),
+        }
     }
 }
 
@@ -426,8 +481,9 @@ impl Classifier for KNearest {
         assert!(!y.is_empty(), "cannot fit on empty data");
         if x.rows() > self.max_reference {
             let mut rng = StdRng::seed_from_u64(13);
-            let rows: Vec<usize> =
-                (0..self.max_reference).map(|_| rng.random_range(0..x.rows())).collect();
+            let rows: Vec<usize> = (0..self.max_reference)
+                .map(|_| rng.random_range(0..x.rows()))
+                .collect();
             self.x = Some(x.select_rows(&rows));
             self.y = rows.iter().map(|&r| y[r]).collect();
         } else {
@@ -445,8 +501,7 @@ impl Classifier for KNearest {
                 let mut dists: Vec<(f32, usize)> = (0..train.rows())
                     .map(|tr| {
                         let row = train.row(tr);
-                        let d: f32 =
-                            query.iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum();
+                        let d: f32 = query.iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum();
                         (d, self.y[tr])
                     })
                     .collect();
@@ -491,8 +546,8 @@ impl Classifier for GaussianNb {
         let mut counts = vec![0usize; k];
         let mut means = vec![vec![0.0f64; d]; k];
         let mut sq = vec![vec![0.0f64; d]; k];
-        for r in 0..x.rows() {
-            let c = y[r].min(k - 1);
+        for (r, &label) in y.iter().enumerate() {
+            let c = label.min(k - 1);
             counts[c] += 1;
             for (j, &v) in x.row(r).iter().enumerate() {
                 means[c][j] += v as f64;
@@ -581,7 +636,11 @@ mod tests {
         (x, y)
     }
 
-    fn check_learns(clf: &mut dyn Classifier, data: fn(usize, u64) -> (Matrix, Vec<usize>), floor: f64) {
+    fn check_learns(
+        clf: &mut dyn Classifier,
+        data: fn(usize, u64) -> (Matrix, Vec<usize>),
+        floor: f64,
+    ) {
         let (xtr, ytr) = data(400, 1);
         let (xte, yte) = data(200, 2);
         clf.fit(&xtr, &ytr, 2);
@@ -645,7 +704,9 @@ mod tests {
     #[test]
     fn multiclass_support() {
         // 3 clearly separated classes on one axis
-        let x = Matrix::from_fn(300, 1, |r, _| (r % 3) as f32 * 10.0 + (r as f32 % 7.0) * 0.01);
+        let x = Matrix::from_fn(300, 1, |r, _| {
+            (r % 3) as f32 * 10.0 + (r as f32 % 7.0) * 0.01
+        });
         let y: Vec<usize> = (0..300).map(|r| r % 3).collect();
         for clf in standard_panel().iter_mut() {
             clf.fit(&x, &y, 3);

@@ -28,13 +28,19 @@ impl MlEncoder {
     /// categorical, or the table is empty.
     pub fn fit(table: &Table, label_column: &str) -> Result<Self, DataError> {
         if table.is_empty() {
-            return Err(DataError::SchemaMismatch("cannot fit encoder on empty table".into()));
+            return Err(DataError::SchemaMismatch(
+                "cannot fit encoder on empty table".into(),
+            ));
         }
         let labels_col = table.cat_column(label_column)?;
         let mut labels: Vec<String> = labels_col.to_vec();
         labels.sort();
         labels.dedup();
-        let label_index = labels.iter().enumerate().map(|(i, l)| (l.clone(), i)).collect();
+        let label_index = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), i))
+            .collect();
 
         let mut feature_cats = Vec::new();
         let mut feature_nums = Vec::new();
@@ -70,7 +76,11 @@ impl MlEncoder {
 
     /// Number of encoded feature columns.
     pub fn n_features(&self) -> usize {
-        self.feature_cats.iter().map(|(_, c)| c.len()).sum::<usize>() + self.feature_nums.len()
+        self.feature_cats
+            .iter()
+            .map(|(_, c)| c.len())
+            .sum::<usize>()
+            + self.feature_nums.len()
     }
 
     /// Number of label classes.
@@ -122,7 +132,12 @@ impl MlEncoder {
         let label_col = table.cat_column(&self.label_column)?;
         let y = label_col
             .iter()
-            .map(|l| self.label_index.get(l).copied().unwrap_or(self.labels.len()))
+            .map(|l| {
+                self.label_index
+                    .get(l)
+                    .copied()
+                    .unwrap_or(self.labels.len())
+            })
             .collect();
         Ok((x, y))
     }
@@ -176,7 +191,11 @@ mod tests {
         let schema = table().schema().clone();
         let other = Table::from_rows(
             schema,
-            vec![vec![Value::cat("icmp"), Value::num(1.0), Value::cat("ping")]],
+            vec![vec![
+                Value::cat("icmp"),
+                Value::num(1.0),
+                Value::cat("ping"),
+            ]],
         )
         .unwrap();
         let (x, y) = enc.encode(&other).unwrap();

@@ -93,7 +93,11 @@ pub fn l2_histogram_distance(a: &[f64], b: &[f64], bins: usize) -> f64 {
     };
     let ha = hist(a);
     let hb = hist(b);
-    ha.iter().zip(&hb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    ha.iter()
+        .zip(&hb)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn frequencies(s: &[String]) -> BTreeMap<String, f64> {
@@ -110,7 +114,11 @@ fn frequencies(s: &[String]) -> BTreeMap<String, f64> {
 ///
 /// Panics if the schemas differ.
 pub fn fidelity(real: &Table, synthetic: &Table) -> FidelityReport {
-    assert_eq!(real.schema(), synthetic.schema(), "fidelity requires matching schemas");
+    assert_eq!(
+        real.schema(),
+        synthetic.schema(),
+        "fidelity requires matching schemas"
+    );
     let mut per_column_emd = BTreeMap::new();
     let mut emd_total = 0.0;
     let mut combined_total = 0.0;
@@ -240,7 +248,11 @@ mod tests {
 /// report the mean log-likelihood of the synthetic values under them.
 /// Higher (closer to the real data's own likelihood) is better.
 pub fn likelihood_fitness(real: &Table, synthetic: &Table, max_modes: usize) -> f64 {
-    assert_eq!(real.schema(), synthetic.schema(), "likelihood fitness requires matching schemas");
+    assert_eq!(
+        real.schema(),
+        synthetic.schema(),
+        "likelihood fitness requires matching schemas"
+    );
     let mut total = 0.0;
     let mut n_cols = 0usize;
     for col in real.schema().iter() {
@@ -280,7 +292,11 @@ mod likelihood_tests {
     fn self_likelihood_beats_shifted() {
         let real = table(&(0..200).map(|i| (i % 20) as f64).collect::<Vec<_>>());
         let same = table(&(0..200).map(|i| ((i + 3) % 20) as f64).collect::<Vec<_>>());
-        let shifted = table(&(0..200).map(|i| 500.0 + (i % 20) as f64).collect::<Vec<_>>());
+        let shifted = table(
+            &(0..200)
+                .map(|i| 500.0 + (i % 20) as f64)
+                .collect::<Vec<_>>(),
+        );
         let ll_same = likelihood_fitness(&real, &same, 4);
         let ll_far = likelihood_fitness(&real, &shifted, 4);
         assert!(ll_same > ll_far, "{ll_same} vs {ll_far}");

@@ -111,7 +111,9 @@ pub fn reidentification_attack(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..original.n_rows()).collect();
     idx.shuffle(&mut rng);
-    let n_known = ((original.n_rows() as f64) * knowledge_fraction).round().max(1.0) as usize;
+    let n_known = ((original.n_rows() as f64) * knowledge_fraction)
+        .round()
+        .max(1.0) as usize;
     let known = &idx[..n_known.min(idx.len())];
 
     let probes = synthetic.n_rows().min(max_probes);
@@ -195,12 +197,13 @@ pub fn membership_inference_attack(
     let truth: Vec<bool> = (0..n_m + n_n).map(|i| i < n_m).collect();
     let full_black_box = threshold_attack_accuracy(&bb_scores, &truth);
     let white_box = match critic {
-        Some(scores) if scores.len() == n_m + n_n => {
-            threshold_attack_accuracy(scores, &truth)
-        }
+        Some(scores) if scores.len() == n_m + n_n => threshold_attack_accuracy(scores, &truth),
         _ => full_black_box,
     };
-    MembershipReport { white_box, full_black_box }
+    MembershipReport {
+        white_box,
+        full_black_box,
+    }
 }
 
 /// Best-threshold attack accuracy for score-based membership inference
@@ -236,7 +239,9 @@ mod tests {
     use rand::RngExt;
 
     fn lab(n: usize, seed: u64) -> Table {
-        LabSimulator::new(LabSimConfig::small(n, seed)).generate().unwrap()
+        LabSimulator::new(LabSimConfig::small(n, seed))
+            .generate()
+            .unwrap()
     }
 
     #[test]
@@ -257,7 +262,10 @@ mod tests {
         let acc30 = reidentification_attack(&original, &original, 0.3, 150, 7);
         let acc90 = reidentification_attack(&original, &original, 0.9, 150, 7);
         assert!(acc90 > acc30, "90% knowledge {acc90} vs 30% {acc30}");
-        assert!(acc90 > 0.85, "memorizing release should be highly linkable: {acc90}");
+        assert!(
+            acc90 > 0.85,
+            "memorizing release should be highly linkable: {acc90}"
+        );
     }
 
     #[test]
@@ -267,14 +275,16 @@ mod tests {
         let acc = reidentification_attack(&original, &unrelated, 0.3, 100, 7);
         // linkage still sometimes right by chance, but far from the memorizing case
         let memorizing = reidentification_attack(&original, &original, 0.3, 100, 7);
-        assert!(acc <= memorizing + 0.05, "unrelated {acc} vs memorizing {memorizing}");
+        assert!(
+            acc <= memorizing + 0.05,
+            "unrelated {acc} vs memorizing {memorizing}"
+        );
     }
 
     #[test]
     fn attribute_inference_on_self_release_is_high() {
         let original = lab(400, 4);
-        let acc =
-            attribute_inference_attack(&original, &original, "event", 150).unwrap();
+        let acc = attribute_inference_attack(&original, &original, "event", 150).unwrap();
         assert!(acc > 0.7, "event is predictable from ports/protocol: {acc}");
     }
 
@@ -288,7 +298,10 @@ mod tests {
         let non_members = holdout.select_rows(&members_idx);
         // memorizing release = training data itself
         let leaky = membership_inference_attack(&members, &non_members, &train, None);
-        assert!(leaky.full_black_box > 0.8, "exact copies are detectable: {leaky:?}");
+        assert!(
+            leaky.full_black_box > 0.8,
+            "exact copies are detectable: {leaky:?}"
+        );
         // private-ish release: independent fresh draw from the same simulator
         let fresh = lab(300, 777);
         let private = membership_inference_attack(&members, &non_members, &fresh, None);
@@ -313,8 +326,9 @@ mod tests {
         let non_members = lab(50, 8);
         let synth = lab(50, 9);
         // perfect oracle critic: members high, non-members low
-        let critic: Vec<f64> =
-            (0..100).map(|i| if i < 50 { 10.0 } else { -10.0 }).collect();
+        let critic: Vec<f64> = (0..100)
+            .map(|i| if i < 50 { 10.0 } else { -10.0 })
+            .collect();
         let rep = membership_inference_attack(&members, &non_members, &synth, Some(&critic));
         assert!((rep.white_box - 1.0).abs() < 1e-9);
     }

@@ -90,19 +90,27 @@ mod tests {
 
     #[test]
     fn baseline_beats_chance_on_lab_data() {
-        let data = LabSimulator::new(LabSimConfig::small(1500, 3)).generate().unwrap();
+        let data = LabSimulator::new(LabSimConfig::small(1500, 3))
+            .generate()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let (train, test) = data.train_test_split(0.3, &mut rng);
         let report = evaluate_tstr("Baseline", &train, &test, &train, "event").unwrap();
         assert_eq!(report.per_classifier.len(), 5);
         // events are nearly determined by (protocol, ports) in the lab sim
-        assert!(report.mean_accuracy > 0.6, "mean accuracy {}", report.mean_accuracy);
+        assert!(
+            report.mean_accuracy > 0.6,
+            "mean accuracy {}",
+            report.mean_accuracy
+        );
         assert!(report.mean_macro_f1 > 0.3);
     }
 
     #[test]
     fn shuffled_labels_hurt_utility() {
-        let data = LabSimulator::new(LabSimConfig::small(800, 4)).generate().unwrap();
+        let data = LabSimulator::new(LabSimConfig::small(800, 4))
+            .generate()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let (train, test) = data.train_test_split(0.3, &mut rng);
         // corrupt: rotate the label column by pairing rows with shifted labels
@@ -126,7 +134,9 @@ mod tests {
 
     #[test]
     fn single_classifier_path() {
-        let data = LabSimulator::new(LabSimConfig::small(600, 5)).generate().unwrap();
+        let data = LabSimulator::new(LabSimConfig::small(600, 5))
+            .generate()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let (train, test) = data.train_test_split(0.3, &mut rng);
         let mut rf = RandomForest::new(8, 8);

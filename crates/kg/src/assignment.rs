@@ -155,7 +155,9 @@ impl fmt::Display for Assignment {
 
 impl FromIterator<(String, AttrValue)> for Assignment {
     fn from_iter<T: IntoIterator<Item = (String, AttrValue)>>(iter: T) -> Self {
-        Assignment { values: iter.into_iter().collect() }
+        Assignment {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -176,7 +178,9 @@ mod tests {
     #[test]
     fn merge_overwrites() {
         let mut a = Assignment::new().with("x", AttrValue::num(1.0));
-        let b = Assignment::new().with("x", AttrValue::num(2.0)).with("y", "z".into());
+        let b = Assignment::new()
+            .with("x", AttrValue::num(2.0))
+            .with("y", "z".into());
         a.merge(&b);
         assert_eq!(a.get_num("x"), Some(2.0));
         assert_eq!(a.len(), 2);
@@ -184,7 +188,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let a = Assignment::new().with("p", "udp".into()).with("q", AttrValue::num(5.0));
+        let a = Assignment::new()
+            .with("p", "udp".into())
+            .with("q", AttrValue::num(5.0));
         assert_eq!(a.to_string(), "{p=udp, q=5}");
     }
 }

@@ -113,7 +113,11 @@ impl NetworkKg {
             .numeric_range("*", "dst_port", 1, 65535)
             // ---- benign behaviour constraints ----
             .allow_values("motion_detected", "protocol", &["tcp"])
-            .allow_values("motion_detected", "device", &["blink_camera", "motion_sensor"])
+            .allow_values(
+                "motion_detected",
+                "device",
+                &["blink_camera", "motion_sensor"],
+            )
             .numeric_range("motion_detected", "dst_port", 443, 443)
             .numeric_range("motion_detected", "src_port", 1024, 65535)
             .allow_values("motion_detected", "dst_ip", &cloud_dsts)
@@ -197,7 +201,11 @@ impl NetworkKg {
             .numeric_range("*", "sbytes", 28, 500_000_000)
             .numeric_range("*", "dbytes", 0, 500_000_000)
             // category knowledge (service/protocol fingerprints)
-            .allow_values("normal", "service", &["-", "dns", "http", "smtp", "ftp", "ssh", "pop3"])
+            .allow_values(
+                "normal",
+                "service",
+                &["-", "dns", "http", "smtp", "ftp", "ssh", "pop3"],
+            )
             .allow_values("generic", "service", &["-", "dns", "http", "smtp"])
             .allow_values("generic", "proto", &["udp", "tcp"])
             .allow_values("exploits", "service", &["-", "http", "ftp", "smtp", "dns"])
@@ -222,7 +230,12 @@ impl NetworkKg {
             .allow_values("dos", "state", &["INT", "CON", "FIN", "RST"])
             .allow_values("shellcode", "state", &["INT", "FIN"]);
         let store = builder.build();
-        Self::new("unsw-nb15", store, "attack_cat", &["attack_cat", "proto", "service", "state"])
+        Self::new(
+            "unsw-nb15",
+            store,
+            "attack_cat",
+            &["attack_cat", "proto", "service", "state"],
+        )
     }
 }
 
@@ -289,7 +302,10 @@ mod tests {
             kg.reasoner().valid_range("cve_1999_0003", "dst_port"),
             Some((32771.0, 34000.0))
         );
-        let vals = kg.reasoner().valid_values("cve_1999_0003", "protocol").unwrap();
+        let vals = kg
+            .reasoner()
+            .valid_values("cve_1999_0003", "protocol")
+            .unwrap();
         assert_eq!(vals.len(), 1);
         assert!(vals.contains("udp"));
     }
@@ -319,7 +335,10 @@ mod tests {
         let a = Assignment::new()
             .with("attack_cat", "shellcode".into())
             .with("service", "http".into());
-        assert!(!kg.reasoner().is_valid(&a).is_valid(), "shellcode never runs over http here");
+        assert!(
+            !kg.reasoner().is_valid(&a).is_valid(),
+            "shellcode never runs over http here"
+        );
         let ok = Assignment::new()
             .with("attack_cat", "shellcode".into())
             .with("service", "-".into())

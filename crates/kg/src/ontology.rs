@@ -133,7 +133,11 @@ impl GraphBuilder {
     pub fn new(ns: &str) -> Self {
         let mut store = TripleStore::new();
         install_schema(&mut store);
-        Self { ns: ns.to_string(), store, constraint_counter: 0 }
+        Self {
+            ns: ns.to_string(),
+            store,
+            constraint_counter: 0,
+        }
     }
 
     fn iri(&self, local: &str) -> Iri {
@@ -143,7 +147,8 @@ impl GraphBuilder {
     /// Registers a device and its IP address.
     pub fn device(mut self, name: &str, ip: &str) -> Self {
         let d = self.iri(name);
-        self.store.add(d.clone(), vocab::RDF_TYPE, Term::iri(vocab::DEVICE));
+        self.store
+            .add(d.clone(), vocab::RDF_TYPE, Term::iri(vocab::DEVICE));
         self.store.add(d, vocab::HAS_IP, ip);
         self
     }
@@ -151,14 +156,19 @@ impl GraphBuilder {
     /// Registers a benign event class.
     pub fn benign_event(mut self, name: &str) -> Self {
         let e = self.iri(name);
-        self.store.add(e, vocab::RDF_TYPE, Term::iri(vocab::BENIGN_EVENT));
+        self.store
+            .add(e, vocab::RDF_TYPE, Term::iri(vocab::BENIGN_EVENT));
         self
     }
 
     /// Registers an attack event class (optionally CVE-linked).
     pub fn attack_event(mut self, name: &str, cve: Option<&str>) -> Self {
         let e = self.iri(name);
-        let class = if cve.is_some() { vocab::CVE_ATTACK } else { vocab::ATTACK };
+        let class = if cve.is_some() {
+            vocab::CVE_ATTACK
+        } else {
+            vocab::ATTACK
+        };
         self.store.add(e.clone(), vocab::RDF_TYPE, Term::iri(class));
         if let Some(cve) = cve {
             self.store.add(e, vocab::HAS_CVE, cve);
@@ -169,23 +179,31 @@ impl GraphBuilder {
     /// Registers a protocol resource.
     pub fn protocol(mut self, name: &str) -> Self {
         let p = self.iri(name);
-        self.store.add(p, vocab::RDF_TYPE, Term::iri(vocab::PROTOCOL));
+        self.store
+            .add(p, vocab::RDF_TYPE, Term::iri(vocab::PROTOCOL));
         self
     }
 
     /// Registers a service resource.
     pub fn service(mut self, name: &str) -> Self {
         let s = self.iri(name);
-        self.store.add(s, vocab::RDF_TYPE, Term::iri(vocab::SERVICE));
+        self.store
+            .add(s, vocab::RDF_TYPE, Term::iri(vocab::SERVICE));
         self
     }
 
     fn constraint_node(&mut self, event: &str, field: &str) -> Iri {
         self.constraint_counter += 1;
         let node = self.iri(&format!("constraint_{}", self.constraint_counter));
-        self.store.add(node.clone(), vocab::RDF_TYPE, Term::iri(vocab::VALUE_CONSTRAINT));
-        self.store.add(node.clone(), vocab::CONSTRAINS_EVENT, Term::str(event));
-        self.store.add(node.clone(), vocab::ON_FIELD, Term::str(field));
+        self.store.add(
+            node.clone(),
+            vocab::RDF_TYPE,
+            Term::iri(vocab::VALUE_CONSTRAINT),
+        );
+        self.store
+            .add(node.clone(), vocab::CONSTRAINS_EVENT, Term::str(event));
+        self.store
+            .add(node.clone(), vocab::ON_FIELD, Term::str(field));
         node
     }
 
@@ -194,7 +212,8 @@ impl GraphBuilder {
     pub fn allow_values(mut self, event: &str, field: &str, values: &[&str]) -> Self {
         let node = self.constraint_node(event, field);
         for v in values {
-            self.store.add(node.clone(), vocab::ALLOWS_VALUE, Term::str(*v));
+            self.store
+                .add(node.clone(), vocab::ALLOWS_VALUE, Term::str(*v));
         }
         self
     }
@@ -202,9 +221,13 @@ impl GraphBuilder {
     /// Constrains numeric `field` of `event` to the inclusive range
     /// `[min, max]` — e.g. the CVE-1999-0003 destination-port window.
     pub fn numeric_range(mut self, event: &str, field: &str, min: i64, max: i64) -> Self {
-        assert!(min <= max, "numeric_range bounds inverted for {event}.{field}: {min} > {max}");
+        assert!(
+            min <= max,
+            "numeric_range bounds inverted for {event}.{field}: {min} > {max}"
+        );
         let node = self.constraint_node(event, field);
-        self.store.add(node.clone(), vocab::MIN_VALUE, Term::int(min));
+        self.store
+            .add(node.clone(), vocab::MIN_VALUE, Term::int(min));
         self.store.add(node, vocab::MAX_VALUE, Term::int(max));
         self
     }
@@ -213,7 +236,8 @@ impl GraphBuilder {
     /// (subnet membership for IP fields).
     pub fn require_prefix(mut self, event: &str, field: &str, prefix: &str) -> Self {
         let node = self.constraint_node(event, field);
-        self.store.add(node, vocab::REQUIRES_PREFIX, Term::str(prefix));
+        self.store
+            .add(node, vocab::REQUIRES_PREFIX, Term::str(prefix));
         self
     }
 
@@ -253,7 +277,9 @@ mod tests {
             .build();
         assert!(store.is_instance_of(&"lab:cam".into(), &vocab::DEVICE.into()));
         assert!(store.is_instance_of(&"lab:cve_1999_0003".into(), &vocab::ATTACK.into()));
-        let cve = store.object(&"lab:cve_1999_0003".into(), &vocab::HAS_CVE.into()).unwrap();
+        let cve = store
+            .object(&"lab:cve_1999_0003".into(), &vocab::HAS_CVE.into())
+            .unwrap();
         assert_eq!(cve.as_str_lit(), Some("CVE-1999-0003"));
     }
 
@@ -275,7 +301,9 @@ mod tests {
 
     #[test]
     fn attack_without_cve_is_plain_attack() {
-        let store = GraphBuilder::new("lab").attack_event("flooding", None).build();
+        let store = GraphBuilder::new("lab")
+            .attack_event("flooding", None)
+            .build();
         assert!(store.is_instance_of(&"lab:flooding".into(), &vocab::ATTACK.into()));
         assert!(!store.is_instance_of(&"lab:flooding".into(), &vocab::CVE_ATTACK.into()));
     }

@@ -68,7 +68,10 @@ impl Reasoner {
 
     /// Builds a reasoner over an explicit rule set.
     pub fn new(rules: RuleSet) -> Self {
-        Self { rules, cache: RwLock::new(HashMap::new()) }
+        Self {
+            rules,
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The underlying rule set.
@@ -158,7 +161,11 @@ impl Reasoner {
                     let pick = vals.iter().nth(rng.random_range(0..vals.len())).unwrap();
                     candidate.set(field, AttrValue::cat(pick.clone()));
                 } else if let Some((lo, hi)) = self.valid_range(&event, field) {
-                    let v = if hi > lo { rng.random_range(lo..hi) } else { lo };
+                    let v = if hi > lo {
+                        rng.random_range(lo..hi)
+                    } else {
+                        lo
+                    };
                     candidate.set(field, AttrValue::num(v.round()));
                 } else if let Some(domain) = domains.get(field) {
                     if domain.is_empty() {
@@ -222,8 +229,11 @@ mod tests {
     #[test]
     fn validity_rate_fraction() {
         let r = reasoner();
-        let batch =
-            vec![cve_record(33000.0, "udp"), cve_record(80.0, "udp"), cve_record(32771.0, "udp")];
+        let batch = vec![
+            cve_record(33000.0, "udp"),
+            cve_record(80.0, "udp"),
+            cve_record(32771.0, "udp"),
+        ];
         let rate = r.validity_rate(&batch);
         assert!((rate - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(r.validity_rate(&[]), 1.0);
@@ -236,7 +246,9 @@ mod tests {
         let partial = Assignment::new().with("event", "cve_1999_0003".into());
         let fields = vec!["protocol".to_string(), "dst_port".to_string()];
         for _ in 0..50 {
-            let s = r.sample_valid(&partial, &fields, &BTreeMap::new(), &mut rng, 10).unwrap();
+            let s = r
+                .sample_valid(&partial, &fields, &BTreeMap::new(), &mut rng, 10)
+                .unwrap();
             assert_eq!(s.get_cat("protocol"), Some("udp"));
             let port = s.get_num("dst_port").unwrap();
             assert!((32771.0..=34000.0).contains(&port), "port {port}");
@@ -249,7 +261,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let partial = Assignment::new().with("event", "heartbeat".into());
         let mut domains = BTreeMap::new();
-        domains.insert("device".to_string(), vec!["cam".to_string(), "plug".to_string()]);
+        domains.insert(
+            "device".to_string(),
+            vec!["cam".to_string(), "plug".to_string()],
+        );
         let s = r
             .sample_valid(&partial, &["device".to_string()], &domains, &mut rng, 10)
             .unwrap();
@@ -266,8 +281,13 @@ mod tests {
         let r = Reasoner::from_store(&store, "event");
         let mut rng = StdRng::seed_from_u64(5);
         let partial = Assignment::new().with("event", "e".into());
-        let got =
-            r.sample_valid(&partial, &["protocol".to_string()], &BTreeMap::new(), &mut rng, 5);
+        let got = r.sample_valid(
+            &partial,
+            &["protocol".to_string()],
+            &BTreeMap::new(),
+            &mut rng,
+            5,
+        );
         assert!(got.is_none());
     }
 
@@ -277,8 +297,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let partial = Assignment::new().with("event", "heartbeat".into());
         let s = r
-            .sample_valid(&partial, &["unconstrained".to_string()], &BTreeMap::new(), &mut rng, 3)
+            .sample_valid(
+                &partial,
+                &["unconstrained".to_string()],
+                &BTreeMap::new(),
+                &mut rng,
+                3,
+            )
             .unwrap();
-        assert!(s.get("unconstrained").is_none(), "no constraint and no domain => untouched");
+        assert!(
+            s.get("unconstrained").is_none(),
+            "no constraint and no domain => untouched"
+        );
     }
 }

@@ -148,13 +148,20 @@ impl RuleSet {
                     kind: RuleKind::AllowedValues(allowed),
                 });
             }
-            let min = store.object(&node, &Iri::new(vocab::MIN_VALUE)).and_then(|t| t.as_int());
-            let max = store.object(&node, &Iri::new(vocab::MAX_VALUE)).and_then(|t| t.as_int());
+            let min = store
+                .object(&node, &Iri::new(vocab::MIN_VALUE))
+                .and_then(|t| t.as_int());
+            let max = store
+                .object(&node, &Iri::new(vocab::MAX_VALUE))
+                .and_then(|t| t.as_int());
             if let (Some(min), Some(max)) = (min, max) {
                 rules.push(Rule {
                     event: event.clone(),
                     field: field.clone(),
-                    kind: RuleKind::NumericRange { min: min as f64, max: max as f64 },
+                    kind: RuleKind::NumericRange {
+                        min: min as f64,
+                        max: max as f64,
+                    },
                 });
             }
             if let Some(prefix) = store
@@ -170,12 +177,18 @@ impl RuleSet {
         }
         // Deterministic evaluation and display order.
         rules.sort_by(|a, b| (&a.event, &a.field).cmp(&(&b.event, &b.field)));
-        Self { rules, scope_field: scope_field.to_string() }
+        Self {
+            rules,
+            scope_field: scope_field.to_string(),
+        }
     }
 
     /// Builds a rule set directly (for tests and synthetic scenarios).
     pub fn from_rules(rules: Vec<Rule>, scope_field: &str) -> Self {
-        Self { rules, scope_field: scope_field.to_string() }
+        Self {
+            rules,
+            scope_field: scope_field.to_string(),
+        }
     }
 
     /// The record field that names the event class.
@@ -323,7 +336,10 @@ mod tests {
     fn absent_fields_are_not_violations() {
         let rs = lab_rules();
         let a = Assignment::new().with("event", "cve_1999_0003".into());
-        assert!(rs.violations(&a).is_empty(), "partial records only checked on present fields");
+        assert!(
+            rs.violations(&a).is_empty(),
+            "partial records only checked on present fields"
+        );
     }
 
     #[test]
@@ -340,7 +356,10 @@ mod tests {
     #[test]
     fn numeric_range_lookup() {
         let rs = lab_rules();
-        assert_eq!(rs.numeric_range("cve_1999_0003", "dst_port"), Some((32771.0, 34000.0)));
+        assert_eq!(
+            rs.numeric_range("cve_1999_0003", "dst_port"),
+            Some((32771.0, 34000.0))
+        );
         assert_eq!(rs.numeric_range("heartbeat", "dst_port"), None);
     }
 

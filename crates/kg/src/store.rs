@@ -1,8 +1,8 @@
 //! An indexed, append-only triple store with pattern queries and RDFS-style
 //! subclass inference.
 
-use crate::term::{Iri, Term, Triple};
 use crate::ontology::vocab;
+use crate::term::{Iri, Term, Triple};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An in-memory triple store indexed by subject, predicate and object.
@@ -50,9 +50,18 @@ impl TripleStore {
             return false;
         }
         let idx = self.triples.len();
-        self.by_subject.entry(t.subject.clone()).or_default().push(idx);
-        self.by_predicate.entry(t.predicate.clone()).or_default().push(idx);
-        self.by_object.entry(t.object.clone()).or_default().push(idx);
+        self.by_subject
+            .entry(t.subject.clone())
+            .or_default()
+            .push(idx);
+        self.by_predicate
+            .entry(t.predicate.clone())
+            .or_default()
+            .push(idx);
+        self.by_object
+            .entry(t.object.clone())
+            .or_default()
+            .push(idx);
         self.triples.push(t);
         true
     }
@@ -93,7 +102,10 @@ impl TripleStore {
 
     /// All objects of `(subject, predicate, ?)`.
     pub fn objects(&self, s: &Iri, p: &Iri) -> Vec<&Term> {
-        self.query(Some(s), Some(p), None).into_iter().map(|t| &t.object).collect()
+        self.query(Some(s), Some(p), None)
+            .into_iter()
+            .map(|t| &t.object)
+            .collect()
     }
 
     /// First object of `(subject, predicate, ?)`, if any.
@@ -103,7 +115,10 @@ impl TripleStore {
 
     /// All subjects of `(?, predicate, object)`.
     pub fn subjects(&self, p: &Iri, o: &Term) -> Vec<&Iri> {
-        self.query(None, Some(p), Some(o)).into_iter().map(|t| &t.subject).collect()
+        self.query(None, Some(p), Some(o))
+            .into_iter()
+            .map(|t| &t.subject)
+            .collect()
     }
 
     /// Iterates over every stored triple in insertion order.
@@ -194,7 +209,11 @@ mod tests {
         let mut s = TripleStore::new();
         s.add("lab:cam", vocab::RDF_TYPE, Term::iri("net:camera"));
         s.add("net:camera", vocab::SUB_CLASS_OF, Term::iri("net:device"));
-        s.add("net:device", vocab::SUB_CLASS_OF, Term::iri("uco:Observable"));
+        s.add(
+            "net:device",
+            vocab::SUB_CLASS_OF,
+            Term::iri("uco:Observable"),
+        );
         s.add("lab:cam", "net:hasIp", "192.168.1.10");
         s.add("lab:plug", vocab::RDF_TYPE, Term::iri("net:device"));
         s
@@ -241,7 +260,10 @@ mod tests {
     fn instances_include_subclass_members() {
         let s = sample_store();
         let devices = s.instances_of(&"net:device".into());
-        assert!(devices.contains(&Iri::new("lab:cam")), "camera is a device by inference");
+        assert!(
+            devices.contains(&Iri::new("lab:cam")),
+            "camera is a device by inference"
+        );
         assert!(devices.contains(&Iri::new("lab:plug")));
     }
 

@@ -158,7 +158,11 @@ pub struct Triple {
 impl Triple {
     /// Builds a triple from anything convertible to its parts.
     pub fn new(s: impl Into<Iri>, p: impl Into<Iri>, o: impl Into<Term>) -> Self {
-        Triple { subject: s.into(), predicate: p.into(), object: o.into() }
+        Triple {
+            subject: s.into(),
+            predicate: p.into(),
+            object: o.into(),
+        }
     }
 }
 
@@ -198,7 +202,7 @@ mod tests {
 
     #[test]
     fn terms_order_deterministically() {
-        let mut v = vec![Term::int(2), Term::str("b"), Term::iri("a:a"), Term::int(1)];
+        let mut v = [Term::int(2), Term::str("b"), Term::iri("a:a"), Term::int(1)];
         v.sort();
         assert_eq!(v[0], Term::iri("a:a"));
     }

@@ -10,10 +10,9 @@ fn arb_rule() -> impl Strategy<Value = Rule> {
     let event = prop::sample::select(vec!["*", "alpha", "beta"]);
     let field = prop::sample::select(vec!["f1", "f2", "f3"]);
     let kind = prop_oneof![
-        prop::collection::btree_set(prop::sample::select(vec!["x", "y", "z"]), 1..3)
-            .prop_map(|s| RuleKind::AllowedValues(
-                s.into_iter().map(str::to_string).collect::<BTreeSet<_>>()
-            )),
+        prop::collection::btree_set(prop::sample::select(vec!["x", "y", "z"]), 1..3).prop_map(
+            |s| RuleKind::AllowedValues(s.into_iter().map(str::to_string).collect::<BTreeSet<_>>())
+        ),
         (0.0f64..50.0, 50.0f64..100.0).prop_map(|(min, max)| RuleKind::NumericRange { min, max }),
         prop::sample::select(vec!["pre", "192.168."])
             .prop_map(|p| RuleKind::RequiredPrefix(p.to_string())),

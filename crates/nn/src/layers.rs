@@ -142,24 +142,32 @@ impl BatchNorm1d {
             {
                 let mut rm = self.running_mean.borrow_mut();
                 let mut rv = self.running_var.borrow_mut();
-                *rm = rm.scale(1.0 - self.momentum).add(&mu.value().scale(self.momentum));
-                *rv = rv.scale(1.0 - self.momentum).add(&var.value().scale(self.momentum));
+                *rm = rm
+                    .scale(1.0 - self.momentum)
+                    .add(&mu.value().scale(self.momentum));
+                *rv = rv
+                    .scale(1.0 - self.momentum)
+                    .add(&var.value().scale(self.momentum));
             }
             xn.mul_row(gamma).add_row(beta)
         } else {
             let rm = self.running_mean.borrow().clone();
             let rv = self.running_var.borrow().clone();
             let std = rv.map(|v| (v + self.eps).sqrt());
-            let xn = x.add_const(&rm.scale(-1.0).into_row_pad(x.shape().0)).mul_const(
-                &Matrix::ones(x.shape().0, std.cols()).mul_row_broadcast(&std.map(|s| 1.0 / s)),
-            );
+            let xn = x
+                .add_const(&rm.scale(-1.0).into_row_pad(x.shape().0))
+                .mul_const(
+                    &Matrix::ones(x.shape().0, std.cols()).mul_row_broadcast(&std.map(|s| 1.0 / s)),
+                );
             xn.mul_row(gamma).add_row(beta)
         }
     }
 
     /// This layer's trainable parameters.
     pub fn params(&self) -> ParamSet {
-        [self.gamma.clone(), self.beta.clone()].into_iter().collect()
+        [self.gamma.clone(), self.beta.clone()]
+            .into_iter()
+            .collect()
     }
 }
 
@@ -187,7 +195,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1), got {p}"
+        );
         Self { p }
     }
 
@@ -216,12 +227,18 @@ pub struct ResidualBlock {
 impl ResidualBlock {
     /// Creates a block mapping `dim_in` to `dim_in + width` features.
     pub fn new(dim_in: usize, width: usize, rng: &mut impl Rng) -> Self {
-        Self { fc: Linear::kaiming(dim_in, width, rng), bn: BatchNorm1d::new(width) }
+        Self {
+            fc: Linear::kaiming(dim_in, width, rng),
+            bn: BatchNorm1d::new(width),
+        }
     }
 
     /// Applies the block.
     pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>, training: bool) -> Var<'t> {
-        let h = self.bn.forward(tape, self.fc.forward(tape, x), training).relu();
+        let h = self
+            .bn
+            .forward(tape, self.fc.forward(tape, x), training)
+            .relu();
         Var::concat_cols(&[x, h])
     }
 
@@ -294,9 +311,15 @@ impl Mlp {
         let mut dims = vec![config.input_dim];
         dims.extend_from_slice(&config.hidden);
         dims.push(config.output_dim);
-        let layers =
-            dims.windows(2).map(|w| Linear::kaiming(w[0], w[1], rng)).collect::<Vec<_>>();
-        Self { layers, activation: config.activation, dropout: Dropout::new(config.dropout) }
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::kaiming(w[0], w[1], rng))
+            .collect::<Vec<_>>();
+        Self {
+            layers,
+            activation: config.activation,
+            dropout: Dropout::new(config.dropout),
+        }
     }
 
     /// Forward pass; `training` controls dropout.
@@ -325,7 +348,8 @@ impl Mlp {
         let tape = Tape::new();
         // Dropout is disabled in eval mode, so this RNG is never consulted.
         let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
-        self.forward(&tape, tape.constant(x.clone()), false, &mut rng).value()
+        self.forward(&tape, tape.constant(x.clone()), false, &mut rng)
+            .value()
     }
 
     /// All trainable parameters, in layer order.
@@ -348,7 +372,10 @@ impl Mlp {
 /// generator output heads (soft one-hot during training; take `argmax` of
 /// the result when materializing synthetic rows).
 pub fn gumbel_softmax<'t>(logits: Var<'t>, tau: f32, rng: &mut impl Rng) -> Var<'t> {
-    assert!(tau > 0.0, "gumbel-softmax temperature must be positive, got {tau}");
+    assert!(
+        tau > 0.0,
+        "gumbel-softmax temperature must be positive, got {tau}"
+    );
     let (r, c) = logits.shape();
     let noise = Matrix::gumbel(r, c, rng);
     logits.add_const(&noise).scale(1.0 / tau).softmax()

@@ -32,7 +32,9 @@ pub fn gan_discriminator_loss<'t>(
     let (f, _) = fake_logits.shape();
     let real_t = Matrix::full(r, 1, real_label);
     let fake_t = Matrix::zeros(f, 1);
-    real_logits.bce_with_logits(&real_t).add(fake_logits.bce_with_logits(&fake_t))
+    real_logits
+        .bce_with_logits(&real_t)
+        .add(fake_logits.bce_with_logits(&fake_t))
 }
 
 /// Non-saturating generator loss: fake rows should be scored as real.
@@ -51,10 +53,7 @@ pub fn gan_generator_loss<'t>(fake_logits: Var<'t>) -> Var<'t> {
 pub fn gaussian_kl<'t>(mu: Var<'t>, logvar: Var<'t>) -> Var<'t> {
     // -0.5 * mean_batch sum_dim (1 + logvar - mu² - exp(logvar))
     let (batch, _) = mu.shape();
-    let term = logvar
-        .add_scalar(1.0)
-        .sub(mu.mul(mu))
-        .sub(logvar.exp());
+    let term = logvar.add_scalar(1.0).sub(mu.mul(mu)).sub(logvar.exp());
     term.sum().scale(-0.5 / batch as f32)
 }
 

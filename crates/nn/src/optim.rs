@@ -46,10 +46,20 @@ impl Sgd {
     /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
     pub fn with_momentum(params: ParamSet, lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive, got {lr}");
-        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1), got {momentum}");
-        let velocity =
-            params.iter().map(|p| Matrix::zeros(p.shape().0, p.shape().1)).collect();
-        Self { params, lr, momentum, velocity }
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1), got {momentum}"
+        );
+        let velocity = params
+            .iter()
+            .map(|p| Matrix::zeros(p.shape().0, p.shape().1))
+            .collect();
+        Self {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
     }
 
     /// Current learning rate.
@@ -125,11 +135,26 @@ impl Adam {
     /// Panics if `lr <= 0` or either beta is outside `[0, 1)`.
     pub fn with_betas(params: ParamSet, lr: f32, beta1: f32, beta2: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive, got {lr}");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0, 1)");
-        let m: Vec<Matrix> =
-            params.iter().map(|p| Matrix::zeros(p.shape().0, p.shape().1)).collect();
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0, 1)"
+        );
+        let m: Vec<Matrix> = params
+            .iter()
+            .map(|p| Matrix::zeros(p.shape().0, p.shape().1))
+            .collect();
         let v = m.clone();
-        Self { params, lr, beta1, beta2, eps: 1e-8, weight_decay: 0.0, t: 0, m, v }
+        Self {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m,
+            v,
+        }
     }
 
     /// Enables decoupled weight decay (AdamW-style).
@@ -156,7 +181,12 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in self
+            .params
+            .iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             let g = p.grad();
             // One exploded gradient must not poison the moment estimates
             // (inf -> m/v = inf -> update = inf/inf = NaN forever).
@@ -221,7 +251,10 @@ mod tests {
     fn momentum_accelerates() {
         let plain = minimize(|s| Box::new(Sgd::new(s, 0.01)), 40);
         let fast = minimize(|s| Box::new(Sgd::with_momentum(s, 0.01, 0.9)), 40);
-        assert!((fast - 3.0).abs() < (plain - 3.0).abs(), "momentum should be closer: {fast} vs {plain}");
+        assert!(
+            (fast - 3.0).abs() < (plain - 3.0).abs(),
+            "momentum should be closer: {fast} vs {plain}"
+        );
     }
 
     #[test]
@@ -240,7 +273,10 @@ mod tests {
     fn weight_decay_shrinks_solution() {
         let no_decay = minimize(|s| Box::new(Adam::new(s, 0.2)), 300);
         let decay = minimize(|s| Box::new(Adam::new(s, 0.2).with_weight_decay(0.5)), 300);
-        assert!(decay < no_decay, "decay {decay} should undershoot {no_decay}");
+        assert!(
+            decay < no_decay,
+            "decay {decay} should undershoot {no_decay}"
+        );
     }
 
     #[test]

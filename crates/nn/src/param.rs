@@ -38,7 +38,9 @@ impl Param {
     /// Wraps a value as a trainable parameter with zeroed gradient.
     pub fn new(value: Matrix) -> Self {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        Self { inner: Rc::new(RefCell::new(ParamInner { value, grad })) }
+        Self {
+            inner: Rc::new(RefCell::new(ParamInner { value, grad })),
+        }
     }
 
     /// Clones the current value out of the cell.
@@ -94,7 +96,12 @@ impl Param {
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let inner = self.inner.borrow();
-        write!(f, "Param{:?} |grad|={:.4}", inner.value.shape(), inner.grad.frobenius_norm())
+        write!(
+            f,
+            "Param{:?} |grad|={:.4}",
+            inner.value.shape(),
+            inner.grad.frobenius_norm()
+        )
     }
 }
 
@@ -179,7 +186,13 @@ impl ParamSet {
         let norm = self.grad_norm();
         if !norm.is_finite() {
             for p in &self.params {
-                let cleaned = p.grad().map(|g| if g.is_finite() { g.clamp(-max_norm, max_norm) } else { 0.0 });
+                let cleaned = p.grad().map(|g| {
+                    if g.is_finite() {
+                        g.clamp(-max_norm, max_norm)
+                    } else {
+                        0.0
+                    }
+                });
                 p.zero_grad();
                 p.accumulate_grad(&cleaned);
             }
@@ -217,7 +230,9 @@ impl ParamSet {
 
 impl FromIterator<Param> for ParamSet {
     fn from_iter<T: IntoIterator<Item = Param>>(iter: T) -> Self {
-        Self { params: iter.into_iter().collect() }
+        Self {
+            params: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -290,8 +305,12 @@ mod tests {
 
     #[test]
     fn num_scalars_counts() {
-        let set: ParamSet =
-            [Param::new(Matrix::zeros(2, 3)), Param::new(Matrix::zeros(1, 4))].into_iter().collect();
+        let set: ParamSet = [
+            Param::new(Matrix::zeros(2, 3)),
+            Param::new(Matrix::zeros(1, 4)),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(set.num_scalars(), 10);
     }
 }

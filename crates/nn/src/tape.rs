@@ -106,13 +106,19 @@ impl Tape {
 
     /// Registers a constant (non-differentiable) input.
     pub fn constant(&self, value: Matrix) -> Var<'_> {
-        Var { tape: self, idx: self.push(value, Op::Leaf) }
+        Var {
+            tape: self,
+            idx: self.push(value, Op::Leaf),
+        }
     }
 
     /// Registers a trainable parameter; its gradient is filled in by
     /// [`Tape::backward`].
     pub fn param(&self, p: &Param) -> Var<'_> {
-        Var { tape: self, idx: self.push(p.value(), Op::Param(p.clone())) }
+        Var {
+            tape: self,
+            idx: self.push(p.value(), Op::Param(p.clone())),
+        }
     }
 
     /// Runs the reverse pass from `loss`, which must be a `1 × 1` scalar
@@ -125,7 +131,11 @@ impl Tape {
         let mut nodes = self.nodes.borrow_mut();
         {
             let l = &mut nodes[loss.idx];
-            assert_eq!(l.value.shape(), (1, 1), "backward target must be a 1x1 scalar");
+            assert_eq!(
+                l.value.shape(),
+                (1, 1),
+                "backward target must be a 1x1 scalar"
+            );
             l.grad = Matrix::ones(1, 1);
         }
         for i in (0..nodes.len()).rev() {
@@ -180,13 +190,17 @@ impl Tape {
                 }
                 Op::MulRow(a, r) => {
                     let (va, vr) = (nodes[a].value.clone(), nodes[r].value.clone());
-                    nodes[a].grad.add_assign_scaled(&g.mul_row_broadcast(&vr), 1.0);
+                    nodes[a]
+                        .grad
+                        .add_assign_scaled(&g.mul_row_broadcast(&vr), 1.0);
                     nodes[r].grad.add_assign_scaled(&g.mul(&va).sum_rows(), 1.0);
                 }
                 Op::DivRow(a, r) => {
                     let vr = nodes[r].value.clone();
                     let out = out_val();
-                    nodes[a].grad.add_assign_scaled(&g.div_row_broadcast(&vr), 1.0);
+                    nodes[a]
+                        .grad
+                        .add_assign_scaled(&g.div_row_broadcast(&vr), 1.0);
                     nodes[r]
                         .grad
                         .add_assign_scaled(&g.mul(&out).div_row_broadcast(&vr).sum_rows(), -1.0);
@@ -200,12 +214,16 @@ impl Tape {
                 Op::Sum(a) => {
                     let (rows, cols) = nodes[a].value.shape();
                     let gv = g[(0, 0)];
-                    nodes[a].grad.add_assign_scaled(&Matrix::full(rows, cols, gv), 1.0);
+                    nodes[a]
+                        .grad
+                        .add_assign_scaled(&Matrix::full(rows, cols, gv), 1.0);
                 }
                 Op::Mean(a) => {
                     let (rows, cols) = nodes[a].value.shape();
                     let gv = g[(0, 0)] / (rows * cols) as f32;
-                    nodes[a].grad.add_assign_scaled(&Matrix::full(rows, cols, gv), 1.0);
+                    nodes[a]
+                        .grad
+                        .add_assign_scaled(&Matrix::full(rows, cols, gv), 1.0);
                 }
                 Op::Relu(a) => {
                     let va = nodes[a].value.clone();
@@ -331,6 +349,10 @@ fn softmax_forward(m: &Matrix) -> Matrix {
     out
 }
 
+// The arithmetic methods intentionally mirror `Matrix`'s inherent
+// `add`/`sub`/`mul`/`div`/`neg` names rather than the operator traits:
+// tape nodes are `Copy` handles and the graph DSL reads as method chains.
+#[allow(clippy::should_implement_trait)]
 impl<'t> Var<'t> {
     /// Clones this node's current value.
     pub fn value(&self) -> Matrix {
@@ -349,7 +371,10 @@ impl<'t> Var<'t> {
     }
 
     fn unary(self, value: Matrix, op: Op) -> Var<'t> {
-        Var { tape: self.tape, idx: self.tape.push(value, op) }
+        Var {
+            tape: self.tape,
+            idx: self.tape.push(value, op),
+        }
     }
 
     /// Element-wise sum.
@@ -515,7 +540,10 @@ impl<'t> Var<'t> {
         let v = Matrix::hstack(&refs);
         let tape = vars[0].tape;
         let idxs: Vec<usize> = vars.iter().map(|v| v.idx).collect();
-        Var { tape, idx: tape.push(v, Op::ConcatCols(Rc::new(idxs))) }
+        Var {
+            tape,
+            idx: tape.push(v, Op::ConcatCols(Rc::new(idxs))),
+        }
     }
 
     /// Copies the column range `[start, end)` as a new node.
@@ -549,7 +577,11 @@ impl<'t> Var<'t> {
     /// (or soft) targets, as a `1 × 1` node.
     pub fn softmax_cross_entropy(self, target: &Matrix) -> Var<'t> {
         let va = self.value();
-        assert_eq!(va.shape(), target.shape(), "cross-entropy target shape mismatch");
+        assert_eq!(
+            va.shape(),
+            target.shape(),
+            "cross-entropy target shape mismatch"
+        );
         let probs = softmax_forward(&va);
         let mut total = 0.0;
         for r in 0..va.rows() {
@@ -558,15 +590,22 @@ impl<'t> Var<'t> {
             }
         }
         let v = Matrix::full(1, 1, total / va.rows() as f32);
-        self.unary(v, Op::SoftmaxCrossEntropy(self.idx, Rc::new(target.clone())))
+        self.unary(
+            v,
+            Op::SoftmaxCrossEntropy(self.idx, Rc::new(target.clone())),
+        )
     }
 
     /// Mean squared error against constant targets as a `1 × 1` node.
     pub fn mse(self, target: &Matrix) -> Var<'t> {
         let va = self.value();
         assert_eq!(va.shape(), target.shape(), "mse target shape mismatch");
-        let total: f32 =
-            va.as_slice().iter().zip(target.as_slice()).map(|(&x, &t)| (x - t) * (x - t)).sum();
+        let total: f32 = va
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&x, &t)| (x - t) * (x - t))
+            .sum();
         let v = Matrix::full(1, 1, total / va.len() as f32);
         self.unary(v, Op::Mse(self.idx, Rc::new(target.clone())))
     }
@@ -642,13 +681,19 @@ mod tests {
     #[test]
     fn softmax_rows_sum_to_one() {
         let tape = Tape::new();
-        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]));
+        let x = tape.constant(Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[1000.0, 1000.0, 1000.0],
+        ]));
         let s = x.softmax().value();
         for r in 0..2 {
             let sum: f32 = s.row(r).iter().sum();
             assert!((sum - 1.0).abs() < 1e-5);
         }
-        assert!(!s.has_non_finite(), "softmax must be stable for large logits");
+        assert!(
+            !s.has_non_finite(),
+            "softmax must be stable for large logits"
+        );
     }
 
     #[test]
@@ -684,7 +729,7 @@ mod tests {
         let p = Param::new(Matrix::row_vector(&[0.0, 2.0]));
         let target = Matrix::row_vector(&[1.0, 0.0]);
         let loss = tape.param(&p).bce_with_logits(&target);
-        let expected = (0.5f32.ln() * -1.0 + (1.0 + 2.0f32.exp()).ln()) / 2.0;
+        let expected = (-0.5f32.ln() + (1.0 + 2.0f32.exp()).ln()) / 2.0;
         assert!((loss.value()[(0, 0)] - expected).abs() < 1e-5);
         tape.backward(loss);
         let g = p.grad();
@@ -700,7 +745,10 @@ mod tests {
         assert!((loss.value()[(0, 0)] - 3.0f32.ln()).abs() < 1e-5);
         tape.backward(loss);
         let g = p.grad();
-        assert!(g[(0, 1)] < 0.0, "gradient must push the true-class logit up");
+        assert!(
+            g[(0, 1)] < 0.0,
+            "gradient must push the true-class logit up"
+        );
         assert!(g[(0, 0)] > 0.0 && g[(0, 2)] > 0.0);
     }
 
@@ -732,9 +780,11 @@ mod tests {
         let _ = loss_value(&pw, true);
         let analytic = pw.grad();
         pw.zero_grad();
-        let max_diff =
-            crate::gradient_check(&pw, || loss_value(&pw, false), &analytic, 1e-2);
-        assert!(max_diff < 2e-2, "numeric vs analytic gradient diff {max_diff}");
+        let max_diff = crate::gradient_check(&pw, || loss_value(&pw, false), &analytic, 1e-2);
+        assert!(
+            max_diff < 2e-2,
+            "numeric vs analytic gradient diff {max_diff}"
+        );
     }
 
     #[test]
@@ -746,7 +796,7 @@ mod tests {
         tape.backward(loss);
         assert_eq!(p.grad()[(0, 0)], 10.0);
         assert_eq!(c.grad()[(0, 0)], 10.0 - 10.0 + 2.0); // constant grad is tracked on-tape…
-        // …but constants have no Param cell, so nothing persists beyond the tape.
+                                                         // …but constants have no Param cell, so nothing persists beyond the tape.
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl Matrix {
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -95,20 +99,37 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} but expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} but expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a single-row matrix from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Builds a single-column matrix from a slice.
     pub fn col_vector(values: &[f32]) -> Self {
-        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -157,7 +178,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -167,7 +192,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -177,7 +206,11 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn column(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "column index {c} out of bounds for {} columns", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds for {} columns",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -263,7 +296,10 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > self.cols()`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "invalid column slice {start}..{end}");
+        assert!(
+            start <= end && end <= self.cols,
+            "invalid column slice {start}..{end}"
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
@@ -277,7 +313,10 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > self.rows()`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "invalid row slice {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "invalid row slice {start}..{end}"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -313,14 +352,24 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -358,7 +407,11 @@ impl fmt::Display for Matrix {
 impl Default for Matrix {
     /// The `0 × 0` empty matrix.
     fn default() -> Self {
-        Matrix { rows: 0, cols: 0, data: Vec::new() }
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
     }
 }
 

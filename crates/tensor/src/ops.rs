@@ -51,7 +51,11 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix::from_vec(self.rows(), self.cols(), self.as_slice().iter().map(|&v| f(v)).collect())
+        Matrix::from_vec(
+            self.rows(),
+            self.cols(),
+            self.as_slice().iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Applies `f` to every element in place.
@@ -77,7 +81,11 @@ impl Matrix {
         Matrix::from_vec(
             self.rows(),
             self.cols(),
-            self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect(),
+            self.as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         )
     }
 
@@ -136,7 +144,12 @@ impl Matrix {
     }
 
     fn broadcast_row(&self, row: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!(row.rows(), 1, "broadcast operand must be a row vector, got {:?}", row.shape());
+        assert_eq!(
+            row.rows(),
+            1,
+            "broadcast operand must be a row vector, got {:?}",
+            row.shape()
+        );
         assert_eq!(
             self.cols(),
             row.cols(),

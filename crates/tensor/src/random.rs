@@ -126,7 +126,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let m = Matrix::randn(200, 200, 1.0, 2.0, &mut rng);
         assert!((m.mean() - 1.0).abs() < 0.05, "mean {}", m.mean());
-        assert!((m.variance().sqrt() - 2.0).abs() < 0.05, "std {}", m.variance().sqrt());
+        assert!(
+            (m.variance().sqrt() - 2.0).abs() < 0.05,
+            "std {}",
+            m.variance().sqrt()
+        );
     }
 
     #[test]

@@ -25,17 +25,27 @@ impl Matrix {
     /// Panics on the empty matrix.
     pub fn variance(&self) -> f32 {
         let mu = self.mean();
-        self.as_slice().iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / self.len() as f32
+        self.as_slice()
+            .iter()
+            .map(|v| (v - mu) * (v - mu))
+            .sum::<f32>()
+            / self.len() as f32
     }
 
     /// Largest element (`-inf` for the empty matrix).
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Smallest element (`inf` for the empty matrix).
     pub fn min(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Column-wise sums as a `1 × cols` row vector.

@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = LabSimulator::new(LabSimConfig::small(3000, 5)).generate()?;
     let mut rng = StdRng::seed_from_u64(0);
     let (train, test) = data.train_test_split(0.3, &mut rng);
-    println!("lab capture: {} train rows / {} test rows", train.n_rows(), test.n_rows());
+    println!(
+        "lab capture: {} train rows / {} test rows",
+        train.n_rows(),
+        test.n_rows()
+    );
 
     // Baseline: classifiers trained on the real data.
     let baseline = evaluate_tstr("Baseline", &train, &test, &train, "event")?;

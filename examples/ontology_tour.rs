@@ -55,7 +55,10 @@ fn main() {
         .with("event", "cve_1999_0003".into())
         .with("protocol", "tcp".into())
         .with("dst_port", AttrValue::num(80.0));
-    println!("  Q({good}) -> {:?}", kg.reasoner().is_valid(&good).is_valid());
+    println!(
+        "  Q({good}) -> {:?}",
+        kg.reasoner().is_valid(&good).is_valid()
+    );
     let verdict = kg.reasoner().is_valid(&bad);
     println!("  Q({bad}) -> {:?}", verdict.is_valid());
     for v in verdict.violations() {

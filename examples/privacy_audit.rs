@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("re-identification (Figure 5):");
     for overlap in [0.3, 0.6, 0.9] {
         let acc = reidentification_attack(&train, &release, overlap, 200, 7);
-        println!("  attacker knows {:>2.0}% of originals -> linkage accuracy {acc:.3}", overlap * 100.0);
+        println!(
+            "  attacker knows {:>2.0}% of originals -> linkage accuracy {acc:.3}",
+            overlap * 100.0
+        );
     }
 
     println!("\nattribute inference (Figure 6):");

@@ -13,7 +13,11 @@ use kinetgan::{KinetGan, KinetGanConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Real data: the simulated lab capture (paper §IV-B-1).
     let data = LabSimulator::new(LabSimConfig::small(2000, 1)).generate()?;
-    println!("real data: {} rows × {} columns", data.n_rows(), data.n_cols());
+    println!(
+        "real data: {} rows × {} columns",
+        data.n_rows(),
+        data.n_cols()
+    );
 
     // 2. The knowledge graph the generator will obey (§IV-A, Figure 2).
     let kg = LabSimulator::knowledge_graph();
@@ -41,7 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. How close is it, and how *valid* is it?
     let fidelity = metrics::fidelity(&data, &synthetic);
-    println!("fidelity: EMD {:.3}, combined distance {:.3}", fidelity.emd, fidelity.combined);
-    println!("KG validity rate: {:.1}%", model.validity_rate(&synthetic) * 100.0);
+    println!(
+        "fidelity: EMD {:.3}, combined distance {:.3}",
+        fidelity.emd, fidelity.combined
+    );
+    println!(
+        "KG validity rate: {:.1}%",
+        model.validity_rate(&synthetic) * 100.0
+    );
     Ok(())
 }

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ctgan.fit(&train)?;
     let ct_release = ctgan.sample(train.n_rows(), 3)?;
 
-    println!("\n{:<10} {:>8} {:>10} {:>10}", "Model", "EMD", "Combined", "NIDS acc");
+    println!(
+        "\n{:<10} {:>8} {:>10} {:>10}",
+        "Model", "EMD", "Combined", "NIDS acc"
+    );
     for (name, release) in [("KiNETGAN", &kin_release), ("CTGAN", &ct_release)] {
         let fid = metrics::fidelity(&train, release);
         let utility = evaluate_tstr(name, release, &test, &train, "attack_cat")?;
@@ -45,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let baseline = evaluate_tstr("Baseline", &train, &test, &train, "attack_cat")?;
-    println!("{:<10} {:>8} {:>10} {:>10.3}", "Baseline", "-", "-", baseline.mean_accuracy);
+    println!(
+        "{:<10} {:>8} {:>10} {:>10.3}",
+        "Baseline", "-", "-", baseline.mean_accuracy
+    );
     Ok(())
 }

@@ -11,7 +11,9 @@ fn all_policies_complete_and_report_sane_metrics() {
         SharingPolicy::Synthetic(ModelKind::KinetGan),
         SharingPolicy::LocalOnly,
     ] {
-        let report = DistributedSim::new(DistributedConfig::fast(policy)).run().unwrap();
+        let report = DistributedSim::new(DistributedConfig::fast(policy))
+            .run()
+            .unwrap();
         assert!((0.0..=1.0).contains(&report.global_accuracy), "{report}");
         assert!((0.0..=1.0).contains(&report.attack_recall), "{report}");
         assert!(report.total_wall_ms > 0.0);

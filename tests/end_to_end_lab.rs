@@ -9,7 +9,9 @@ use rand::{rngs::StdRng, SeedableRng};
 
 #[test]
 fn full_lab_pipeline() {
-    let data = LabSimulator::new(LabSimConfig::small(900, 21)).generate().unwrap();
+    let data = LabSimulator::new(LabSimConfig::small(900, 21))
+        .generate()
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(0);
     let (train, test) = data.train_test_split(0.3, &mut rng);
 
@@ -32,11 +34,19 @@ fn full_lab_pipeline() {
     // the loss history exists and is finite
     let report = model.report().unwrap();
     assert_eq!(report.g_loss.len(), 6);
-    assert!(report.g_loss.iter().chain(&report.d_loss).all(|v| v.is_finite()));
+    assert!(report
+        .g_loss
+        .iter()
+        .chain(&report.d_loss)
+        .all(|v| v.is_finite()));
 
     // synthetic data can actually train a classifier panel
     let utility = evaluate_tstr("KiNETGAN", &release, &test, &train, "event").unwrap();
-    assert!(utility.mean_accuracy > 0.1, "panel should beat trivial: {}", utility.mean_accuracy);
+    assert!(
+        utility.mean_accuracy > 0.1,
+        "panel should beat trivial: {}",
+        utility.mean_accuracy
+    );
 }
 
 #[test]
@@ -44,7 +54,9 @@ fn conditioning_respects_event_distribution() {
     // Sampling uses the original data distribution (BalanceMode::None at
     // test time), so the release's event marginal must roughly track the
     // training marginal: benign events dominate.
-    let data = LabSimulator::new(LabSimConfig::small(1200, 22)).generate().unwrap();
+    let data = LabSimulator::new(LabSimConfig::small(1200, 22))
+        .generate()
+        .unwrap();
     let mut model = KinetGan::new(
         KinetGanConfig::fast_demo().with_epochs(6),
         LabSimulator::knowledge_graph(),
@@ -57,5 +69,8 @@ fn conditioning_respects_event_distribution() {
         .filter_map(|e| counts.get(*e))
         .sum();
     let frac = attacks as f64 / 800.0;
-    assert!(frac < 0.5, "attacks must stay the minority in the release: {frac}");
+    assert!(
+        frac < 0.5,
+        "attacks must stay the minority in the release: {frac}"
+    );
 }

@@ -21,7 +21,9 @@ fn config(kg_mode: KgMode) -> KinetGanConfig {
 
 #[test]
 fn rejection_resampling_pushes_validity_toward_one() {
-    let data = LabSimulator::new(LabSimConfig::small(700, 41)).generate().unwrap();
+    let data = LabSimulator::new(LabSimConfig::small(700, 41))
+        .generate()
+        .unwrap();
     let mut plain = KinetGan::new(config(KgMode::Neural), LabSimulator::knowledge_graph());
     plain.fit(&data).unwrap();
     let release_plain = plain.sample(300, 1).unwrap();
@@ -43,7 +45,9 @@ fn rejection_resampling_pushes_validity_toward_one() {
 
 #[test]
 fn training_reports_probe_validity() {
-    let data = LabSimulator::new(LabSimConfig::small(500, 42)).generate().unwrap();
+    let data = LabSimulator::new(LabSimConfig::small(500, 42))
+        .generate()
+        .unwrap();
     let mut model = KinetGan::new(config(KgMode::Neural), LabSimulator::knowledge_graph());
     model.fit(&data).unwrap();
     let report = model.report().unwrap();
@@ -54,7 +58,9 @@ fn training_reports_probe_validity() {
 fn real_lab_data_is_fully_valid_under_the_kg() {
     // The simulator and the KG must agree exactly — the foundation of
     // every knowledge-guidance measurement.
-    let data = LabSimulator::new(LabSimConfig::small(1000, 43)).generate().unwrap();
+    let data = LabSimulator::new(LabSimConfig::small(1000, 43))
+        .generate()
+        .unwrap();
     let model = KinetGan::new(config(KgMode::Off), LabSimulator::knowledge_graph());
     assert!((model.validity_rate(&data) - 1.0).abs() < 1e-12);
 }

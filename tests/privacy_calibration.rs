@@ -10,18 +10,28 @@ use rand::{rngs::StdRng, SeedableRng};
 
 #[test]
 fn reidentification_scales_with_attacker_knowledge() {
-    let original = LabSimulator::new(LabSimConfig::small(500, 51)).generate().unwrap();
+    let original = LabSimulator::new(LabSimConfig::small(500, 51))
+        .generate()
+        .unwrap();
     let acc: Vec<f64> = [0.3, 0.6, 0.9]
         .iter()
         .map(|&p| reidentification_attack(&original, &original, p, 120, 3))
         .collect();
-    assert!(acc[0] <= acc[1] + 0.05 && acc[1] <= acc[2] + 0.05, "monotone-ish: {acc:?}");
-    assert!(acc[2] > 0.8, "90% knowledge against a memorized release: {acc:?}");
+    assert!(
+        acc[0] <= acc[1] + 0.05 && acc[1] <= acc[2] + 0.05,
+        "monotone-ish: {acc:?}"
+    );
+    assert!(
+        acc[2] > 0.8,
+        "90% knowledge against a memorized release: {acc:?}"
+    );
 }
 
 #[test]
 fn membership_inference_is_calibrated() {
-    let data = LabSimulator::new(LabSimConfig::small(800, 52)).generate().unwrap();
+    let data = LabSimulator::new(LabSimConfig::small(800, 52))
+        .generate()
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(1);
     let (train, holdout) = data.train_test_split(0.5, &mut rng);
     let idx: Vec<usize> = (0..120).collect();
@@ -31,10 +41,15 @@ fn membership_inference_is_calibrated() {
     // leaky release: the training data itself
     let leaky = membership_inference_attack(&members, &non_members, &train, None);
     // independent release: a fresh simulation (no training rows inside)
-    let fresh = LabSimulator::new(LabSimConfig::small(400, 999)).generate().unwrap();
+    let fresh = LabSimulator::new(LabSimConfig::small(400, 999))
+        .generate()
+        .unwrap();
     let private = membership_inference_attack(&members, &non_members, &fresh, None);
 
-    assert!(leaky.full_black_box > 0.75, "memorization must be detectable: {leaky:?}");
+    assert!(
+        leaky.full_black_box > 0.75,
+        "memorization must be detectable: {leaky:?}"
+    );
     assert!(
         private.full_black_box < leaky.full_black_box - 0.1,
         "independent data must score lower: {private:?} vs {leaky:?}"
@@ -43,7 +58,9 @@ fn membership_inference_is_calibrated() {
 
 #[test]
 fn attribute_inference_tracks_information_content() {
-    let original = LabSimulator::new(LabSimConfig::small(600, 53)).generate().unwrap();
+    let original = LabSimulator::new(LabSimConfig::small(600, 53))
+        .generate()
+        .unwrap();
     // self-release: attribute inference should work well (events are
     // nearly determined by ports/protocols)
     let self_acc = attribute_inference_attack(&original, &original, "event", 150).unwrap();

@@ -36,7 +36,9 @@ fn roster() -> Vec<Box<dyn TabularSynthesizer>> {
 }
 
 fn data() -> Table {
-    LabSimulator::new(LabSimConfig::small(300, 31)).generate().unwrap()
+    LabSimulator::new(LabSimConfig::small(300, 31))
+        .generate()
+        .unwrap()
 }
 
 #[test]
@@ -54,7 +56,9 @@ fn every_model_rejects_sampling_before_fit() {
 fn every_model_fits_and_samples_with_matching_schema() {
     let train = data();
     for mut model in roster() {
-        model.fit(&train).unwrap_or_else(|e| panic!("{} fit failed: {e}", model.name()));
+        model
+            .fit(&train)
+            .unwrap_or_else(|e| panic!("{} fit failed: {e}", model.name()));
         let release = model
             .sample(64, 3)
             .unwrap_or_else(|e| panic!("{} sample failed: {e}", model.name()));
@@ -70,7 +74,12 @@ fn every_model_samples_deterministically_per_seed() {
         model.fit(&train).unwrap();
         let a = model.sample(32, 11).unwrap();
         let b = model.sample(32, 11).unwrap();
-        assert_eq!(a, b, "{} must be deterministic for a fixed seed", model.name());
+        assert_eq!(
+            a,
+            b,
+            "{} must be deterministic for a fixed seed",
+            model.name()
+        );
         let c = model.sample(32, 12).unwrap();
         assert_ne!(a, c, "{} must vary across seeds", model.name());
     }
@@ -80,7 +89,11 @@ fn every_model_samples_deterministically_per_seed() {
 fn every_model_rejects_empty_training_data() {
     let empty = Table::empty(data().schema().clone());
     for mut model in roster() {
-        assert!(model.fit(&empty).is_err(), "{} must reject empty tables", model.name());
+        assert!(
+            model.fit(&empty).is_err(),
+            "{} must reject empty tables",
+            model.name()
+        );
     }
 }
 

@@ -1,0 +1,243 @@
+//! Offline substitute for the `criterion` benchmarking surface this
+//! workspace uses. Measures wall-clock time with a warmup pass and a
+//! fixed sample count, reporting min/median/mean per benchmark — enough
+//! to compare hot paths release-to-release without the real crate.
+//!
+//! Scale knob: `KINET_BENCH_SAMPLES` overrides the per-benchmark sample
+//! count (default 20; `Criterion::sample_size` and
+//! `BenchmarkGroup::sample_size` also apply).
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint that `value` is used, preventing dead-code elimination.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let samples = std::env::var("KINET_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Self {
+            sample_size: samples.max(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finishes the group (report-only in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id naming both function and parameter.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call from the driver.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample);
+    }
+}
+
+fn run_benchmark(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warmup (also sizes iterations so fast routines get stable timings).
+    let mut warm = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut warm);
+    let per_iter = warm.samples.first().copied().unwrap_or_default();
+    let iters_per_sample = if per_iter < Duration::from_micros(50) {
+        // Target ~1ms per sample for very fast routines.
+        (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u32
+    } else {
+        1
+    };
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name}: min {} | median {} | mean {} ({} samples x {} iters)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group. Supports both the positional form
+/// `criterion_group!(name, target_a, target_b)` and the configured form
+/// `criterion_group! { name = n; config = expr; targets = a, b }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+        c.bench_function("counts", |b| {
+            runs += 1;
+            b.iter(|| ());
+        });
+        // warmup + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+}

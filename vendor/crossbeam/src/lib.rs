@@ -1,0 +1,34 @@
+//! Offline substitute for the `crossbeam` channel surface this
+//! workspace uses, backed by `std::sync::mpsc`.
+
+pub mod channel {
+    //! Multi-producer channels with the crossbeam naming convention.
+
+    pub use std::sync::mpsc::{IntoIter, Iter, Receiver, RecvError, SendError, Sender, TryIter};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn fan_in_across_threads() {
+            let (tx, rx) = super::unbounded::<usize>();
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline substitute for the `proptest` surface this workspace uses.
+//!
+//! Random testing without shrinking: each `proptest!` test derives a
+//! deterministic RNG seed from its own name, draws `ProptestConfig::cases`
+//! inputs from the declared strategies, and runs the body as a
+//! `Result`-returning case (so `prop_assert!` failures and explicit
+//! `return Ok(())` rejections both work). Failures panic with the case
+//! number and seed so a run is reproducible by construction.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::{Arbitrary, BoxedStrategy, Strategy};
+
+use rand::SeedableRng;
+
+/// The RNG driving value generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Generates values of `T`'s canonical strategy (see [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Derives a stable seed for a named test: deterministic across runs,
+/// machines, and test orderings (FNV-1a over the test path).
+#[doc(hidden)]
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the RNG for a named test from [`seed_for_test`].
+#[doc(hidden)]
+pub fn rng_for_test(name: &str) -> TestRng {
+    TestRng::seed_from_u64(seed_for_test(name))
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Declares property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn it_holds(x in 0usize..10, (a, b) in arb_pair()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( #[$meta:meta]
+         fn $name:ident( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            #[$meta]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let ( $($pat,)+ ) = (
+                        $( $crate::Strategy::sample(&($strategy), &mut rng), )+
+                    );
+                    let mut run = move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(message) = run() {
+                        panic!(
+                            "proptest case {case}/{total} of {name} (seed {seed:#018x}) failed: {message}",
+                            case = case + 1,
+                            total = config.cases,
+                            name = stringify!($name),
+                            seed = $crate::seed_for_test(concat!(
+                                module_path!(),
+                                "::",
+                                stringify!($name)
+                            )),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("prop_assert!({}) failed", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert!({}) failed: {}",
+                stringify!($cond),
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq! failed: {left:?} != {right:?}",
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq! failed: {left:?} != {right:?}: {}",
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless the two expressions compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_ne! failed: both sides are {left:?}",
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ::std::boxed::Box::new($strategy) ),+
+        ])
+    };
+}

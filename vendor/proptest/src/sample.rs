@@ -1,0 +1,57 @@
+//! Sampling strategies: choosing from fixed sets and index generation.
+
+use crate::strategy::{Arbitrary, FullRange, Strategy};
+use crate::TestRng;
+use rand::RngExt;
+
+/// Uniformly chooses one of the given options (cloned per case).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+/// See [`select`].
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.random_range(0..self.options.len())].clone()
+    }
+}
+
+/// An index into a collection whose length is only known at use time:
+/// generate an `Index` with `any`, then project with [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects onto `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.0 % len
+    }
+}
+
+impl Strategy for FullRange<Index> {
+    type Value = Index;
+
+    fn sample(&self, rng: &mut TestRng) -> Index {
+        Index(rng.random::<usize>())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = FullRange<Index>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange(core::marker::PhantomData)
+    }
+}

@@ -1,0 +1,271 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim. Parses the item's token stream directly (no
+//! syn/quote available offline) and emits impls of the shim traits.
+//!
+//! Supported shapes — exactly what the workspace contains:
+//! structs with named fields, tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants. Serialization follows serde's default
+//! externally-tagged representation. Generic types are rejected with a
+//! compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `Serialize` trait (JSON value construction).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => object_literal(fields, "self."),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => tuple_array_literal(*n, "self."),
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => enum_match(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_json_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive generated invalid Rust")
+}
+
+/// Derives the shim `Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---- codegen ----
+
+fn object_literal(fields: &[String], accessor: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), ::serde::Serialize::to_json_value(&{accessor}{f}))",
+                json_name(f)
+            )
+        })
+        .collect();
+    format!(
+        "::serde::value::Value::Object(vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn tuple_array_literal(n: usize, accessor: &str) -> String {
+    let entries: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Serialize::to_json_value(&{accessor}{i})"))
+        .collect();
+    format!("::serde::value::Value::Array(vec![{}])", entries.join(", "))
+}
+
+fn enum_match(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let tag = json_name(vname);
+        let arm = match &v.fields {
+            VariantFields::Unit => {
+                format!("{name}::{vname} => ::serde::value::Value::String({tag:?}.to_string())")
+            }
+            VariantFields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_json_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                        .collect();
+                    format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{vname}({}) => ::serde::value::Value::Object(vec![({tag:?}.to_string(), {inner})])",
+                    binders.join(", ")
+                )
+            }
+            VariantFields::Named(fields) => {
+                let inner = object_literal(fields, "");
+                format!(
+                    "{name}::{vname} {{ {} }} => ::serde::value::Value::Object(vec![({tag:?}.to_string(), {inner})])",
+                    fields.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
+
+fn json_name(ident: &str) -> &str {
+    ident.strip_prefix("r#").unwrap_or(ident)
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic types (deriving {name})");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for {name}, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+type Peekable = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &mut Peekable) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `ident: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&mut tokens);
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut tokens);
+    }
+    count
+}
+
+/// Skips a type expression up to (and over) the next top-level `,`,
+/// tracking `<...>` nesting so commas in generic arguments don't split.
+fn skip_type(tokens: &mut Peekable) {
+    let mut angle_depth = 0usize;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantFields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                tokens.next();
+                VariantFields::Named(f)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip to the next variant: discriminants (`= expr`) and the comma.
+        skip_type(&mut tokens);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

@@ -1,0 +1,44 @@
+//! Offline substitute for the `serde_json` surface this workspace uses:
+//! rendering any [`serde::Serialize`] type to a JSON string.
+
+pub use serde::value::Value;
+
+/// Serialization error. The shim's value model is total (every
+/// `Serialize` impl produces a value), so this currently never occurs,
+/// but the `Result` shape matches upstream call sites.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails with the shim's value model; kept for upstream signature
+/// compatibility.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string())
+}
+
+/// Renders `value` as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails with the shim's value model; kept for upstream signature
+/// compatibility.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string_pretty())
+}
