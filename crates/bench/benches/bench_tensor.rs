@@ -28,6 +28,42 @@ fn bench_transposed_products(c: &mut Criterion) {
     c.bench_function("matmul_nt_128", |bencher| {
         bencher.iter(|| std::hint::black_box(a.matmul_nt(&b)));
     });
+    let mut group = c.benchmark_group("matmul_nt");
+    for &n in &[32usize, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::randn(n, n, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(n, n, 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(a.matmul_nt(&b)));
+        });
+    }
+    group.finish();
+}
+
+/// The batch×hidden shapes a KiNETGAN training step actually runs
+/// (256-row batches through 128→64 hidden layers, per `core::config`):
+/// forward `x·W`, and the two backward products `xᵀ·g` / `g·Wᵀ`.
+fn bench_rectangular_training_shapes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Matrix::randn(256, 128, 0.0, 1.0, &mut rng);
+    let w = Matrix::randn(128, 64, 0.0, 1.0, &mut rng);
+    let g = Matrix::randn(256, 64, 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_rect_256x128_128x64", |bencher| {
+        bencher.iter(|| std::hint::black_box(x.matmul(&w)));
+    });
+    c.bench_function("matmul_tn_rect_grad_weight", |bencher| {
+        bencher.iter(|| std::hint::black_box(x.matmul_tn(&g)));
+    });
+    c.bench_function("matmul_nt_rect_grad_input", |bencher| {
+        bencher.iter(|| std::hint::black_box(g.matmul_nt(&w)));
+    });
+    c.bench_function("matmul_nt_acc_rect_grad_input", |bencher| {
+        let mut acc = Matrix::zeros(256, 128);
+        bencher.iter(|| {
+            acc.matmul_nt_acc(&g, &w);
+            std::hint::black_box(acc.as_slice()[0]);
+        });
+    });
 }
 
 fn bench_elementwise(c: &mut Criterion) {
@@ -46,6 +82,7 @@ criterion_group!(
     benches,
     bench_matmul,
     bench_transposed_products,
+    bench_rectangular_training_shapes,
     bench_elementwise
 );
 criterion_main!(benches);

@@ -400,11 +400,19 @@ impl Classifier for LogisticRegression {
         for _ in 0..self.epochs {
             let logits = x.matmul(&w).add_row_broadcast(&b);
             let probs = softmax_rows(&logits);
-            let err = probs.sub(&onehot).scale(1.0 / n as f32);
-            let gw = x.matmul_tn(&err).add(&w.scale(self.l2));
+            let mut err = probs.sub(&onehot);
+            err.scale_inplace(1.0 / n as f32);
+            // Fused momentum updates: same per-element operation order as
+            // the allocating `v.scale(0.9).add(&g)` formulation.
+            let mut gw = x.matmul_tn(&err);
+            gw.add_assign_scaled(&w, self.l2);
             let gb = err.sum_rows();
-            vw = vw.scale(0.9).add(&gw);
-            vb = vb.scale(0.9).add(&gb);
+            for (v, &g) in vw.as_mut_slice().iter_mut().zip(gw.as_slice()) {
+                *v = *v * 0.9 + g;
+            }
+            for (v, &g) in vb.as_mut_slice().iter_mut().zip(gb.as_slice()) {
+                *v = *v * 0.9 + g;
+            }
             w.add_assign_scaled(&vw, -self.lr);
             b.add_assign_scaled(&vb, -self.lr);
         }

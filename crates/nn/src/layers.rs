@@ -33,6 +33,19 @@ impl Activation {
             Activation::Identity => x,
         }
     }
+
+    /// Applies the activation to a plain matrix in place — the tape-free
+    /// inference path. Uses the same scalar functions as [`Self::apply`],
+    /// so values are identical to the tape forward pass.
+    pub fn apply_matrix(self, x: &mut Matrix) {
+        match self {
+            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::LeakyRelu(a) => x.map_inplace(|v| if v > 0.0 { v } else { a * v }),
+            Activation::Tanh => x.map_inplace(f32::tanh),
+            Activation::Sigmoid => x.map_inplace(crate::tape::sigmoid_scalar),
+            Activation::Identity => {}
+        }
+    }
 }
 
 /// A fully-connected layer `y = xW + b`.
@@ -343,13 +356,21 @@ impl Mlp {
     }
 
     /// Forward pass without dropout randomness (inference).
+    ///
+    /// Runs tape-free — no graph nodes, no gradient buffers — but applies
+    /// exactly the same matrix and activation operations as the training
+    /// forward pass, so outputs are bit-identical to it.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        use rand::SeedableRng;
-        let tape = Tape::new();
-        // Dropout is disabled in eval mode, so this RNG is never consulted.
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
-        self.forward(&tape, tape.constant(x.clone()), false, &mut rng)
-            .value()
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.weight().with_value(|w| h.matmul(w));
+            h = layer.bias().with_value(|b| h.add_row_broadcast(b));
+            if i + 1 < n {
+                self.activation.apply_matrix(&mut h);
+            }
+        }
+        h
     }
 
     /// All trainable parameters, in layer order.

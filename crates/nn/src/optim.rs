@@ -76,18 +76,21 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        let (lr, momentum) = (self.lr, self.momentum);
         for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
-            let g = p.grad();
-            if g.has_non_finite() {
-                continue;
-            }
-            if self.momentum > 0.0 {
-                *v = v.scale(self.momentum).add(&g);
-                let update = v.clone();
-                p.update(|m| m.add_assign_scaled(&update, -self.lr));
-            } else {
-                p.update(|m| m.add_assign_scaled(&g, -self.lr));
-            }
+            p.apply_update(|w, g| {
+                if g.has_non_finite() {
+                    return;
+                }
+                if momentum > 0.0 {
+                    for (vi, &gi) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                        *vi = *vi * momentum + gi;
+                    }
+                    w.add_assign_scaled(v, -lr);
+                } else {
+                    w.add_assign_scaled(g, -lr);
+                }
+            });
         }
     }
 
@@ -181,31 +184,46 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (inv_bc1, inv_bc2) = (1.0 / bc1, 1.0 / bc2);
+        let (beta1, beta2) = (self.beta1, self.beta2);
+        let (c1, c2) = (1.0 - self.beta1, 1.0 - self.beta2);
+        let (lr, wd, eps) = (self.lr, self.weight_decay, self.eps);
         for ((p, m), v) in self
             .params
             .iter()
             .zip(self.m.iter_mut())
             .zip(self.v.iter_mut())
         {
-            let g = p.grad();
-            // One exploded gradient must not poison the moment estimates
-            // (inf -> m/v = inf -> update = inf/inf = NaN forever).
-            if g.has_non_finite() {
-                continue;
-            }
-            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
-            *v = v.scale(self.beta2).add(&g.mul(&g).scale(1.0 - self.beta2));
-            let m_hat = m.scale(1.0 / bc1);
-            let v_hat = v.scale(1.0 / bc2);
-            let update = m_hat.zip_map(&v_hat, |mh, vh| mh / (vh.sqrt() + self.eps));
-            let lr = self.lr;
-            let wd = self.weight_decay;
-            p.update(|w| {
-                if wd > 0.0 {
-                    let decay = w.scale(wd);
-                    w.add_assign_scaled(&decay, -lr);
+            // The whole step runs fused and in place: moments, bias
+            // correction, decay and the update all write into the existing
+            // buffers with the same per-element operation order as the
+            // allocating formulation, so trajectories are unchanged.
+            p.apply_update(|w, g| {
+                // One exploded gradient must not poison the moment estimates
+                // (inf -> m/v = inf -> update = inf/inf = NaN forever).
+                if g.has_non_finite() {
+                    return;
                 }
-                w.add_assign_scaled(&update, -lr);
+                for (mi, &gi) in m.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *mi = *mi * beta1 + gi * c1;
+                }
+                for (vi, &gi) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *vi = *vi * beta2 + (gi * gi) * c2;
+                }
+                if wd > 0.0 {
+                    for wi in w.as_mut_slice() {
+                        *wi += (*wi * wd) * -lr;
+                    }
+                }
+                for ((wi, &mi), &vi) in w
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(m.as_slice())
+                    .zip(v.as_slice())
+                {
+                    let update = (mi * inv_bc1) / ((vi * inv_bc2).sqrt() + eps);
+                    *wi += update * -lr;
+                }
             });
         }
     }

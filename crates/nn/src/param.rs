@@ -63,6 +63,24 @@ impl Param {
         f(&mut self.inner.borrow_mut().value);
     }
 
+    /// Reads the value without cloning it.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(&self.inner.borrow().value)
+    }
+
+    /// Reads the accumulated gradient without cloning it.
+    pub fn with_grad<R>(&self, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(&self.inner.borrow().grad)
+    }
+
+    /// Mutates the value with read access to the gradient — the fused,
+    /// clone-free form optimizer steps use.
+    pub fn apply_update(&self, f: impl FnOnce(&mut Matrix, &Matrix)) {
+        let mut inner = self.inner.borrow_mut();
+        let ParamInner { value, grad } = &mut *inner;
+        f(value, grad);
+    }
+
     /// Adds `delta` into the accumulated gradient.
     ///
     /// # Panics
@@ -72,11 +90,9 @@ impl Param {
         self.inner.borrow_mut().grad.add_assign_scaled(delta, 1.0);
     }
 
-    /// Resets the gradient to zero.
+    /// Resets the gradient to zero, reusing the existing buffer.
     pub fn zero_grad(&self) {
-        let mut inner = self.inner.borrow_mut();
-        let (r, c) = inner.value.shape();
-        inner.grad = Matrix::zeros(r, c);
+        self.inner.borrow_mut().grad.as_mut_slice().fill(0.0);
     }
 
     /// In-place SGD-style update `value -= lr * grad` (used by simple
@@ -163,14 +179,15 @@ impl ParamSet {
         }
     }
 
-    /// Global L2 norm of all gradients.
+    /// Global L2 norm of all gradients (no gradient clones).
     pub fn grad_norm(&self) -> f32 {
         self.params
             .iter()
             .map(|p| {
-                let g = p.grad();
-                let n = g.frobenius_norm();
-                n * n
+                p.with_grad(|g| {
+                    let n = g.frobenius_norm();
+                    n * n
+                })
             })
             .sum::<f32>()
             .sqrt()

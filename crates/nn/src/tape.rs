@@ -104,6 +104,17 @@ impl Tape {
         self.nodes.borrow()[idx].value.clone()
     }
 
+    /// Computes a new value from one node's value without cloning it.
+    fn with_value<R>(&self, idx: usize, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(&self.nodes.borrow()[idx].value)
+    }
+
+    /// Computes a new value from two nodes' values without cloning them.
+    fn with_values<R>(&self, a: usize, b: usize, f: impl FnOnce(&Matrix, &Matrix) -> R) -> R {
+        let nodes = self.nodes.borrow();
+        f(&nodes[a].value, &nodes[b].value)
+    }
+
     /// Registers a constant (non-differentiable) input.
     pub fn constant(&self, value: Matrix) -> Var<'_> {
         Var {
@@ -124,6 +135,13 @@ impl Tape {
     /// Runs the reverse pass from `loss`, which must be a `1 × 1` scalar
     /// node, accumulating gradients into every [`Param`] on the tape.
     ///
+    /// The pass is allocation-free: every node's gradient buffer was
+    /// preallocated when the node was pushed, and each rule accumulates
+    /// directly into the parents' buffers through fused in-place kernels
+    /// (`add_assign`/`add_assign_zip_map`/`matmul_*_acc`) instead of the
+    /// old clone-then-`add_assign_scaled(…, 1.0)` pattern. Summation order
+    /// per element is unchanged, so fixed-seed trajectories are preserved.
+    ///
     /// # Panics
     ///
     /// Panics if `loss` is not scalar-shaped.
@@ -136,194 +154,267 @@ impl Tape {
                 (1, 1),
                 "backward target must be a 1x1 scalar"
             );
-            l.grad = Matrix::ones(1, 1);
+            l.grad.as_mut_slice().fill(1.0);
         }
         for i in (0..nodes.len()).rev() {
-            let g = nodes[i].grad.clone();
-            if g.as_slice().iter().all(|&v| v == 0.0) {
-                if let Op::Param(_) = nodes[i].op {
-                    // nothing flowed here; skip write-back
-                }
+            // Operands always precede results, so `head` holds every parent
+            // of `node` and the borrows are disjoint.
+            let (head, tail) = nodes.split_at_mut(i);
+            let node = &tail[0];
+            if node.grad.as_slice().iter().all(|&v| v == 0.0) {
                 continue;
             }
-            let op = nodes[i].op.clone();
-            let out_val = || nodes[i].value.clone();
-            match op {
+            let g = &node.grad;
+            let out = &node.value;
+            match &node.op {
                 Op::Leaf => {}
-                Op::Param(p) => p.accumulate_grad(&g),
+                Op::Param(p) => p.accumulate_grad(g),
                 Op::Add(a, b) => {
-                    nodes[a].grad.add_assign_scaled(&g, 1.0);
-                    nodes[b].grad.add_assign_scaled(&g, 1.0);
+                    head[*a].grad.add_assign(g);
+                    head[*b].grad.add_assign(g);
                 }
                 Op::Sub(a, b) => {
-                    nodes[a].grad.add_assign_scaled(&g, 1.0);
-                    nodes[b].grad.add_assign_scaled(&g, -1.0);
+                    head[*a].grad.add_assign(g);
+                    head[*b].grad.add_assign_scaled(g, -1.0);
                 }
                 Op::Mul(a, b) => {
-                    let (va, vb) = (nodes[a].value.clone(), nodes[b].value.clone());
-                    nodes[a].grad.add_assign_scaled(&g.mul(&vb), 1.0);
-                    nodes[b].grad.add_assign_scaled(&g.mul(&va), 1.0);
+                    let (ga, vb) = grad_value_mut(head, *a, *b);
+                    ga.add_assign_zip_map(g, vb, |gi, vi| gi * vi);
+                    let (gb, va) = grad_value_mut(head, *b, *a);
+                    gb.add_assign_zip_map(g, va, |gi, vi| gi * vi);
                 }
                 Op::Div(a, b) => {
-                    let vb = nodes[b].value.clone();
-                    let out = out_val();
-                    nodes[a].grad.add_assign_scaled(&g.div(&vb), 1.0);
-                    nodes[b].grad.add_assign_scaled(&g.mul(&out).div(&vb), -1.0);
+                    let (ga, vb) = grad_value_mut(head, *a, *b);
+                    ga.add_assign_zip_map(g, vb, |gi, vi| gi / vi);
+                    let (gb, vb) = grad_value_mut(head, *b, *b);
+                    gb.add_assign_zip3_map(g, out, vb, |gi, oi, vi| -((gi * oi) / vi));
                 }
-                Op::Neg(a) => nodes[a].grad.add_assign_scaled(&g, -1.0),
+                Op::Neg(a) => head[*a].grad.add_assign_scaled(g, -1.0),
                 Op::Matmul(a, b) => {
-                    let (va, vb) = (nodes[a].value.clone(), nodes[b].value.clone());
-                    nodes[a].grad.add_assign_scaled(&g.matmul_nt(&vb), 1.0);
-                    nodes[b].grad.add_assign_scaled(&va.matmul_tn(&g), 1.0);
+                    let (ga, vb) = grad_value_mut(head, *a, *b);
+                    ga.matmul_nt_acc(g, vb);
+                    let (gb, va) = grad_value_mut(head, *b, *a);
+                    gb.matmul_tn_acc(va, g);
                 }
-                Op::Scale(a, s) => nodes[a].grad.add_assign_scaled(&g, s),
-                Op::AddScalar(a) => nodes[a].grad.add_assign_scaled(&g, 1.0),
-                Op::AddConst(a) => nodes[a].grad.add_assign_scaled(&g, 1.0),
-                Op::MulConst(a, c) => nodes[a].grad.add_assign_scaled(&g.mul(&c), 1.0),
+                Op::Scale(a, s) => head[*a].grad.add_assign_scaled(g, *s),
+                Op::AddScalar(a) => head[*a].grad.add_assign(g),
+                Op::AddConst(a) => head[*a].grad.add_assign(g),
+                Op::MulConst(a, c) => {
+                    head[*a].grad.add_assign_zip_map(g, c, |gi, ci| gi * ci);
+                }
                 Op::AddRow(a, r) => {
-                    nodes[a].grad.add_assign_scaled(&g, 1.0);
-                    nodes[r].grad.add_assign_scaled(&g.sum_rows(), 1.0);
+                    head[*a].grad.add_assign(g);
+                    acc_col_sums(&mut head[*r].grad, g, 1.0);
                 }
                 Op::SubRow(a, r) => {
-                    nodes[a].grad.add_assign_scaled(&g, 1.0);
-                    nodes[r].grad.add_assign_scaled(&g.sum_rows(), -1.0);
+                    head[*a].grad.add_assign(g);
+                    acc_col_sums(&mut head[*r].grad, g, -1.0);
                 }
                 Op::MulRow(a, r) => {
-                    let (va, vr) = (nodes[a].value.clone(), nodes[r].value.clone());
-                    nodes[a]
-                        .grad
-                        .add_assign_scaled(&g.mul_row_broadcast(&vr), 1.0);
-                    nodes[r].grad.add_assign_scaled(&g.mul(&va).sum_rows(), 1.0);
+                    let (ga, vr) = grad_value_mut(head, *a, *r);
+                    acc_row_broadcast(ga, g, vr, |gi, ri| gi * ri);
+                    let (gr, va) = grad_value_mut(head, *r, *a);
+                    acc_col_sums_prod(gr, g, va, 1.0);
                 }
                 Op::DivRow(a, r) => {
-                    let vr = nodes[r].value.clone();
-                    let out = out_val();
-                    nodes[a]
-                        .grad
-                        .add_assign_scaled(&g.div_row_broadcast(&vr), 1.0);
-                    nodes[r]
-                        .grad
-                        .add_assign_scaled(&g.mul(&out).div_row_broadcast(&vr).sum_rows(), -1.0);
+                    let (ga, vr) = grad_value_mut(head, *a, *r);
+                    acc_row_broadcast(ga, g, vr, |gi, ri| gi / ri);
+                    let (gr, vr) = grad_value_mut(head, *r, *r);
+                    // d/dr = -Σ_rows (g ⊙ out) / r, column-wise.
+                    for c in 0..g.cols() {
+                        let rv = vr.as_slice()[c];
+                        let mut sum = 0.0f32;
+                        for row in 0..g.rows() {
+                            let idx = row * g.cols() + c;
+                            sum += (g.as_slice()[idx] * out.as_slice()[idx]) / rv;
+                        }
+                        gr.as_mut_slice()[c] += -sum;
+                    }
                 }
                 Op::MeanRows(a) => {
-                    let n = nodes[a].value.rows() as f32;
-                    let (rows, cols) = nodes[a].value.shape();
-                    let spread = Matrix::zeros(rows, cols).add_row_broadcast(&g.scale(1.0 / n));
-                    nodes[a].grad.add_assign_scaled(&spread, 1.0);
+                    let ga = &mut head[*a].grad;
+                    let inv = 1.0 / ga.rows() as f32;
+                    let gs = g.as_slice();
+                    for r in 0..ga.rows() {
+                        for (o, &gv) in ga.row_mut(r).iter_mut().zip(gs) {
+                            *o += gv * inv;
+                        }
+                    }
                 }
                 Op::Sum(a) => {
-                    let (rows, cols) = nodes[a].value.shape();
                     let gv = g[(0, 0)];
-                    nodes[a]
-                        .grad
-                        .add_assign_scaled(&Matrix::full(rows, cols, gv), 1.0);
+                    for o in head[*a].grad.as_mut_slice() {
+                        *o += gv;
+                    }
                 }
                 Op::Mean(a) => {
-                    let (rows, cols) = nodes[a].value.shape();
-                    let gv = g[(0, 0)] / (rows * cols) as f32;
-                    nodes[a]
-                        .grad
-                        .add_assign_scaled(&Matrix::full(rows, cols, gv), 1.0);
+                    let ga = &mut head[*a].grad;
+                    let gv = g[(0, 0)] / ga.len() as f32;
+                    for o in ga.as_mut_slice() {
+                        *o += gv;
+                    }
                 }
                 Op::Relu(a) => {
-                    let va = nodes[a].value.clone();
-                    let masked = g.zip_map(&va, |gi, vi| if vi > 0.0 { gi } else { 0.0 });
-                    nodes[a].grad.add_assign_scaled(&masked, 1.0);
+                    let (ga, va) = grad_value_mut(head, *a, *a);
+                    ga.add_assign_zip_map(g, va, |gi, vi| if vi > 0.0 { gi } else { 0.0 });
                 }
                 Op::LeakyRelu(a, alpha) => {
-                    let va = nodes[a].value.clone();
-                    let masked = g.zip_map(&va, |gi, vi| if vi > 0.0 { gi } else { gi * alpha });
-                    nodes[a].grad.add_assign_scaled(&masked, 1.0);
+                    let alpha = *alpha;
+                    let (ga, va) = grad_value_mut(head, *a, *a);
+                    ga.add_assign_zip_map(g, va, |gi, vi| if vi > 0.0 { gi } else { gi * alpha });
                 }
                 Op::Tanh(a) => {
-                    let out = out_val();
-                    let d = g.zip_map(&out, |gi, oi| gi * (1.0 - oi * oi));
-                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                    head[*a]
+                        .grad
+                        .add_assign_zip_map(g, out, |gi, oi| gi * (1.0 - oi * oi));
                 }
                 Op::Sigmoid(a) => {
-                    let out = out_val();
-                    let d = g.zip_map(&out, |gi, oi| gi * oi * (1.0 - oi));
-                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                    head[*a]
+                        .grad
+                        .add_assign_zip_map(g, out, |gi, oi| gi * oi * (1.0 - oi));
                 }
                 Op::Exp(a) => {
-                    let out = out_val();
-                    nodes[a].grad.add_assign_scaled(&g.mul(&out), 1.0);
+                    head[*a].grad.add_assign_zip_map(g, out, |gi, oi| gi * oi);
                 }
                 Op::Ln(a) => {
-                    let va = nodes[a].value.clone();
-                    let d = g.zip_map(&va, |gi, vi| gi / vi.max(LN_EPS));
-                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                    let (ga, va) = grad_value_mut(head, *a, *a);
+                    ga.add_assign_zip_map(g, va, |gi, vi| gi / vi.max(LN_EPS));
                 }
                 Op::Sqrt(a) => {
-                    let out = out_val();
-                    let d = g.zip_map(&out, |gi, oi| gi * 0.5 / oi.max(1e-6));
-                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                    head[*a]
+                        .grad
+                        .add_assign_zip_map(g, out, |gi, oi| gi * 0.5 / oi.max(1e-6));
                 }
                 Op::Softmax(a) => {
-                    let out = out_val();
-                    let mut d = Matrix::zeros(out.rows(), out.cols());
+                    let ga = &mut head[*a].grad;
                     for r in 0..out.rows() {
                         let orow = out.row(r);
                         let grow = g.row(r);
                         let dot: f32 = orow.iter().zip(grow).map(|(&o, &gi)| o * gi).sum();
-                        for (c, dv) in d.row_mut(r).iter_mut().enumerate() {
-                            *dv = orow[c] * (grow[c] - dot);
+                        for (c, o) in ga.row_mut(r).iter_mut().enumerate() {
+                            *o += orow[c] * (grow[c] - dot);
                         }
                     }
-                    nodes[a].grad.add_assign_scaled(&d, 1.0);
                 }
                 Op::ConcatCols(parents) => {
                     let mut offset = 0;
                     for &p in parents.iter() {
-                        let w = nodes[p].value.cols();
-                        let slice = g.slice_cols(offset, offset + w);
-                        nodes[p].grad.add_assign_scaled(&slice, 1.0);
+                        let w = head[p].value.cols();
+                        let pg = &mut head[p].grad;
+                        for r in 0..pg.rows() {
+                            let gsrc = &g.row(r)[offset..offset + w];
+                            for (o, &gv) in pg.row_mut(r).iter_mut().zip(gsrc) {
+                                *o += gv;
+                            }
+                        }
                         offset += w;
                     }
                 }
                 Op::SliceCols(a, start, end) => {
-                    let (rows, cols) = nodes[a].value.shape();
-                    let mut padded = Matrix::zeros(rows, cols);
-                    for r in 0..rows {
-                        padded.row_mut(r)[start..end].copy_from_slice(g.row(r));
+                    let ga = &mut head[*a].grad;
+                    for r in 0..ga.rows() {
+                        let dst = &mut ga.row_mut(r)[*start..*end];
+                        for (o, &gv) in dst.iter_mut().zip(g.row(r)) {
+                            *o += gv;
+                        }
                     }
-                    nodes[a].grad.add_assign_scaled(&padded, 1.0);
                 }
                 Op::Reshape(a) => {
-                    let (rows, cols) = nodes[a].value.shape();
-                    let back = g.clone().reshape(rows, cols);
-                    nodes[a].grad.add_assign_scaled(&back, 1.0);
+                    // Same element order, different shape: accumulate
+                    // buffer-to-buffer.
+                    let ga = &mut head[*a].grad;
+                    for (o, &gv) in ga.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                        *o += gv;
+                    }
                 }
                 Op::BceWithLogits(a, target) => {
-                    let va = nodes[a].value.clone();
-                    let n = va.len() as f32;
                     let gv = g[(0, 0)];
-                    let d = va.zip_map(&target, |x, t| (sigmoid_scalar(x) - t) * gv / n);
-                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                    let (ga, va) = grad_value_mut(head, *a, *a);
+                    let n = va.len() as f32;
+                    ga.add_assign_zip_map(va, target, |x, t| (sigmoid_scalar(x) - t) * gv / n);
                 }
                 Op::SoftmaxCrossEntropy(a, target) => {
-                    let va = nodes[a].value.clone();
-                    let probs = softmax_forward(&va);
-                    let n = va.rows() as f32;
                     let gv = g[(0, 0)];
-                    let d = probs.zip_map(&target, |p, t| (p - t) * gv / n);
-                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                    let (ga, va) = grad_value_mut(head, *a, *a);
+                    let n = va.rows() as f32;
+                    for r in 0..va.rows() {
+                        let varow = va.row(r);
+                        let (max, sum) = softmax_row_max_sum(varow);
+                        let trow = target.row(r);
+                        for (c, o) in ga.row_mut(r).iter_mut().enumerate() {
+                            let p = (varow[c] - max).exp() / sum;
+                            *o += (p - trow[c]) * gv / n;
+                        }
+                    }
                 }
                 Op::Mse(a, target) => {
-                    let va = nodes[a].value.clone();
-                    let n = va.len() as f32;
                     let gv = g[(0, 0)];
-                    let d = va.zip_map(&target, |x, t| 2.0 * (x - t) * gv / n);
-                    nodes[a].grad.add_assign_scaled(&d, 1.0);
+                    let (ga, va) = grad_value_mut(head, *a, *a);
+                    let n = va.len() as f32;
+                    ga.add_assign_zip_map(va, target, |x, t| 2.0 * (x - t) * gv / n);
                 }
             }
         }
     }
 }
 
+/// Disjoint borrows of `nodes[gi].grad` (mutable) and `nodes[vi].value`
+/// (shared); `gi == vi` is legal because the fields are distinct.
+fn grad_value_mut(nodes: &mut [Node], gi: usize, vi: usize) -> (&mut Matrix, &Matrix) {
+    if gi == vi {
+        let Node { grad, value, .. } = &mut nodes[gi];
+        (grad, value)
+    } else if gi < vi {
+        let (l, r) = nodes.split_at_mut(vi);
+        (&mut l[gi].grad, &r[0].value)
+    } else {
+        let (l, r) = nodes.split_at_mut(gi);
+        (&mut r[0].grad, &l[vi].value)
+    }
+}
+
+/// `dst[0][c] += s * Σ_r g[r][c]`, rows summed in ascending order — the
+/// fused form of `dst.add_assign_scaled(&g.sum_rows(), s)`.
+fn acc_col_sums(dst: &mut Matrix, g: &Matrix, s: f32) {
+    let cols = g.cols();
+    let gs = g.as_slice();
+    for (c, o) in dst.as_mut_slice().iter_mut().enumerate() {
+        let mut sum = 0.0f32;
+        for r in 0..g.rows() {
+            sum += gs[r * cols + c];
+        }
+        *o += sum * s;
+    }
+}
+
+/// `dst[0][c] += s * Σ_r g[r][c] * x[r][c]` — the fused form of
+/// `dst.add_assign_scaled(&g.mul(&x).sum_rows(), s)`.
+fn acc_col_sums_prod(dst: &mut Matrix, g: &Matrix, x: &Matrix, s: f32) {
+    let cols = g.cols();
+    let (gs, xs) = (g.as_slice(), x.as_slice());
+    for (c, o) in dst.as_mut_slice().iter_mut().enumerate() {
+        let mut sum = 0.0f32;
+        for r in 0..g.rows() {
+            sum += gs[r * cols + c] * xs[r * cols + c];
+        }
+        *o += sum * s;
+    }
+}
+
+/// `dst[r][c] += f(g[r][c], row[0][c])` — the fused form of
+/// `dst.add_assign_scaled(&g.op_row_broadcast(&row), 1.0)`.
+fn acc_row_broadcast(dst: &mut Matrix, g: &Matrix, row: &Matrix, f: impl Fn(f32, f32) -> f32) {
+    let rv = row.as_slice();
+    for r in 0..dst.rows() {
+        for ((o, &gv), &rc) in dst.row_mut(r).iter_mut().zip(g.row(r)).zip(rv) {
+            *o += f(gv, rc);
+        }
+    }
+}
+
 const LN_EPS: f32 = 1e-8;
 
-fn sigmoid_scalar(x: f32) -> f32 {
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
     if x >= 0.0 {
         1.0 / (1.0 + (-x).exp())
     } else {
@@ -332,18 +423,26 @@ fn sigmoid_scalar(x: f32) -> f32 {
     }
 }
 
+/// Row max and exponential sum — the shared numerics behind every softmax
+/// in this module. [`softmax_forward`] and the `SoftmaxCrossEntropy`
+/// backward rule both derive probabilities as `(x - max).exp() / sum` from
+/// this helper, keeping the two paths in bitwise lockstep.
+fn softmax_row_max_sum(row: &[f32]) -> (f32, f32) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for &x in row {
+        sum += (x - max).exp();
+    }
+    (max, sum)
+}
+
 fn softmax_forward(m: &Matrix) -> Matrix {
     let mut out = m.clone();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
+        let (max, sum) = softmax_row_max_sum(row);
         for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
+            *v = (*v - max).exp() / sum;
         }
     }
     out
@@ -379,151 +478,167 @@ impl<'t> Var<'t> {
 
     /// Element-wise sum.
     pub fn add(self, other: Var<'t>) -> Var<'t> {
-        let v = self.value().add(&other.value());
+        let v = self.tape.with_values(self.idx, other.idx, |a, b| a.add(b));
         self.unary(v, Op::Add(self.idx, other.idx))
     }
 
     /// Element-wise difference.
     pub fn sub(self, other: Var<'t>) -> Var<'t> {
-        let v = self.value().sub(&other.value());
+        let v = self.tape.with_values(self.idx, other.idx, |a, b| a.sub(b));
         self.unary(v, Op::Sub(self.idx, other.idx))
     }
 
     /// Element-wise product.
     pub fn mul(self, other: Var<'t>) -> Var<'t> {
-        let v = self.value().mul(&other.value());
+        let v = self.tape.with_values(self.idx, other.idx, |a, b| a.mul(b));
         self.unary(v, Op::Mul(self.idx, other.idx))
     }
 
     /// Element-wise quotient.
     pub fn div(self, other: Var<'t>) -> Var<'t> {
-        let v = self.value().div(&other.value());
+        let v = self.tape.with_values(self.idx, other.idx, |a, b| a.div(b));
         self.unary(v, Op::Div(self.idx, other.idx))
     }
 
     /// Negation.
     pub fn neg(self) -> Var<'t> {
-        let v = self.value().scale(-1.0);
+        let v = self.tape.with_value(self.idx, |a| a.scale(-1.0));
         self.unary(v, Op::Neg(self.idx))
     }
 
     /// Matrix product `self · other`.
     pub fn matmul(self, other: Var<'t>) -> Var<'t> {
-        let v = self.value().matmul(&other.value());
+        let v = self
+            .tape
+            .with_values(self.idx, other.idx, |a, b| a.matmul(b));
         self.unary(v, Op::Matmul(self.idx, other.idx))
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(self, s: f32) -> Var<'t> {
-        let v = self.value().scale(s);
+        let v = self.tape.with_value(self.idx, |a| a.scale(s));
         self.unary(v, Op::Scale(self.idx, s))
     }
 
     /// Adds `s` to every element.
     pub fn add_scalar(self, s: f32) -> Var<'t> {
-        let v = self.value().add_scalar(s);
+        let v = self.tape.with_value(self.idx, |a| a.add_scalar(s));
         self.unary(v, Op::AddScalar(self.idx))
     }
 
     /// Adds a constant matrix (no gradient flows into it).
     pub fn add_const(self, c: &Matrix) -> Var<'t> {
-        let v = self.value().add(c);
+        let v = self.tape.with_value(self.idx, |a| a.add(c));
         self.unary(v, Op::AddConst(self.idx))
     }
 
     /// Multiplies element-wise by a constant matrix (e.g. a dropout mask).
     pub fn mul_const(self, c: &Matrix) -> Var<'t> {
-        let v = self.value().mul(c);
+        let v = self.tape.with_value(self.idx, |a| a.mul(c));
         self.unary(v, Op::MulConst(self.idx, Rc::new(c.clone())))
     }
 
     /// Adds a `1 × cols` row node to every row.
     pub fn add_row(self, row: Var<'t>) -> Var<'t> {
-        let v = self.value().add_row_broadcast(&row.value());
+        let v = self
+            .tape
+            .with_values(self.idx, row.idx, |a, r| a.add_row_broadcast(r));
         self.unary(v, Op::AddRow(self.idx, row.idx))
     }
 
     /// Subtracts a `1 × cols` row node from every row.
     pub fn sub_row(self, row: Var<'t>) -> Var<'t> {
-        let v = self.value().sub_row_broadcast(&row.value());
+        let v = self
+            .tape
+            .with_values(self.idx, row.idx, |a, r| a.sub_row_broadcast(r));
         self.unary(v, Op::SubRow(self.idx, row.idx))
     }
 
     /// Multiplies every row element-wise by a `1 × cols` row node.
     pub fn mul_row(self, row: Var<'t>) -> Var<'t> {
-        let v = self.value().mul_row_broadcast(&row.value());
+        let v = self
+            .tape
+            .with_values(self.idx, row.idx, |a, r| a.mul_row_broadcast(r));
         self.unary(v, Op::MulRow(self.idx, row.idx))
     }
 
     /// Divides every row element-wise by a `1 × cols` row node.
     pub fn div_row(self, row: Var<'t>) -> Var<'t> {
-        let v = self.value().div_row_broadcast(&row.value());
+        let v = self
+            .tape
+            .with_values(self.idx, row.idx, |a, r| a.div_row_broadcast(r));
         self.unary(v, Op::DivRow(self.idx, row.idx))
     }
 
     /// Column-wise mean as a `1 × cols` node.
     pub fn mean_rows(self) -> Var<'t> {
-        let v = self.value().mean_rows();
+        let v = self.tape.with_value(self.idx, |a| a.mean_rows());
         self.unary(v, Op::MeanRows(self.idx))
     }
 
     /// Sum of all elements as a `1 × 1` node.
     pub fn sum(self) -> Var<'t> {
-        let v = Matrix::full(1, 1, self.value().sum());
+        let v = Matrix::full(1, 1, self.tape.with_value(self.idx, |a| a.sum()));
         self.unary(v, Op::Sum(self.idx))
     }
 
     /// Mean of all elements as a `1 × 1` node.
     pub fn mean(self) -> Var<'t> {
-        let v = Matrix::full(1, 1, self.value().mean());
+        let v = Matrix::full(1, 1, self.tape.with_value(self.idx, |a| a.mean()));
         self.unary(v, Op::Mean(self.idx))
     }
 
     /// Rectified linear unit.
     pub fn relu(self) -> Var<'t> {
-        let v = self.value().map(|x| x.max(0.0));
+        let v = self.tape.with_value(self.idx, |a| a.map(|x| x.max(0.0)));
         self.unary(v, Op::Relu(self.idx))
     }
 
     /// Leaky ReLU with slope `alpha` for negative inputs.
     pub fn leaky_relu(self, alpha: f32) -> Var<'t> {
-        let v = self.value().map(|x| if x > 0.0 { x } else { alpha * x });
+        let v = self
+            .tape
+            .with_value(self.idx, |a| a.map(|x| if x > 0.0 { x } else { alpha * x }));
         self.unary(v, Op::LeakyRelu(self.idx, alpha))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(self) -> Var<'t> {
-        let v = self.value().map(f32::tanh);
+        let v = self.tape.with_value(self.idx, |a| a.map(f32::tanh));
         self.unary(v, Op::Tanh(self.idx))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(self) -> Var<'t> {
-        let v = self.value().map(sigmoid_scalar);
+        let v = self.tape.with_value(self.idx, |a| a.map(sigmoid_scalar));
         self.unary(v, Op::Sigmoid(self.idx))
     }
 
     /// Element-wise exponential.
     pub fn exp(self) -> Var<'t> {
-        let v = self.value().map(f32::exp);
+        let v = self.tape.with_value(self.idx, |a| a.map(f32::exp));
         self.unary(v, Op::Exp(self.idx))
     }
 
     /// Element-wise natural log, clamped below at a small epsilon.
     pub fn ln(self) -> Var<'t> {
-        let v = self.value().map(|x| x.max(LN_EPS).ln());
+        let v = self
+            .tape
+            .with_value(self.idx, |a| a.map(|x| x.max(LN_EPS).ln()));
         self.unary(v, Op::Ln(self.idx))
     }
 
     /// Element-wise square root, clamped below at zero.
     pub fn sqrt(self) -> Var<'t> {
-        let v = self.value().map(|x| x.max(0.0).sqrt());
+        let v = self
+            .tape
+            .with_value(self.idx, |a| a.map(|x| x.max(0.0).sqrt()));
         self.unary(v, Op::Sqrt(self.idx))
     }
 
     /// Row-wise softmax.
     pub fn softmax(self) -> Var<'t> {
-        let v = softmax_forward(&self.value());
+        let v = self.tape.with_value(self.idx, softmax_forward);
         self.unary(v, Op::Softmax(self.idx))
     }
 
@@ -548,7 +663,7 @@ impl<'t> Var<'t> {
 
     /// Copies the column range `[start, end)` as a new node.
     pub fn slice_cols(self, start: usize, end: usize) -> Var<'t> {
-        let v = self.value().slice_cols(start, end);
+        let v = self.tape.with_value(self.idx, |a| a.slice_cols(start, end));
         self.unary(v, Op::SliceCols(self.idx, start, end))
     }
 

@@ -2,10 +2,14 @@
 //!
 //! This crate is the lowest layer of the workspace: a deliberately small,
 //! BLAS-free `f32` matrix type with the operations the neural-network stack
-//! ([`kinet-nn`]) and the statistical tooling need. It favours clarity and
-//! determinism (all randomness flows through explicit [`rand`] generators)
-//! over peak throughput, while still using a cache-blocked matmul that is
-//! fast enough to train the paper's GANs on a laptop-class CPU.
+//! ([`kinet-nn`]) and the statistical tooling need. All randomness flows
+//! through explicit [`rand`] generators, and the matrix products run on a
+//! packed, cache-tiled, register-blocked kernel (see [`kernel` layout notes
+//! in DESIGN.md]) that parallelizes over disjoint output-row ranges — the
+//! `KINET_THREADS` environment variable caps the worker count — while
+//! keeping results bit-for-bit identical for every thread count.
+//!
+//! [`kernel` layout notes in DESIGN.md]: https://example.org/kinetgan-rs
 //!
 //! # Quick start
 //!
@@ -21,12 +25,15 @@
 //!
 //! [`kinet-nn`]: https://example.org/kinetgan-rs
 
+mod kernel;
 mod matrix;
 mod ops;
+pub mod pool;
 mod random;
 mod stats;
 
 pub use matrix::Matrix;
+pub use pool::with_threads;
 pub use random::{gaussian_pair, MatrixRandomExt};
 
 /// Numerical tolerance used by the crate's own tests and recommended for

@@ -1,5 +1,11 @@
-//! Element-wise arithmetic, broadcasting helpers and the matrix product.
+//! Element-wise arithmetic, broadcasting helpers and the matrix products.
+//!
+//! The three matrix products and their fused `C += …` accumulate variants
+//! all delegate to the packed, cache-tiled, multi-threaded kernel in
+//! [`crate::kernel`]; see that module for the layout and the bit-for-bit
+//! determinism contract.
 
+use crate::kernel::{self, Trans};
 use crate::Matrix;
 
 impl Matrix {
@@ -107,6 +113,95 @@ impl Matrix {
         }
     }
 
+    /// Accumulates `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_assign shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for v in self.as_mut_slice() {
+            *v *= s;
+        }
+    }
+
+    /// Accumulates `f(x, y)` element-wise into `self` — the fused
+    /// `zip_map`-then-accumulate used by the autodiff backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign_zip_map(&mut self, x: &Matrix, y: &Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(
+            self.shape(),
+            x.shape(),
+            "add_assign_zip_map shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            x.shape()
+        );
+        assert_eq!(
+            self.shape(),
+            y.shape(),
+            "add_assign_zip_map shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            y.shape()
+        );
+        for ((a, &xv), &yv) in self
+            .as_mut_slice()
+            .iter_mut()
+            .zip(x.as_slice())
+            .zip(y.as_slice())
+        {
+            *a += f(xv, yv);
+        }
+    }
+
+    /// Accumulates `f(x, y, z)` element-wise into `self` (three-operand
+    /// variant of [`Matrix::add_assign_zip_map`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign_zip3_map(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        z: &Matrix,
+        f: impl Fn(f32, f32, f32) -> f32,
+    ) {
+        assert_eq!(
+            self.shape(),
+            x.shape(),
+            "add_assign_zip3_map shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            x.shape()
+        );
+        assert_eq!(x.shape(), y.shape(), "add_assign_zip3_map operand mismatch");
+        assert_eq!(x.shape(), z.shape(), "add_assign_zip3_map operand mismatch");
+        for (((a, &xv), &yv), &zv) in self
+            .as_mut_slice()
+            .iter_mut()
+            .zip(x.as_slice())
+            .zip(y.as_slice())
+            .zip(z.as_slice())
+        {
+            *a += f(xv, yv, zv);
+        }
+    }
+
     /// Adds the `1 × cols` row vector to every row.
     ///
     /// # Panics
@@ -167,7 +262,8 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self · other` using a cache-blocked i-k-j loop.
+    /// Matrix product `self · other` via the packed, cache-tiled,
+    /// multi-threaded kernel.
     ///
     /// # Panics
     ///
@@ -182,30 +278,22 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(n, m);
-        let a = self.as_slice();
-        let b = other.as_slice();
-        const BLOCK: usize = 64;
-        for kk in (0..k).step_by(BLOCK) {
-            let k_end = (kk + BLOCK).min(k);
-            for i in 0..n {
-                let arow = &a[i * k..(i + 1) * k];
-                let orow = &mut out.as_mut_slice()[i * m..(i + 1) * m];
-                for p in kk..k_end {
-                    let av = arow[p];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * m..(p + 1) * m];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
+        kernel::gemm(
+            out.as_mut_slice(),
+            n,
+            m,
+            k,
+            self.as_slice(),
+            Trans::No,
+            other.as_slice(),
+            Trans::No,
+            false,
+        );
         out
     }
 
-    /// `selfᵀ · other` without materializing the transpose.
+    /// `selfᵀ · other` without materializing the transpose (it is absorbed
+    /// while packing the operand).
     ///
     /// # Panics
     ///
@@ -220,23 +308,22 @@ impl Matrix {
         );
         let (k, n, m) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(n, m);
-        for p in 0..k {
-            let arow = self.row(p);
-            let brow = other.row(p);
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.as_mut_slice()[i * m..(i + 1) * m];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        kernel::gemm(
+            out.as_mut_slice(),
+            n,
+            m,
+            k,
+            self.as_slice(),
+            Trans::Yes,
+            other.as_slice(),
+            Trans::No,
+            false,
+        );
         out
     }
 
-    /// `self · otherᵀ` without materializing the transpose.
+    /// `self · otherᵀ` without materializing the transpose (it is absorbed
+    /// while packing the operand).
     ///
     /// # Panics
     ///
@@ -249,20 +336,126 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        let (n, m) = (self.rows(), other.rows());
+        let (n, k, m) = (self.rows(), self.cols(), other.rows());
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            let arow = self.row(i);
-            for j in 0..m {
-                let brow = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
-        }
+        kernel::gemm(
+            out.as_mut_slice(),
+            n,
+            m,
+            k,
+            self.as_slice(),
+            Trans::No,
+            other.as_slice(),
+            Trans::Yes,
+            false,
+        );
         out
+    }
+
+    /// Fused matmul-accumulate `self += a · b`, writing directly into this
+    /// matrix (the gradient-accumulation hot path of the autodiff tape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_acc(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(
+            a.cols(),
+            b.rows(),
+            "matmul_acc shape mismatch: {:?} · {:?}",
+            a.shape(),
+            b.shape()
+        );
+        assert_eq!(
+            self.shape(),
+            (a.rows(), b.cols()),
+            "matmul_acc output mismatch: {:?} += {:?} · {:?}",
+            self.shape(),
+            a.shape(),
+            b.shape()
+        );
+        let (n, k, m) = (a.rows(), a.cols(), b.cols());
+        kernel::gemm(
+            self.as_mut_slice(),
+            n,
+            m,
+            k,
+            a.as_slice(),
+            Trans::No,
+            b.as_slice(),
+            Trans::No,
+            true,
+        );
+    }
+
+    /// Fused matmul-accumulate `self += aᵀ · b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_tn_acc(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(
+            a.rows(),
+            b.rows(),
+            "matmul_tn_acc shape mismatch: {:?}ᵀ · {:?}",
+            a.shape(),
+            b.shape()
+        );
+        assert_eq!(
+            self.shape(),
+            (a.cols(), b.cols()),
+            "matmul_tn_acc output mismatch: {:?} += {:?}ᵀ · {:?}",
+            self.shape(),
+            a.shape(),
+            b.shape()
+        );
+        let (k, n, m) = (a.rows(), a.cols(), b.cols());
+        kernel::gemm(
+            self.as_mut_slice(),
+            n,
+            m,
+            k,
+            a.as_slice(),
+            Trans::Yes,
+            b.as_slice(),
+            Trans::No,
+            true,
+        );
+    }
+
+    /// Fused matmul-accumulate `self += a · bᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_nt_acc(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(
+            a.cols(),
+            b.cols(),
+            "matmul_nt_acc shape mismatch: {:?} · {:?}ᵀ",
+            a.shape(),
+            b.shape()
+        );
+        assert_eq!(
+            self.shape(),
+            (a.rows(), b.rows()),
+            "matmul_nt_acc output mismatch: {:?} += {:?} · {:?}ᵀ",
+            self.shape(),
+            a.shape(),
+            b.shape()
+        );
+        let (n, k, m) = (a.rows(), a.cols(), b.rows());
+        kernel::gemm(
+            self.as_mut_slice(),
+            n,
+            m,
+            k,
+            a.as_slice(),
+            Trans::No,
+            b.as_slice(),
+            Trans::Yes,
+            true,
+        );
     }
 
     /// Clamps every element into `[lo, hi]`.
@@ -357,6 +550,67 @@ mod tests {
         for (x, y) in nt.as_slice().iter().zip(explicit.as_slice()) {
             assert!(approx_eq(*x, *y, 1e-5));
         }
+    }
+
+    #[test]
+    fn fused_accumulate_products_match_compose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.25 - 1.0);
+        let b = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 1.5);
+        let base = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+
+        let mut acc = base.clone();
+        acc.matmul_acc(&a, &b);
+        assert_eq!(acc, base.add(&a.matmul(&b)));
+
+        let x = Matrix::from_fn(3, 2, |r, c| (r + 2 * c) as f32 * 0.1);
+        let mut acc2 = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let expected2 = acc2.add(&a.matmul_tn(&x));
+        acc2.matmul_tn_acc(&a, &x);
+        assert_eq!(acc2, expected2);
+
+        let y = Matrix::from_fn(5, 4, |r, c| (r * 4 + c) as f32 * 0.2);
+        let mut acc3 = Matrix::ones(3, 5);
+        acc3.matmul_nt_acc(&a, &y);
+        assert_eq!(acc3, Matrix::ones(3, 5).add(&a.matmul_nt(&y)));
+    }
+
+    #[test]
+    fn zeros_in_operands_match_dense_summation() {
+        // The old kernels skipped `a == 0.0` terms; the shared kernel must
+        // treat zeros exactly like any other value (same summation order as
+        // a dense dot product).
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[1.0, 0.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 0.0], &[0.0, 7.0], &[2.0, 0.0]]);
+        assert_eq!(
+            a.matmul(&b),
+            Matrix::from_rows(&[&[0.0, 14.0], &[11.0, 0.0]])
+        );
+        // 0 · inf must produce NaN (IEEE semantics), not be skipped.
+        let inf = Matrix::from_rows(&[&[f32::INFINITY], &[1.0], &[1.0]]);
+        let z = Matrix::from_rows(&[&[0.0, 1.0, 1.0]]);
+        assert!(z.matmul(&inf)[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn in_place_elementwise_variants() {
+        let mut m = Matrix::row_vector(&[1.0, 2.0]);
+        m.add_assign(&Matrix::row_vector(&[0.5, -0.5]));
+        assert_eq!(m.as_slice(), &[1.5, 1.5]);
+        m.scale_inplace(2.0);
+        assert_eq!(m.as_slice(), &[3.0, 3.0]);
+        m.add_assign_zip_map(
+            &Matrix::row_vector(&[1.0, 1.0]),
+            &Matrix::row_vector(&[2.0, 3.0]),
+            |a, b| a * b,
+        );
+        assert_eq!(m.as_slice(), &[5.0, 6.0]);
+        m.add_assign_zip3_map(
+            &Matrix::row_vector(&[1.0, 1.0]),
+            &Matrix::row_vector(&[2.0, 2.0]),
+            &Matrix::row_vector(&[4.0, 2.0]),
+            |a, b, c| -((a * b) / c),
+        );
+        assert_eq!(m.as_slice(), &[4.5, 5.0]);
     }
 
     #[test]

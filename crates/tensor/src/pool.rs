@@ -1,0 +1,153 @@
+//! Row-range parallelism for the kernel layer.
+//!
+//! Work is split over contiguous, disjoint ranges of output rows and run on
+//! `crossbeam`-scoped worker threads. Because every worker owns its own
+//! slice of the output buffer and per-element summation order is fixed by
+//! the kernel (see [`crate::kernel`]), results are bit-identical for every
+//! thread count.
+//!
+//! The worker count comes from, in priority order:
+//!
+//! 1. [`with_threads`] (a scoped override, used by tests and benchmarks);
+//! 2. the `KINET_THREADS` environment variable (read once per process);
+//! 3. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// `KINET_THREADS`, or available parallelism when unset/unparsable.
+fn env_threads() -> usize {
+    static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("KINET_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count the kernel layer will use on this thread.
+pub fn num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(env_threads)
+        .max(1)
+}
+
+/// The active [`with_threads`] override, if any. The kernel honors an
+/// explicit override verbatim but applies a work-size threshold to the
+/// ambient default, so small products never pay thread-spawn overhead.
+pub(crate) fn thread_override() -> Option<usize> {
+    THREAD_OVERRIDE.with(Cell::get).map(|n| n.max(1))
+}
+
+/// Runs `f` with the kernel worker count pinned to `n` on this thread,
+/// restoring the previous setting afterwards (also on panic).
+///
+/// Primarily for tests and benchmarks that compare thread counts within one
+/// process; production code should use the `KINET_THREADS` environment
+/// variable instead.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Splits `out` (row-major, `rows × cols`) into contiguous chunks whose row
+/// counts are multiples of `align` and applies `work(first_row, chunk)` to
+/// each — on scoped worker threads when more than one chunk is useful.
+///
+/// Chunks are disjoint `&mut` slices, so workers never share output memory;
+/// `work` must produce each row independently of the partitioning for the
+/// bit-for-bit determinism contract to hold (the GEMM row loop does).
+pub(crate) fn parallel_rows(
+    out: &mut [f32],
+    rows: usize,
+    cols: usize,
+    align: usize,
+    threads: usize,
+    work: &(dyn Fn(usize, &mut [f32]) + Sync),
+) {
+    debug_assert_eq!(out.len(), rows * cols);
+    let align = align.max(1);
+    let max_chunks = rows.div_ceil(align);
+    let threads = threads.clamp(1, max_chunks.max(1));
+    if threads == 1 || rows == 0 {
+        work(0, out);
+        return;
+    }
+    // Rows per worker, rounded up to the alignment so packed panels never
+    // straddle a chunk boundary.
+    let rows_per = rows.div_ceil(threads).div_ceil(align) * align;
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for (idx, chunk) in out.chunks_mut(rows_per * cols).enumerate() {
+            let first_row = idx * rows_per;
+            handles.push(s.spawn(move |_| work(first_row, chunk)));
+        }
+        for h in handles {
+            h.join().expect("kernel worker panicked");
+        }
+    })
+    .expect("kernel worker scope failed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_scopes_and_restores() {
+        let ambient = num_threads();
+        let inner = with_threads(3, || {
+            let nested = with_threads(5, num_threads);
+            assert_eq!(nested, 5);
+            num_threads()
+        });
+        assert_eq!(inner, 3);
+        assert_eq!(num_threads(), ambient);
+    }
+
+    #[test]
+    fn partitions_cover_all_rows_exactly_once() {
+        let (rows, cols) = (23, 4);
+        let mut out = vec![0.0f32; rows * cols];
+        parallel_rows(&mut out, rows, cols, 4, 3, &|first_row, chunk| {
+            for (r, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first_row + r) as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(out[r * cols + c], r as f32, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_runs_serially() {
+        let mut out = vec![0.0f32; 8];
+        parallel_rows(&mut out, 1, 8, 4, 16, &|first_row, chunk| {
+            assert_eq!(first_row, 0);
+            chunk.fill(1.0);
+        });
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+}

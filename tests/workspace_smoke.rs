@@ -66,3 +66,18 @@ fn fixed_seed_training_is_bit_for_bit_deterministic() {
         "two identical fixed-seed training runs must release identical bytes"
     );
 }
+
+#[test]
+fn kernel_thread_count_does_not_change_released_bytes() {
+    // The tensor kernel's determinism contract: workers own disjoint output
+    // rows and never change an element's summation order, so the whole
+    // training run must be bit-for-bit identical under any KINET_THREADS.
+    let serial = kinetgan_suite::tensor::with_threads(1, train_and_release_csv);
+    for threads in [2, 4] {
+        let parallel = kinetgan_suite::tensor::with_threads(threads, train_and_release_csv);
+        assert_eq!(
+            serial, parallel,
+            "released bytes changed between 1 and {threads} kernel threads"
+        );
+    }
+}

@@ -6,8 +6,110 @@
 //! Scale knob: `KINET_BENCH_SAMPLES` overrides the per-benchmark sample
 //! count (default 20; `Criterion::sample_size` and
 //! `BenchmarkGroup::sample_size` also apply).
+//!
+//! Persistence: `criterion_main!` writes every benchmark's summary to
+//! `target/experiments/BENCH_<bench>.json` (override the directory with
+//! `KINET_EXPERIMENTS_DIR`), so runs can be diffed across commits and
+//! archived as CI artifacts.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary, collected for JSON persistence.
+struct BenchRecord {
+    name: String,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+    samples: usize,
+    iters_per_sample: u32,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Writes all benchmark summaries recorded so far to
+/// `<dir>/BENCH_<bench>.json`, where `<dir>` is `KINET_EXPERIMENTS_DIR` or
+/// `target/experiments`, and `<bench>` is derived from the bench binary
+/// name (`bench_tensor-<hash>` → `tensor`). Called by `criterion_main!`;
+/// errors are reported to stderr but never fail the bench run.
+pub fn persist_results() {
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    if results.is_empty() {
+        return;
+    }
+    let bench = bench_binary_name();
+    let dir = std::env::var("KINET_EXPERIMENTS_DIR").unwrap_or_else(|_| default_experiments_dir());
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench\": \"{}\",\n", escape(&bench)));
+    json.push_str(&format!(
+        "  \"unix_time\": {},\n",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            escape(&r.name),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = format!("{dir}/BENCH_{bench}.json");
+    let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json));
+    match write {
+        Ok(()) => println!("bench summary written to {path}"),
+        Err(e) => eprintln!("could not persist bench summary to {path}: {e}"),
+    }
+}
+
+/// `<workspace>/target/experiments`, located by walking up from the bench
+/// executable (which cargo always places under `target/`). Bench binaries
+/// run with the *package* directory as cwd, so a relative path would land
+/// in the wrong place for workspace members.
+fn default_experiments_dir() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(|t| t.join("experiments").to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "target/experiments".to_string())
+}
+
+/// The bench's logical name from `argv[0]`: file stem, minus the trailing
+/// `-<hash>` cargo appends, minus a `bench_` prefix.
+fn bench_binary_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    let stem = match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.chars().all(|c| c.is_ascii_hexdigit()) => base,
+        _ => stem,
+    };
+    stem.strip_prefix("bench_").unwrap_or(stem).to_string()
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
 
 /// Opaque hint that `value` is used, preventing dead-code elimination.
 pub fn black_box<T>(value: T) -> T {
@@ -159,6 +261,17 @@ fn run_benchmark(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)
     let min = samples[0];
     let median = samples[samples.len() / 2];
     let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchRecord {
+            name: name.to_string(),
+            min_ns: min.as_nanos(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            samples: samples.len(),
+            iters_per_sample,
+        });
     println!(
         "{name}: min {} | median {} | mean {} ({} samples x {} iters)",
         fmt_duration(min),
@@ -201,12 +314,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench entry point running the listed groups.
+/// Declares the bench entry point running the listed groups, then persists
+/// the collected summaries as JSON (see [`persist_results`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::persist_results();
         }
     };
 }
@@ -228,6 +343,22 @@ mod tests {
         });
         // warmup + 3 samples
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn samples_are_recorded_for_persistence() {
+        let before = RESULTS.lock().unwrap().len();
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("record-me", |b| b.iter(|| black_box(1)));
+        let results = RESULTS.lock().unwrap();
+        assert!(results.len() > before);
+        assert!(results.iter().any(|r| r.name == "record-me"));
     }
 
     #[test]

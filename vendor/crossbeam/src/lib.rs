@@ -1,5 +1,79 @@
-//! Offline substitute for the `crossbeam` channel surface this
-//! workspace uses, backed by `std::sync::mpsc`.
+//! Offline substitute for the `crossbeam` channel and scoped-thread
+//! surface this workspace uses, backed by `std::sync::mpsc` and
+//! `std::thread::scope`.
+
+pub use thread::scope;
+
+pub mod thread {
+    //! Scoped threads with the crossbeam naming convention.
+    //!
+    //! Backed by `std::thread::scope`, so spawned threads may borrow from
+    //! the enclosing stack frame and are always joined before `scope`
+    //! returns. One deviation from the real crate: a panic in an unjoined
+    //! spawned thread propagates as a panic out of `scope` (std semantics)
+    //! instead of surfacing through the returned `Result`.
+
+    pub use std::thread::ScopedJoinHandle;
+
+    /// A scope for spawning borrowing threads, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn nested siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope whose spawned threads are all joined before the call
+    /// returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1usize, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<usize>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_handle() {
+            let n = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7usize).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 7);
+        }
+    }
+}
 
 pub mod channel {
     //! Multi-producer channels with the crossbeam naming convention.
