@@ -1,5 +1,6 @@
 //! Shared building blocks for the baseline generators.
 
+use kinet_data::synth::SynthError;
 use kinet_data::transform::{DataTransformer, HeadKind, HeadSpec};
 use kinet_nn::layers::gumbel_softmax;
 use kinet_nn::Var;
@@ -127,12 +128,14 @@ impl BaselineConfig {
     }
 }
 
+pub use kinet_data::synth::sample_in_batches;
+
 /// Fits the shared data transformer, mapping `DataError` into the trait's
 /// error space.
 pub fn fit_transformer(
     table: &kinet_data::Table,
     cfg: &BaselineConfig,
-) -> Result<DataTransformer, kinet_data::synth::SynthError> {
+) -> Result<DataTransformer, SynthError> {
     Ok(DataTransformer::fit(table, cfg.max_modes, cfg.seed)?)
 }
 

@@ -255,32 +255,29 @@ impl TabularSynthesizer for CtGan {
     fn sample(&self, n: usize, seed: u64) -> Result<Table, SynthError> {
         let f = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut out = Table::empty(f.table.schema().clone());
-        let batch = self.config.batch_size.max(32);
-        while out.n_rows() < n {
-            let want = (n - out.n_rows()).min(batch);
-            let conds = f.sampler.sample_batch(
-                &f.table,
-                &f.cond_spec,
-                BalanceMode::None,
-                true,
-                want,
-                &mut rng,
-            )?;
-            let c = Matrix::from_fn(want, f.cond_spec.width(), |r, j| conds[r].vector[j]);
-            let tape = Tape::new();
-            let (fake, _) = self.gen_forward(
-                &f.nets,
-                &tape,
-                &c,
-                &f.transformer.head_layout(),
-                false,
-                &mut rng,
-            );
-            out.append(&f.transformer.inverse_transform(&fake.value())?)?;
-        }
-        let idx: Vec<usize> = (0..n).collect();
-        Ok(out.select_rows(&idx))
+        crate::common::sample_in_batches(
+            f.table.schema().clone(),
+            n,
+            self.config.batch_size,
+            &mut rng,
+            |want, rng| {
+                let conds = f.sampler.sample_batch(
+                    &f.table,
+                    &f.cond_spec,
+                    BalanceMode::None,
+                    true,
+                    want,
+                    rng,
+                )?;
+                let c = Matrix::from_fn(want, f.cond_spec.width(), |r, j| conds[r].vector[j]);
+                let tape = Tape::new();
+                let (fake, _) =
+                    self.gen_forward(&f.nets, &tape, &c, &f.transformer.head_layout(), false, rng);
+                f.transformer
+                    .inverse_transform(&fake.value())
+                    .map_err(Into::into)
+            },
+        )
     }
 
     fn critic_scores(&self, table: &Table) -> Option<Vec<f64>> {

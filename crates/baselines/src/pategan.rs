@@ -216,18 +216,21 @@ impl TabularSynthesizer for PateGan {
         let f = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let heads = f.transformer.head_layout();
-        let mut out = Table::empty(f.table.schema().clone());
-        let batch = self.config.batch_size.max(32);
-        while out.n_rows() < n {
-            let want = (n - out.n_rows()).min(batch);
-            let z = Matrix::randn(want, self.config.z_dim, 0.0, 1.0, &mut rng);
-            let tape = Tape::new();
-            let logits = f.gen.forward(&tape, tape.constant(z), false, &mut rng);
-            let (fake, _) = apply_heads(logits, &heads, self.config.tau, &mut rng);
-            out.append(&f.transformer.inverse_transform(&fake.value())?)?;
-        }
-        let idx: Vec<usize> = (0..n).collect();
-        Ok(out.select_rows(&idx))
+        crate::common::sample_in_batches(
+            f.table.schema().clone(),
+            n,
+            self.config.batch_size,
+            &mut rng,
+            |want, rng| {
+                let z = Matrix::randn(want, self.config.z_dim, 0.0, 1.0, rng);
+                let tape = Tape::new();
+                let logits = f.gen.forward(&tape, tape.constant(z), false, rng);
+                let (fake, _) = apply_heads(logits, &heads, self.config.tau, rng);
+                f.transformer
+                    .inverse_transform(&fake.value())
+                    .map_err(Into::into)
+            },
+        )
     }
 
     fn critic_scores(&self, table: &Table) -> Option<Vec<f64>> {

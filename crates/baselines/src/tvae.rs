@@ -133,44 +133,47 @@ impl TabularSynthesizer for Tvae {
         let f = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let heads = f.transformer.head_layout();
-        let mut out = Table::empty(f.table.schema().clone());
-        let batch = self.config.batch_size.max(32);
-        while out.n_rows() < n {
-            let want = (n - out.n_rows()).min(batch);
-            let z = Matrix::randn(want, self.config.z_dim, 0.0, 1.0, &mut rng);
-            let logits = f.decoder.infer(&z);
-            // activate heads: tanh for alphas, gumbel-argmax for one-hots
-            let mut activated = Matrix::zeros(want, logits.cols());
-            let mut offset = 0;
-            for head in &heads {
-                match head.kind {
-                    HeadKind::Tanh => {
-                        for r in 0..want {
-                            activated[(r, offset)] = logits[(r, offset)].tanh();
-                        }
-                    }
-                    HeadKind::Softmax => {
-                        let noise = Matrix::gumbel(want, head.width, &mut rng);
-                        for r in 0..want {
-                            let mut best = 0;
-                            let mut best_v = f32::NEG_INFINITY;
-                            for j in 0..head.width {
-                                let v = logits[(r, offset + j)] + noise[(r, j)];
-                                if v > best_v {
-                                    best_v = v;
-                                    best = j;
-                                }
+        crate::common::sample_in_batches(
+            f.table.schema().clone(),
+            n,
+            self.config.batch_size,
+            &mut rng,
+            |want, rng| {
+                let z = Matrix::randn(want, self.config.z_dim, 0.0, 1.0, rng);
+                let logits = f.decoder.infer(&z);
+                // activate heads: tanh for alphas, gumbel-argmax for one-hots
+                let mut activated = Matrix::zeros(want, logits.cols());
+                let mut offset = 0;
+                for head in &heads {
+                    match head.kind {
+                        HeadKind::Tanh => {
+                            for r in 0..want {
+                                activated[(r, offset)] = logits[(r, offset)].tanh();
                             }
-                            activated[(r, offset + best)] = 1.0;
+                        }
+                        HeadKind::Softmax => {
+                            let noise = Matrix::gumbel(want, head.width, rng);
+                            for r in 0..want {
+                                let mut best = 0;
+                                let mut best_v = f32::NEG_INFINITY;
+                                for j in 0..head.width {
+                                    let v = logits[(r, offset + j)] + noise[(r, j)];
+                                    if v > best_v {
+                                        best_v = v;
+                                        best = j;
+                                    }
+                                }
+                                activated[(r, offset + best)] = 1.0;
+                            }
                         }
                     }
+                    offset += head.width;
                 }
-                offset += head.width;
-            }
-            out.append(&f.transformer.inverse_transform(&activated)?)?;
-        }
-        let idx: Vec<usize> = (0..n).collect();
-        Ok(out.select_rows(&idx))
+                f.transformer
+                    .inverse_transform(&activated)
+                    .map_err(Into::into)
+            },
+        )
     }
 
     fn critic_scores(&self, table: &Table) -> Option<Vec<f64>> {

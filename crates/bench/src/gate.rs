@@ -1,0 +1,177 @@
+//! The bench regression gate: diffs freshly persisted
+//! `target/experiments/BENCH_*.json` summaries against the committed
+//! baselines in `benches/baseline/` and fails above a median-ratio
+//! threshold.
+//!
+//! The vendored `serde_json` shim has no deserializer (see ROADMAP), so
+//! the gate carries a minimal scanner for the exact flat format the
+//! vendored criterion shim writes — one `{"name": …, "median_ns": …}`
+//! record per line.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Median nanoseconds per benchmark name, parsed from one summary file.
+pub type BenchMedians = BTreeMap<String, u128>;
+
+/// One benchmark's fresh-vs-baseline comparison.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// Bench file stem (`kg`, `tensor`, …).
+    pub bench: String,
+    /// Benchmark name within the file.
+    pub name: String,
+    /// Committed baseline median (ns).
+    pub baseline_ns: u128,
+    /// Freshly measured median (ns).
+    pub fresh_ns: u128,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+}
+
+impl GateRow {
+    /// `true` when the fresh median exceeds `threshold ×` the baseline.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.ratio > threshold
+    }
+}
+
+/// Parses the criterion shim's summary JSON into per-benchmark medians.
+/// Tolerant of whitespace but intentionally tied to the shim's flat
+/// one-record-per-line layout.
+pub fn parse_medians(json: &str) -> BenchMedians {
+    let mut out = BTreeMap::new();
+    for line in json.lines() {
+        let Some(name) = extract_str(line, "\"name\":") else {
+            continue;
+        };
+        let Some(median) = extract_u128(line, "\"median_ns\":") else {
+            continue;
+        };
+        out.insert(name, median);
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = line.split(key).nth(1)?;
+    let start = rest.find('"')? + 1;
+    let end = start + rest[start..].find('"')?;
+    Some(rest[start..end].to_string())
+}
+
+fn extract_u128(line: &str, key: &str) -> Option<u128> {
+    let rest = line.split(key).nth(1)?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Compares every benchmark present in both maps.
+pub fn compare(bench: &str, baseline: &BenchMedians, fresh: &BenchMedians) -> Vec<GateRow> {
+    baseline
+        .iter()
+        .filter_map(|(name, &base_ns)| {
+            let &fresh_ns = fresh.get(name)?;
+            Some(GateRow {
+                bench: bench.to_string(),
+                name: name.clone(),
+                baseline_ns: base_ns,
+                fresh_ns,
+                ratio: fresh_ns as f64 / base_ns.max(1) as f64,
+            })
+        })
+        .collect()
+}
+
+/// Baselined benchmark names with no fresh counterpart. A non-empty
+/// result means coverage quietly evaporated (bench renamed or dropped);
+/// the gate treats it as a failure so regressions cannot hide by
+/// disappearing.
+pub fn missing_names(baseline: &BenchMedians, fresh: &BenchMedians) -> Vec<String> {
+    baseline
+        .keys()
+        .filter(|name| !fresh.contains_key(*name))
+        .cloned()
+        .collect()
+}
+
+/// The committed baseline directory: `benches/baseline/` at the workspace
+/// root, resolved relative to this crate so the gate works from any CWD.
+pub fn baseline_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../benches/baseline")
+}
+
+/// The fresh-summary directory: `KINET_EXPERIMENTS_DIR` or
+/// `target/experiments` at the workspace root.
+pub fn fresh_dir() -> PathBuf {
+    match std::env::var("KINET_EXPERIMENTS_DIR") {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments"),
+    }
+}
+
+/// The regression threshold: `KINET_GATE_THRESHOLD` or 1.5.
+pub fn threshold() -> f64 {
+    std::env::var("KINET_GATE_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 1.0)
+        .unwrap_or(1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "kg",
+  "unix_time": 1,
+  "results": [
+    {"name": "validity_rate/20k_string", "min_ns": 90, "median_ns": 100, "mean_ns": 105, "samples": 10, "iters_per_sample": 1},
+    {"name": "validity_rate/20k_interned", "min_ns": 8, "median_ns": 10, "mean_ns": 11, "samples": 10, "iters_per_sample": 1}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_names_and_medians() {
+        let m = parse_medians(SAMPLE);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["validity_rate/20k_string"], 100);
+        assert_eq!(m["validity_rate/20k_interned"], 10);
+    }
+
+    #[test]
+    fn compare_flags_regressions_only_above_threshold() {
+        let baseline = parse_medians(SAMPLE);
+        let mut fresh = baseline.clone();
+        fresh.insert("validity_rate/20k_interned".into(), 16); // 1.6x
+        fresh.insert("validity_rate/20k_string".into(), 120); // 1.2x
+        let rows = compare("kg", &baseline, &fresh);
+        assert_eq!(rows.len(), 2);
+        let regressed: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.regressed(1.5))
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(regressed, ["validity_rate/20k_interned"]);
+    }
+
+    #[test]
+    fn missing_benchmarks_are_reported_not_skipped() {
+        let baseline = parse_medians(SAMPLE);
+        let mut fresh = BenchMedians::new();
+        assert!(compare("kg", &baseline, &fresh).is_empty());
+        assert_eq!(missing_names(&baseline, &fresh).len(), 2);
+        fresh.insert("validity_rate/20k_string".into(), 100);
+        assert_eq!(
+            missing_names(&baseline, &fresh),
+            ["validity_rate/20k_interned"]
+        );
+    }
+
+    #[test]
+    fn default_threshold_is_one_point_five() {
+        assert!((threshold() - 1.5).abs() < 1e-9 || std::env::var("KINET_GATE_THRESHOLD").is_ok());
+    }
+}

@@ -12,6 +12,8 @@
 //! | `KINET_EXP_SEED` | 7 | master seed |
 //! | `KINET_EXP_PROBES` | 300 | privacy-attack probe count |
 
+pub mod gate;
+
 use kinet_baselines::{common::BaselineConfig, CtGan, OctGan, PateGan, TableGan, Tvae};
 use kinet_data::synth::{SynthError, TabularSynthesizer};
 use kinet_data::Table;

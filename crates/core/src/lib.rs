@@ -39,6 +39,8 @@ mod discriminator;
 mod generator;
 mod model;
 
+pub mod pipeline;
+
 pub use config::{KgMode, KinetGanConfig};
 pub use discriminator::{KnowledgeDiscriminator, RecordDiscriminator};
 pub use generator::ConditionalGenerator;

@@ -3,7 +3,9 @@
 use crate::config::{KgMode, KinetGanConfig};
 use crate::discriminator::{KnowledgeDiscriminator, RecordDiscriminator};
 use crate::generator::ConditionalGenerator;
+use crate::pipeline::KgTrainPipeline;
 use kinet_data::condition::ConditionVectorSpec;
+use kinet_data::encoded::{row_to_assignment, KgTableChecker};
 use kinet_data::sampler::{BalanceMode, TrainingSampler};
 use kinet_data::synth::{SynthError, TabularSynthesizer};
 use kinet_data::transform::DataTransformer;
@@ -80,12 +82,14 @@ impl KinetGan {
         self.fitted.as_ref().map(|f| &f.report)
     }
 
-    /// Fraction of `table` rows that satisfy the knowledge graph.
+    /// Fraction of `table` rows that satisfy the knowledge graph. Scored
+    /// through the compiled reasoner (interned codes, no per-row
+    /// assignments), parallel over the worker pool; exactly equal to the
+    /// string reasoner's verdicts.
     pub fn validity_rate(&self, table: &Table) -> f64 {
-        let batch: Vec<Assignment> = (0..table.n_rows())
-            .map(|r| row_to_assignment(table, r))
-            .collect();
-        self.kg.reasoner().validity_rate(&batch)
+        KgTableChecker::new(self.kg.compiled(), self.kg.base_interner(), table.schema())
+            .validity_rate(table)
+            .expect("checker bound to this table's own schema cannot mismatch")
     }
 
     /// The conditional columns used for the condition vector: the KG's
@@ -260,6 +264,15 @@ impl KinetGan {
         let steps = (table.n_rows() / cfg.batch_size).max(1);
         let mut report = TrainingReport::default();
 
+        // Interned fast path: pre-encode the table once (codes + the
+        // deterministic transform) and compile per-event sampling plans;
+        // every batch then gathers by index into reused buffers. The
+        // string path below stays as the reference implementation.
+        let mut kg_pipe = (use_dkg && cfg.interned_pipeline)
+            .then(|| KgTrainPipeline::new(&self.kg, table, &transformer));
+        let mut real_buf = Matrix::default();
+        let mut pos_buf = Matrix::default();
+
         for _epoch in 0..cfg.epochs {
             let mut d_epoch = 0.0f32;
             let mut g_epoch = 0.0f32;
@@ -276,24 +289,29 @@ impl KinetGan {
                     conditions[r].vector[ccol]
                 });
                 let real_idx: Vec<usize> = conditions.iter().map(|s| s.row).collect();
-                let real = encoded.select_rows(&real_idx);
+                encoded.gather_rows_into(&real_idx, &mut real_buf);
 
                 // ---- discriminator step ----
                 {
                     let tape = Tape::new();
                     let fake = generator.generate(&tape, &c, cfg.tau, true, &mut rng);
-                    let real_node = tape.constant(real.clone());
+                    let real_node = tape.constant(real_buf.clone());
                     let d_real = d_m.forward(&tape, real_node, &c, true, &mut rng);
                     let d_fake = d_m.forward(&tape, fake.output, &c, true, &mut rng);
                     let mut loss =
                         kinet_nn::loss::gan_discriminator_loss(d_real, d_fake, cfg.real_label);
                     if let Some(dkg) = &d_kg {
-                        let pos_rows: Vec<Vec<Value>> = real_idx
-                            .iter()
-                            .map(|&r| self.kg_positive_row(table, r, &domains, &mut rng))
-                            .collect();
-                        let pos_table = Table::from_rows(table.schema().clone(), pos_rows)?;
-                        let pos = transformer.transform_deterministic(&pos_table);
+                        let pos = if let Some(pipe) = kg_pipe.as_mut() {
+                            pipe.fill_positives(&real_idx, &mut pos_buf, &mut rng, 8)?;
+                            pos_buf.clone()
+                        } else {
+                            let pos_rows: Vec<Vec<Value>> = real_idx
+                                .iter()
+                                .map(|&r| self.kg_positive_row(table, r, &domains, &mut rng))
+                                .collect();
+                            let pos_table = Table::from_rows(table.schema().clone(), pos_rows)?;
+                            transformer.transform_deterministic(&pos_table)
+                        };
                         let kg_pos = dkg.forward(&tape, tape.constant(pos), true, &mut rng);
                         let kg_neg = dkg.forward(&tape, fake.output, true, &mut rng);
                         let kg_loss = kinet_nn::loss::gan_discriminator_loss(kg_pos, kg_neg, 1.0);
@@ -449,17 +467,6 @@ fn c_block(c: &Matrix, offset: usize, width: usize) -> Matrix {
     Matrix::from_fn(c.rows(), width, |r, j| c[(r, offset + j)])
 }
 
-fn row_to_assignment(table: &Table, row: usize) -> Assignment {
-    let mut a = Assignment::new();
-    for (ci, col) in table.schema().iter().enumerate() {
-        match table.value(row, ci) {
-            Value::Cat(s) => a.set(col.name(), AttrValue::Cat(s)),
-            Value::Num(v) => a.set(col.name(), AttrValue::Num(v)),
-        };
-    }
-    a
-}
-
 impl TabularSynthesizer for KinetGan {
     fn name(&self) -> &str {
         "KiNETGAN"
@@ -475,57 +482,76 @@ impl TabularSynthesizer for KinetGan {
     fn sample(&self, n: usize, seed: u64) -> Result<Table, SynthError> {
         let f = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut out = Table::empty(f.table.schema().clone());
-        let batch = self.config.batch_size.max(32);
-        while out.n_rows() < n {
-            let want = (n - out.n_rows()).min(batch);
-            let conds = f.sampler.sample_batch(
-                &f.table,
-                &f.cond_spec,
-                BalanceMode::None, // original data distribution at test time
-                true,
-                want,
-                &mut rng,
-            )?;
-            let c = Matrix::from_fn(want, f.cond_spec.width(), |r, j| conds[r].vector[j]);
-            let tape = Tape::new();
-            let gen = f
-                .generator
-                .generate(&tape, &c, self.config.tau, false, &mut rng);
-            let mut decoded = f.transformer.inverse_transform(&gen.output.value())?;
-            for round in 0..self.config.rejection_rounds {
-                let invalid_rows: Vec<usize> = (0..decoded.n_rows())
-                    .filter(|&r| {
-                        !self
-                            .kg
-                            .reasoner()
-                            .is_valid_cached(&row_to_assignment(&decoded, r))
-                    })
-                    .collect();
-                if invalid_rows.is_empty() {
-                    break;
-                }
-                let retry_c = Matrix::from_fn(invalid_rows.len(), f.cond_spec.width(), |i, j| {
-                    c[(invalid_rows[i], j)]
-                });
+        // Compiled rejection scoring (the string reasoner path remains the
+        // reference; both find the same invalid rows).
+        let checker =
+            (self.config.rejection_rounds > 0 && self.config.interned_pipeline).then(|| {
+                KgTableChecker::new(
+                    self.kg.compiled(),
+                    self.kg.base_interner(),
+                    f.table.schema(),
+                )
+            });
+        let mut invalid_buf = Vec::new();
+        kinet_data::synth::sample_in_batches(
+            f.table.schema().clone(),
+            n,
+            self.config.batch_size,
+            &mut rng,
+            |want, rng| {
+                let conds = f.sampler.sample_batch(
+                    &f.table,
+                    &f.cond_spec,
+                    BalanceMode::None, // original data distribution at test time
+                    true,
+                    want,
+                    rng,
+                )?;
+                let c = Matrix::from_fn(want, f.cond_spec.width(), |r, j| conds[r].vector[j]);
                 let tape = Tape::new();
-                let regen = f
-                    .generator
-                    .generate(&tape, &retry_c, self.config.tau, false, &mut rng);
-                let redecoded = f.transformer.inverse_transform(&regen.output.value())?;
-                let mut rows: Vec<Vec<Value>> =
-                    (0..decoded.n_rows()).map(|r| decoded.row(r)).collect();
-                for (i, &r) in invalid_rows.iter().enumerate() {
-                    rows[r] = redecoded.row(i);
+                let gen = f.generator.generate(&tape, &c, self.config.tau, false, rng);
+                let mut decoded = f.transformer.inverse_transform(&gen.output.value())?;
+                for round in 0..self.config.rejection_rounds {
+                    let invalid_rows: &[usize] = match &checker {
+                        Some(ch) => {
+                            ch.invalid_rows(&decoded, &mut invalid_buf)?;
+                            &invalid_buf
+                        }
+                        None => {
+                            invalid_buf = (0..decoded.n_rows())
+                                .filter(|&r| {
+                                    !self
+                                        .kg
+                                        .reasoner()
+                                        .is_valid_cached(&row_to_assignment(&decoded, r))
+                                })
+                                .collect();
+                            &invalid_buf
+                        }
+                    };
+                    if invalid_rows.is_empty() {
+                        break;
+                    }
+                    let retry_c =
+                        Matrix::from_fn(invalid_rows.len(), f.cond_spec.width(), |i, j| {
+                            c[(invalid_rows[i], j)]
+                        });
+                    let tape = Tape::new();
+                    let regen = f
+                        .generator
+                        .generate(&tape, &retry_c, self.config.tau, false, rng);
+                    let redecoded = f.transformer.inverse_transform(&regen.output.value())?;
+                    let mut rows: Vec<Vec<Value>> =
+                        (0..decoded.n_rows()).map(|r| decoded.row(r)).collect();
+                    for (i, &r) in invalid_rows.iter().enumerate() {
+                        rows[r] = redecoded.row(i);
+                    }
+                    decoded = Table::from_rows(decoded.schema().clone(), rows)?;
+                    let _ = round;
                 }
-                decoded = Table::from_rows(decoded.schema().clone(), rows)?;
-                let _ = round;
-            }
-            out.append(&decoded)?;
-        }
-        // exact size
-        let idx: Vec<usize> = (0..n).collect();
-        Ok(out.select_rows(&idx))
+                Ok(decoded)
+            },
+        )
     }
 
     fn critic_scores(&self, table: &Table) -> Option<Vec<f64>> {
@@ -658,6 +684,29 @@ mod tests {
         let empty = Table::empty(data.schema().clone());
         let mut model = KinetGan::new(tiny_config(), NetworkKg::lab_default());
         assert!(model.fit(&empty).is_err());
+    }
+
+    #[test]
+    fn rule_schema_type_conflict_fails_fit_on_both_pipelines() {
+        // AllowedValues on a continuous column: the reference path fails
+        // `Table::from_rows` kind validation when the sampled category
+        // lands on the numeric column; the interned path must fail at the
+        // same point instead of silently keeping the original value.
+        let data = tiny_data(100, 9);
+        for interned in [true, false] {
+            let store = kinet_kg::ontology::GraphBuilder::new("bad")
+                .allow_values("*", "dst_port", &["80"])
+                .build();
+            let kg = NetworkKg::new("bad", store, "event", &["event"]);
+            let mut model = KinetGan::new(tiny_config().with_interned_pipeline(interned), kg);
+            let err = model
+                .fit(&data)
+                .expect_err("type-conflicted KG must abort training");
+            assert!(
+                matches!(err, SynthError::Data(_)),
+                "interned={interned}: {err}"
+            );
+        }
     }
 
     #[test]

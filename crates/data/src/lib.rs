@@ -16,11 +16,15 @@
 //!   (Eq. 1–2) over the discrete conditional attributes, with both
 //!   log-frequency (CTGAN) and uniform minority-boosting (§III-A-3)
 //!   sampling;
+//! * [`encoded::EncodedTable`]: the interned fast-path encoding (category
+//!   strings → `kinet_kg` symbols) plus compiled KG validity scoring over
+//!   whole tables, parallelized on the kernel worker pool;
 //! * [`sampler::TrainingSampler`]: training-by-sampling row lookup;
 //! * [`synth::TabularSynthesizer`]: the trait every generative model in the
 //!   workspace implements, so evaluation code is model-agnostic.
 
 pub mod condition;
+pub mod encoded;
 pub mod gmm;
 pub mod sampler;
 pub mod synth;

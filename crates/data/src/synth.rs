@@ -75,6 +75,36 @@ pub trait TabularSynthesizer {
     }
 }
 
+/// The shared batched sampling loop every generator-backed synthesizer in
+/// the workspace runs: draw batches of at most `batch.max(32)` rows from
+/// `gen_batch` until `n` rows are collected, then trim to exactly `n`.
+///
+/// `gen_batch(want, rng)` must return exactly `want` decoded rows; it owns
+/// whatever model-specific work a batch needs (condition sampling, forward
+/// pass, inverse transform, KG rejection rounds). RNG consumption order is
+/// exactly the per-model loops this replaces, so fixed-seed releases are
+/// unchanged.
+///
+/// # Errors
+///
+/// Propagates `gen_batch` and table-append failures.
+pub fn sample_in_batches<R: rand::Rng>(
+    schema: crate::Schema,
+    n: usize,
+    batch: usize,
+    rng: &mut R,
+    mut gen_batch: impl FnMut(usize, &mut R) -> Result<Table, SynthError>,
+) -> Result<Table, SynthError> {
+    let mut out = Table::empty(schema);
+    let batch = batch.max(32);
+    while out.n_rows() < n {
+        let want = (n - out.n_rows()).min(batch);
+        out.append(&gen_batch(want, rng)?)?;
+    }
+    let idx: Vec<usize> = (0..n).collect();
+    Ok(out.select_rows(&idx))
+}
+
 /// Blanket helper: fit then sample in one call.
 ///
 /// # Errors

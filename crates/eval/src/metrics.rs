@@ -150,6 +150,16 @@ pub fn fidelity(real: &Table, synthetic: &Table) -> FidelityReport {
     }
 }
 
+/// Fraction of `table` rows that satisfy `kg` — the semantic-fidelity
+/// metric the paper's knowledge infusion optimizes for. Scored through the
+/// compiled reasoner (interned codes, parallel over the worker pool), so
+/// whole releases are checked without building per-row assignments.
+pub fn kg_validity(kg: &kinet_kg::NetworkKg, table: &Table) -> f64 {
+    kinet_data::encoded::KgTableChecker::new(kg.compiled(), kg.base_interner(), table.schema())
+        .validity_rate(table)
+        .expect("checker bound to this table's own schema cannot mismatch")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +176,25 @@ mod tests {
             .map(|(p, &x)| vec![Value::cat(*p), Value::num(x)])
             .collect();
         Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn kg_validity_scores_rule_conformance() {
+        let kg = kinet_kg::NetworkKg::lab_default();
+        let schema = Schema::new(vec![
+            ColumnMeta::categorical("event"),
+            ColumnMeta::categorical("protocol"),
+        ]);
+        let t = Table::from_rows(
+            schema,
+            vec![
+                vec![Value::cat("heartbeat"), Value::cat("udp")],
+                vec![Value::cat("heartbeat"), Value::cat("tcp")], // heartbeat is udp-only
+            ],
+        )
+        .unwrap();
+        let rate = kg_validity(&kg, &t);
+        assert!((rate - 0.5).abs() < 1e-9, "{rate}");
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! The compiled validity fast path: rules lowered to per-(event, field)
+//! bitsets and numeric ranges over interned category codes.
+//!
+//! [`crate::rules::RuleSet`] is the reference implementation — it walks
+//! `String`-keyed rules per query and formats violations. The GAN training
+//! loop instead compiles it once into a [`CompiledRuleSet`]: a dense
+//! `(event row × field)` grid where every merged constraint is
+//!
+//! * a **bitset** over interned category codes (all `AllowedValues` rules
+//!   intersected, so one bit test replaces N set lookups),
+//! * an intersected **numeric range**, and
+//! * the raw **prefix** strings (checked with one `starts_with` against the
+//!   interner's resolved string — IP-subnet rules are too open-ended for a
+//!   bitset over symbols seen at compile time).
+//!
+//! [`CompiledReasoner`] answers the reasoner's hot queries against that
+//! grid: validating one encoded row ([`Cell`] slice, indexed by field id)
+//! costs O(fields) with zero allocation, and `valid_values`-style queries
+//! are served from precomputed, lexicographically sorted code tables — the
+//! same iteration order as the string reasoner's `BTreeSet`s, which is what
+//! keeps the interned sampling path bit-for-bit compatible with the
+//! reference implementation.
+
+use crate::intern::{Interner, Sym};
+use crate::ontology::vocab;
+use crate::rules::{RuleKind, RuleSet};
+use std::collections::{BTreeSet, HashMap};
+
+/// One cell of an encoded row: the interned counterpart of
+/// [`crate::AttrValue`], with an explicit missing state so partial
+/// assignments (sampling candidates) need no map structure.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum Cell {
+    /// Field not assigned — never violates (mirrors the string reasoner,
+    /// which only checks present fields).
+    #[default]
+    Missing,
+    /// A categorical value as an interned symbol.
+    Cat(Sym),
+    /// A numeric value.
+    Num(f64),
+}
+
+/// The merged constraints on one field under one event row.
+#[derive(Clone, Debug, Default)]
+struct FieldConstraint {
+    /// `true` when at least one `AllowedValues` rule applies (an empty
+    /// intersection then means *no* categorical value is valid).
+    has_allowed: bool,
+    /// Bitset over compile-time symbols: bit `s` set iff symbol `s` is in
+    /// every applicable `AllowedValues` set. Symbols interned after compile
+    /// are outside every such set by construction, so an out-of-range test
+    /// is simply `false`.
+    mask: Box<[u64]>,
+    /// The allowed symbols in lexicographic string order — the precomputed
+    /// code table behind `valid_values`/`sample_valid`.
+    allowed: Box<[Sym]>,
+    /// Intersection of all applicable `NumericRange` rules.
+    range: Option<(f64, f64)>,
+    /// All applicable `RequiredPrefix` prefixes.
+    prefixes: Box<[String]>,
+}
+
+impl FieldConstraint {
+    fn is_constrained(&self) -> bool {
+        self.has_allowed || self.range.is_some() || !self.prefixes.is_empty()
+    }
+
+    fn mask_test(&self, sym: Sym) -> bool {
+        let (word, bit) = (sym as usize / 64, sym as usize % 64);
+        self.mask.get(word).is_some_and(|w| w >> bit & 1 == 1)
+    }
+}
+
+/// A [`RuleSet`] lowered onto interned symbols: the data the fast path
+/// indexes into.
+#[derive(Clone, Debug)]
+pub struct CompiledRuleSet {
+    scope_field: String,
+    /// Constrained field names (plus the scope field), sorted — the sort
+    /// makes field-id iteration order match the reference reasoner's
+    /// sorted `constrained_fields` lists.
+    fields: Vec<String>,
+    field_index: HashMap<String, usize>,
+    scope_fid: usize,
+    /// Known (non-wildcard) event names in sorted order, as symbols.
+    events: Vec<Sym>,
+    /// Symbol → event row; symbols that are not event names (and all
+    /// symbols interned after compile) map to the wildcard row.
+    event_row_of_sym: Vec<u16>,
+    /// `(events.len() + 1) × fields.len()` grid; the last row carries the
+    /// wildcard-only constraints applied to unknown events.
+    grid: Vec<FieldConstraint>,
+}
+
+impl CompiledRuleSet {
+    /// Lowers `rules`, interning every string the rules mention.
+    ///
+    /// The interner may keep growing afterwards (table vocabularies are
+    /// interned on top); the grid's bitsets only cover compile-time symbols
+    /// and treat later symbols as outside every allowed set, which is exact
+    /// because allowed sets are closed at compile time.
+    pub fn compile(rules: &RuleSet, interner: &mut Interner) -> Self {
+        let scope_field = rules.scope_field().to_string();
+        let mut fields: Vec<String> = rules.iter().map(|r| r.field.clone()).collect();
+        fields.push(scope_field.clone());
+        fields.sort();
+        fields.dedup();
+        let field_index: HashMap<String, usize> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.clone(), i))
+            .collect();
+        let scope_fid = field_index[&scope_field];
+
+        let mut event_names: Vec<&str> = rules
+            .iter()
+            .map(|r| r.event.as_str())
+            .filter(|e| *e != vocab::ANY_EVENT)
+            .collect();
+        event_names.sort_unstable();
+        event_names.dedup();
+
+        // Intern everything the rules mention before sizing the bitsets.
+        let events: Vec<Sym> = event_names.iter().map(|e| interner.intern(e)).collect();
+        for rule in rules.iter() {
+            if let RuleKind::AllowedValues(vals) = &rule.kind {
+                for v in vals {
+                    interner.intern(v);
+                }
+            }
+        }
+        let n_syms = interner.len();
+        let n_rows = events.len() + 1;
+        let wildcard = events.len() as u16;
+
+        let mut event_row_of_sym = vec![wildcard; n_syms];
+        for (row, &sym) in events.iter().enumerate() {
+            event_row_of_sym[sym as usize] = row as u16;
+        }
+
+        let mut grid = vec![FieldConstraint::default(); n_rows * fields.len()];
+        for row in 0..n_rows {
+            let event = event_names.get(row).copied().unwrap_or(vocab::ANY_EVENT);
+            for (fid, field) in fields.iter().enumerate() {
+                let mut allowed: Option<BTreeSet<&str>> = None;
+                let mut range: Option<(f64, f64)> = None;
+                let mut prefixes = Vec::new();
+                let applicable = rules
+                    .iter()
+                    .filter(|r| r.field == *field)
+                    .filter(|r| r.event == vocab::ANY_EVENT || r.event == event);
+                for rule in applicable {
+                    match &rule.kind {
+                        RuleKind::AllowedValues(vals) => {
+                            let vals: BTreeSet<&str> = vals.iter().map(String::as_str).collect();
+                            allowed = Some(match allowed {
+                                None => vals,
+                                Some(prev) => prev.intersection(&vals).copied().collect(),
+                            });
+                        }
+                        RuleKind::NumericRange { min, max } => {
+                            range = Some(match range {
+                                None => (*min, *max),
+                                Some((lo, hi)) => (lo.max(*min), hi.min(*max)),
+                            });
+                        }
+                        RuleKind::RequiredPrefix(p) => prefixes.push(p.clone()),
+                    }
+                }
+                let c = &mut grid[row * fields.len() + fid];
+                c.range = range;
+                c.prefixes = prefixes.into_boxed_slice();
+                if let Some(vals) = allowed {
+                    c.has_allowed = true;
+                    let mut mask = vec![0u64; n_syms.div_ceil(64)];
+                    // BTreeSet iteration is lexicographic: the code table
+                    // inherits the reference reasoner's sampling order.
+                    let codes: Vec<Sym> = vals
+                        .iter()
+                        .map(|v| {
+                            let sym = interner.get(v).expect("interned above");
+                            mask[sym as usize / 64] |= 1 << (sym as usize % 64);
+                            sym
+                        })
+                        .collect();
+                    c.mask = mask.into_boxed_slice();
+                    c.allowed = codes.into_boxed_slice();
+                }
+            }
+        }
+
+        Self {
+            scope_field,
+            fields,
+            field_index,
+            scope_fid,
+            events,
+            event_row_of_sym,
+            grid,
+        }
+    }
+
+    /// The record field naming the event class.
+    pub fn scope_field(&self) -> &str {
+        &self.scope_field
+    }
+
+    /// Number of compiled fields (rule fields plus the scope field).
+    pub fn n_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The field id of `name`, if any rule mentions it (or it is the scope
+    /// field). Fields without an id are unconstrained and can be skipped.
+    pub fn field_id(&self, name: &str) -> Option<usize> {
+        self.field_index.get(name).copied()
+    }
+
+    /// The name behind a field id.
+    pub fn field_name(&self, fid: usize) -> &str {
+        &self.fields[fid]
+    }
+
+    /// The scope field's id.
+    pub fn scope_fid(&self) -> usize {
+        self.scope_fid
+    }
+
+    /// Number of event rows, including the trailing wildcard row.
+    pub fn n_event_rows(&self) -> usize {
+        self.events.len() + 1
+    }
+
+    /// The row of constraints for unknown events (wildcard rules only).
+    pub fn wildcard_row(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The event row for a scope value: a known event's own row, anything
+    /// else (unknown symbol, missing or numeric scope) the wildcard row.
+    pub fn event_row(&self, scope: Cell) -> usize {
+        match scope {
+            Cell::Cat(sym) => self
+                .event_row_of_sym
+                .get(sym as usize)
+                .copied()
+                .unwrap_or(self.events.len() as u16) as usize,
+            _ => self.events.len(),
+        }
+    }
+
+    fn constraint(&self, row: usize, fid: usize) -> &FieldConstraint {
+        &self.grid[row * self.fields.len() + fid]
+    }
+}
+
+/// Validity queries over a [`CompiledRuleSet`] — the interned counterpart
+/// of [`crate::Reasoner`], used by the training batch pipeline.
+#[derive(Clone, Debug)]
+pub struct CompiledReasoner {
+    rules: CompiledRuleSet,
+}
+
+impl CompiledReasoner {
+    /// Compiles `rules` (see [`CompiledRuleSet::compile`]).
+    pub fn compile(rules: &RuleSet, interner: &mut Interner) -> Self {
+        Self {
+            rules: CompiledRuleSet::compile(rules, interner),
+        }
+    }
+
+    /// The lowered rule grid.
+    pub fn rules(&self) -> &CompiledRuleSet {
+        &self.rules
+    }
+
+    /// Whether categorical symbol `sym` is valid for field `fid` under
+    /// `event_row`. `interner` resolves the symbol for prefix rules only.
+    pub fn cat_ok(&self, event_row: usize, fid: usize, sym: Sym, interner: &Interner) -> bool {
+        let c = self.rules.constraint(event_row, fid);
+        if c.has_allowed && !c.mask_test(sym) {
+            return false;
+        }
+        c.prefixes.is_empty()
+            || c.prefixes
+                .iter()
+                .all(|p| interner.resolve(sym).starts_with(p.as_str()))
+    }
+
+    /// [`CompiledReasoner::cat_ok`] for a string that was never interned
+    /// (e.g. a category outside the training vocabulary): definitely
+    /// outside every allowed set, but prefix rules still see the raw text.
+    pub fn cat_ok_unknown(&self, event_row: usize, fid: usize, s: &str) -> bool {
+        let c = self.rules.constraint(event_row, fid);
+        if c.has_allowed {
+            return false;
+        }
+        c.prefixes.iter().all(|p| s.starts_with(p.as_str()))
+    }
+
+    /// Whether numeric value `v` is valid for field `fid` under
+    /// `event_row`. NaN fails every range, like the reference reasoner.
+    pub fn num_ok(&self, event_row: usize, fid: usize, v: f64) -> bool {
+        match self.rules.constraint(event_row, fid).range {
+            None => true,
+            Some((lo, hi)) => v >= lo && v <= hi,
+        }
+    }
+
+    /// Whether any rule constrains field `fid` under `event_row`.
+    pub fn is_constrained(&self, event_row: usize, fid: usize) -> bool {
+        self.rules.constraint(event_row, fid).is_constrained()
+    }
+
+    /// Validates one encoded row in O(fields) with zero allocation:
+    /// `cells[fid]` holds the value of the field with that id ([`Cell::Missing`]
+    /// for unassigned fields). Exactly equivalent to
+    /// `Reasoner::is_valid(..).is_valid()` on the corresponding assignment.
+    pub fn check_cells(&self, cells: &[Cell], interner: &Interner) -> bool {
+        debug_assert_eq!(cells.len(), self.rules.n_fields());
+        let row = self.rules.event_row(cells[self.rules.scope_fid]);
+        for (fid, cell) in cells.iter().enumerate() {
+            let ok = match *cell {
+                Cell::Missing => true,
+                Cell::Cat(sym) => self.cat_ok(row, fid, sym, interner),
+                Cell::Num(v) => self.num_ok(row, fid, v),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The precomputed valid-code table for a categorical field: `Some`
+    /// iff at least one `AllowedValues` rule applies (mirroring
+    /// `Reasoner::valid_values`, which ignores prefix/numeric rules), in
+    /// lexicographic string order. An empty `Some` slice is a
+    /// contradiction — no categorical value is valid.
+    pub fn valid_codes(&self, event_row: usize, fid: usize) -> Option<&[Sym]> {
+        let c = self.rules.constraint(event_row, fid);
+        c.has_allowed.then_some(&*c.allowed)
+    }
+
+    /// The intersected numeric range, if any `NumericRange` rule applies
+    /// (mirroring `Reasoner::valid_range`).
+    pub fn valid_range(&self, event_row: usize, fid: usize) -> Option<(f64, f64)> {
+        self.rules.constraint(event_row, fid).range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::GraphBuilder;
+
+    fn compiled() -> (CompiledReasoner, Interner) {
+        let store = GraphBuilder::new("lab")
+            .numeric_range("cve_1999_0003", "dst_port", 32771, 34000)
+            .allow_values("cve_1999_0003", "protocol", &["udp"])
+            .allow_values("*", "protocol", &["tcp", "udp", "icmp"])
+            .require_prefix("*", "src_ip", "192.168.1.")
+            .build();
+        let rules = RuleSet::compile(&store, "event");
+        let mut interner = Interner::new();
+        let cr = CompiledReasoner::compile(&rules, &mut interner);
+        (cr, interner)
+    }
+
+    #[test]
+    fn grid_layout_and_field_ids() {
+        let (cr, _) = compiled();
+        let r = cr.rules();
+        assert_eq!(r.scope_field(), "event");
+        assert!(r.field_id("protocol").is_some());
+        assert!(r.field_id("dst_port").is_some());
+        assert!(r.field_id("unrelated").is_none());
+        assert_eq!(r.n_event_rows(), 2, "one known event plus wildcard");
+        // Fields are sorted by name.
+        let names: Vec<&str> = (0..r.n_fields()).map(|f| r.field_name(f)).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn check_cells_verdicts_match_reference_semantics() {
+        let (cr, mut it) = compiled();
+        let r = cr.rules();
+        let mut cells = vec![Cell::Missing; r.n_fields()];
+        let fid = |n: &str| r.field_id(n).unwrap();
+        cells[r.scope_fid()] = Cell::Cat(it.intern("cve_1999_0003"));
+        cells[fid("protocol")] = Cell::Cat(it.intern("udp"));
+        cells[fid("dst_port")] = Cell::Num(33000.0);
+        cells[fid("src_ip")] = Cell::Cat(it.intern("192.168.1.12"));
+        assert!(cr.check_cells(&cells, &it));
+
+        cells[fid("dst_port")] = Cell::Num(80.0);
+        assert!(!cr.check_cells(&cells, &it), "range violated");
+        cells[fid("dst_port")] = Cell::Num(f64::NAN);
+        assert!(!cr.check_cells(&cells, &it), "NaN fails ranges");
+        cells[fid("dst_port")] = Cell::Missing;
+        cells[fid("protocol")] = Cell::Cat(it.intern("tcp"));
+        assert!(!cr.check_cells(&cells, &it), "event-scoped set violated");
+        cells[fid("protocol")] = Cell::Missing;
+        cells[fid("src_ip")] = Cell::Cat(it.intern("10.0.0.1"));
+        assert!(!cr.check_cells(&cells, &it), "prefix violated");
+    }
+
+    #[test]
+    fn unknown_event_uses_wildcard_row() {
+        let (cr, mut it) = compiled();
+        let r = cr.rules();
+        let row = r.event_row(Cell::Cat(it.intern("heartbeat")));
+        assert_eq!(row, r.wildcard_row());
+        let fid = r.field_id("protocol").unwrap();
+        assert!(cr.cat_ok(row, fid, it.intern("tcp"), &it));
+        assert!(!cr.cat_ok(row, fid, it.intern("gopher"), &it));
+        // Numeric or missing scope also falls back to wildcard.
+        assert_eq!(r.event_row(Cell::Num(3.0)), r.wildcard_row());
+        assert_eq!(r.event_row(Cell::Missing), r.wildcard_row());
+    }
+
+    #[test]
+    fn valid_code_tables_are_lexicographic_intersections() {
+        let (cr, it) = compiled();
+        let r = cr.rules();
+        let fid = r.field_id("protocol").unwrap();
+        let known = r.event_row(Cell::Cat(it.get("cve_1999_0003").unwrap()));
+        let codes = cr.valid_codes(known, fid).unwrap();
+        assert_eq!(codes.len(), 1, "event set {{udp}} ∩ wildcard set");
+        assert_eq!(it.resolve(codes[0]), "udp");
+        let wild = cr.valid_codes(r.wildcard_row(), fid).unwrap();
+        let names: Vec<&str> = wild.iter().map(|&s| it.resolve(s)).collect();
+        assert_eq!(names, ["icmp", "tcp", "udp"], "lexicographic order");
+        assert!(cr
+            .valid_codes(r.wildcard_row(), r.field_id("dst_port").unwrap())
+            .is_none());
+        assert_eq!(
+            cr.valid_range(known, r.field_id("dst_port").unwrap()),
+            Some((32771.0, 34000.0))
+        );
+    }
+
+    #[test]
+    fn symbols_interned_after_compile_are_outside_allowed_sets() {
+        let (cr, mut it) = compiled();
+        let r = cr.rules();
+        let fid = r.field_id("protocol").unwrap();
+        let late = it.intern("quic");
+        assert!(!cr.cat_ok(r.wildcard_row(), fid, late, &it));
+        // …but prefix-only fields still accept matching late symbols.
+        let ip_fid = r.field_id("src_ip").unwrap();
+        let late_ip = it.intern("192.168.1.77");
+        assert!(cr.cat_ok(r.wildcard_row(), ip_fid, late_ip, &it));
+        assert!(cr.cat_ok_unknown(r.wildcard_row(), ip_fid, "192.168.1.200"));
+        assert!(!cr.cat_ok_unknown(r.wildcard_row(), ip_fid, "8.8.8.8"));
+        assert!(!cr.cat_ok_unknown(r.wildcard_row(), fid, "anything"));
+    }
+
+    #[test]
+    fn contradictory_intersection_is_empty_some() {
+        let store = GraphBuilder::new("x")
+            .allow_values("e", "protocol", &["udp"])
+            .allow_values("e", "protocol", &["tcp"])
+            .build();
+        let rules = RuleSet::compile(&store, "event");
+        let mut it = Interner::new();
+        let cr = CompiledReasoner::compile(&rules, &mut it);
+        let r = cr.rules();
+        let row = r.event_row(Cell::Cat(it.get("e").unwrap()));
+        let codes = cr
+            .valid_codes(row, r.field_id("protocol").unwrap())
+            .unwrap();
+        assert!(codes.is_empty(), "contradiction surfaces as empty table");
+    }
+}

@@ -1,0 +1,102 @@
+//! String interning: the bridge from the ontology's string world to the
+//! integer world the compiled fast path runs in.
+//!
+//! Every category value, event name and IP string that flows through the
+//! hot train/sample loop is interned exactly once; afterwards the loop
+//! moves `Sym` codes (plain `u32`s) instead of cloning `String`s. The
+//! [`crate::compiled::CompiledReasoner`] lowers rules to bitsets over these
+//! codes, and `kinet_data`'s encoded tables store whole categorical columns
+//! as `Vec<Sym>`.
+
+use std::collections::HashMap;
+
+/// An interned symbol: a dense index into an [`Interner`]'s table.
+pub type Sym = u32;
+
+/// A grow-only symbol table mapping strings to dense [`Sym`] codes.
+///
+/// ```
+/// use kinet_kg::Interner;
+/// let mut it = Interner::new();
+/// let udp = it.intern("udp");
+/// assert_eq!(it.intern("udp"), udp); // idempotent
+/// assert_eq!(it.resolve(udp), "udp");
+/// assert_eq!(it.get("tcp"), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The symbol for `s`, interning it on first sight.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = Sym::try_from(self.names.len()).expect("symbol space exhausted");
+        self.names.push(s.to_string());
+        self.index.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// The symbol for `s`, if already interned.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.index.get(s).copied()
+    }
+
+    /// The string behind `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut it = Interner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(it.intern("a"), a);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(b), "b");
+        assert_eq!(it.get("b"), Some(b));
+        assert_eq!(it.get("c"), None);
+    }
+
+    #[test]
+    fn clone_is_an_independent_snapshot() {
+        let mut base = Interner::new();
+        base.intern("x");
+        let mut fork = base.clone();
+        fork.intern("y");
+        assert_eq!(base.len(), 1);
+        assert_eq!(fork.len(), 2);
+        assert_eq!(fork.get("x"), base.get("x"));
+    }
+}

@@ -37,11 +37,15 @@ mod network;
 mod store;
 mod term;
 
+pub mod compiled;
+pub mod intern;
 pub mod ontology;
 pub mod reasoner;
 pub mod rules;
 
 pub use assignment::{Assignment, AttrValue};
+pub use compiled::{Cell, CompiledReasoner, CompiledRuleSet};
+pub use intern::{Interner, Sym};
 pub use network::NetworkKg;
 pub use reasoner::{Reasoner, Validity, Violation};
 pub use store::TripleStore;

@@ -6,6 +6,8 @@
 //! that satisfy them, and the KiNETGAN knowledge-guided discriminator
 //! penalizes generated records that violate them.
 
+use crate::compiled::CompiledReasoner;
+use crate::intern::Interner;
 use crate::ontology::GraphBuilder;
 use crate::reasoner::Reasoner;
 use crate::store::TripleStore;
@@ -24,6 +26,8 @@ pub struct NetworkKg {
     name: String,
     store: TripleStore,
     reasoner: Reasoner,
+    compiled: CompiledReasoner,
+    interner: Interner,
     scope_field: String,
     conditional_fields: Vec<String>,
 }
@@ -37,10 +41,14 @@ impl NetworkKg {
         conditional_fields: &[&str],
     ) -> Self {
         let reasoner = Reasoner::from_store(&store, scope_field);
+        let mut interner = Interner::new();
+        let compiled = CompiledReasoner::compile(reasoner.rules(), &mut interner);
         Self {
             name: name.to_string(),
             store,
             reasoner,
+            compiled,
+            interner,
             scope_field: scope_field.to_string(),
             conditional_fields: conditional_fields.iter().map(|s| s.to_string()).collect(),
         }
@@ -56,9 +64,22 @@ impl NetworkKg {
         &self.store
     }
 
-    /// The compiled validity reasoner.
+    /// The string-based validity reasoner — the reference implementation.
     pub fn reasoner(&self) -> &Reasoner {
         &self.reasoner
+    }
+
+    /// The interned fast-path reasoner (see [`crate::compiled`]).
+    pub fn compiled(&self) -> &CompiledReasoner {
+        &self.compiled
+    }
+
+    /// The symbol table the rules were compiled against. Pipelines clone
+    /// it and intern their dataset vocabulary on top; symbols added after
+    /// this snapshot are outside every compiled allowed-set by
+    /// construction.
+    pub fn base_interner(&self) -> &Interner {
+        &self.interner
     }
 
     /// The record field naming the event class (rule scope).

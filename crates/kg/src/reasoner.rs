@@ -91,13 +91,14 @@ impl Reasoner {
 
     /// Memoized boolean validity check. Equivalent to
     /// `self.is_valid(a).is_valid()` but cached on the assignment's
-    /// canonical string form — the fast path for GAN training loops.
+    /// canonical string form; cache misses use the streaming
+    /// [`RuleSet::satisfied`] check, so no violation list is ever built.
     pub fn is_valid_cached(&self, a: &Assignment) -> bool {
         let key = a.to_string();
         if let Some(&hit) = self.cache.read().get(&key) {
             return hit;
         }
-        let verdict = self.rules.violations(a).is_empty();
+        let verdict = self.rules.satisfied(a);
         self.cache.write().insert(key, verdict);
         verdict
     }
@@ -120,7 +121,9 @@ impl Reasoner {
     }
 
     /// Fraction of assignments in `batch` that are valid — the batch score
-    /// used by evaluation and by the hard D_KG signal.
+    /// used by evaluation and by the hard D_KG signal. Violations are
+    /// counted via the short-circuiting [`RuleSet::satisfied`] path (through
+    /// the memo cache), so no per-row `Vec<Violation>` is materialized.
     pub fn validity_rate(&self, batch: &[Assignment]) -> f64 {
         if batch.is_empty() {
             return 1.0;

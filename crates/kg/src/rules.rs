@@ -49,6 +49,24 @@ impl Rule {
         self.event == vocab::ANY_EVENT || self.event == event
     }
 
+    /// Allocation-free verdict: `true` when the rule is satisfied or not
+    /// applicable (absent field, mismatched value type). The boolean twin
+    /// of [`Rule::check`] for hot loops that never read the message.
+    pub fn holds(&self, a: &Assignment) -> bool {
+        let Some(value) = a.get(&self.field) else {
+            return true;
+        };
+        match &self.kind {
+            RuleKind::AllowedValues(allowed) => value.as_cat().is_none_or(|v| allowed.contains(v)),
+            RuleKind::NumericRange { min, max } => {
+                value.as_num().is_none_or(|v| v >= *min && v <= *max)
+            }
+            RuleKind::RequiredPrefix(prefix) => value
+                .as_cat()
+                .is_none_or(|v| v.starts_with(prefix.as_str())),
+        }
+    }
+
     /// Checks one assignment. Returns `None` when satisfied or not
     /// applicable (field absent counts as not applicable), or a
     /// human-readable violation.
@@ -223,6 +241,15 @@ impl RuleSet {
     pub fn violations(&self, a: &Assignment) -> Vec<String> {
         let event = a.get_cat(&self.scope_field).unwrap_or(vocab::ANY_EVENT);
         self.applicable(event).filter_map(|r| r.check(a)).collect()
+    }
+
+    /// Streaming verdict: `true` iff no applicable rule is violated.
+    /// Short-circuits on the first violation and, unlike
+    /// [`RuleSet::violations`], never materializes messages — the path
+    /// batch validity counting runs on.
+    pub fn satisfied(&self, a: &Assignment) -> bool {
+        let event = a.get_cat(&self.scope_field).unwrap_or(vocab::ANY_EVENT);
+        self.applicable(event).all(|r| r.holds(a))
     }
 
     /// The set of allowed values for a categorical field of `event`,

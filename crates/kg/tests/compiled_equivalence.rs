@@ -1,0 +1,122 @@
+//! Property-based equivalence: the compiled (interned) reasoner must agree
+//! exactly with the string reference reasoner on randomized rule sets and
+//! assignments — including type confusion (numeric values in categorical
+//! rule fields and vice versa), unknown events, values outside the
+//! compile-time vocabulary, and contradictory rule intersections.
+
+use kinet_kg::rules::{Rule, RuleKind, RuleSet};
+use kinet_kg::{Assignment, AttrValue, Cell, CompiledReasoner, Interner, Reasoner};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    let event = prop::sample::select(vec!["*", "alpha", "beta"]);
+    let field = prop::sample::select(vec!["f1", "f2", "f3", "event"]);
+    let kind = prop_oneof![
+        prop::collection::btree_set(prop::sample::select(vec!["x", "y", "z", "pre_q"]), 1..4)
+            .prop_map(|s| RuleKind::AllowedValues(
+                s.into_iter().map(str::to_string).collect::<BTreeSet<_>>()
+            )),
+        (0.0f64..50.0, 25.0f64..100.0).prop_map(|(min, max)| RuleKind::NumericRange { min, max }),
+        prop::sample::select(vec!["pre", "x"])
+            .prop_map(|p| RuleKind::RequiredPrefix(p.to_string())),
+    ];
+    (event, field, kind).prop_map(|(event, field, kind)| Rule {
+        event: event.to_string(),
+        field: field.to_string(),
+        kind,
+    })
+}
+
+/// One attribute: fields overlap the rule universe plus one field no rule
+/// mentions; values overlap the rule vocabulary plus strings the compiled
+/// grid never saw, and numbers that land inside and outside the ranges.
+fn arb_attr() -> impl Strategy<Value = (&'static str, AttrValue)> {
+    let field = prop::sample::select(vec!["event", "f1", "f2", "f3", "unruled"]);
+    let value = prop_oneof![
+        prop::sample::select(vec![
+            "alpha", "beta", "gamma", "x", "y", "pre_q", "outsider"
+        ])
+        .prop_map(AttrValue::cat),
+        (-25.0f64..125.0).prop_map(AttrValue::num),
+    ];
+    (field, value)
+}
+
+fn encode(a: &Assignment, compiled: &CompiledReasoner, interner: &mut Interner) -> Vec<Cell> {
+    let mut cells = vec![Cell::Missing; compiled.rules().n_fields()];
+    for (field, value) in a.iter() {
+        // Fields no rule mentions have no compiled id; skipping them is
+        // exact (no applicable rule can be violated by them).
+        let Some(fid) = compiled.rules().field_id(field) else {
+            continue;
+        };
+        cells[fid] = match value {
+            AttrValue::Cat(s) => Cell::Cat(interner.intern(s)),
+            AttrValue::Num(v) => Cell::Num(*v),
+        };
+    }
+    cells
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_verdicts_match_string_reasoner(
+        rules in prop::collection::vec(arb_rule(), 0..10),
+        records in prop::collection::vec(prop::collection::vec(arb_attr(), 0..6), 1..6),
+    ) {
+        let rs = RuleSet::from_rules(rules, "event");
+        let reasoner = Reasoner::new(rs.clone());
+        let mut interner = Interner::new();
+        let compiled = CompiledReasoner::compile(&rs, &mut interner);
+        for attrs in records {
+            let a: Assignment = attrs
+                .into_iter()
+                .map(|(f, v)| (f.to_string(), v))
+                .collect();
+            let cells = encode(&a, &compiled, &mut interner);
+            let expected = reasoner.is_valid(&a).is_valid();
+            let got = compiled.check_cells(&cells, &interner);
+            prop_assert_eq!(got, expected, "assignment {} under rules {:?}", a, rs);
+            // The streaming string path agrees too.
+            prop_assert_eq!(rs.satisfied(&a), expected, "streaming check diverged on {}", a);
+        }
+    }
+
+    #[test]
+    fn valid_value_tables_match_reference_queries(
+        rules in prop::collection::vec(arb_rule(), 0..10),
+        event in prop::sample::select(vec!["alpha", "beta", "gamma", "*"]),
+        field in prop::sample::select(vec!["f1", "f2", "f3", "event"]),
+    ) {
+        let rs = RuleSet::from_rules(rules, "event");
+        let mut interner = Interner::new();
+        let compiled = CompiledReasoner::compile(&rs, &mut interner);
+        let row = match interner.get(event) {
+            Some(sym) => compiled.rules().event_row(Cell::Cat(sym)),
+            None => compiled.rules().wildcard_row(),
+        };
+        let fid = compiled.rules().field_id(field);
+
+        let expected_values = rs.allowed_values(event, field);
+        let got_values = fid
+            .and_then(|fid| compiled.valid_codes(row, fid))
+            .map(|codes| {
+                codes
+                    .iter()
+                    .map(|&s| interner.resolve(s).to_string())
+                    .collect::<Vec<_>>()
+            });
+        let expected_sorted =
+            expected_values.map(|set| set.into_iter().collect::<Vec<_>>());
+        // Same option-ness, same contents, same (lexicographic) order — the
+        // order is what keeps interned sampling RNG-compatible.
+        prop_assert_eq!(got_values, expected_sorted, "event {} field {}", event, field);
+
+        let expected_range = rs.numeric_range(event, field);
+        let got_range = fid.and_then(|fid| compiled.valid_range(row, fid));
+        prop_assert_eq!(got_range, expected_range, "event {} field {}", event, field);
+    }
+}

@@ -22,6 +22,9 @@ pub struct DistributedReport {
     /// Mean per-device preparation time (model training for synthetic
     /// sharing) in milliseconds.
     pub mean_device_prep_ms: f64,
+    /// Knowledge-graph validity rate of the pooled shared data, scored by
+    /// the compiled reasoner (1.0 when no data is shared).
+    pub pool_kg_validity: f64,
     /// End-to-end wall-clock time in milliseconds.
     pub total_wall_ms: f64,
 }
@@ -30,11 +33,12 @@ impl fmt::Display for DistributedReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<22} devices={:<2} acc={:.3} attack-recall={:.3} shared={:>9}B prep={:>7.1}ms wall={:>7.1}ms",
+            "{:<22} devices={:<2} acc={:.3} attack-recall={:.3} kg-valid={:.3} shared={:>9}B prep={:>7.1}ms wall={:>7.1}ms",
             self.policy,
             self.n_devices,
             self.global_accuracy,
             self.attack_recall,
+            self.pool_kg_validity,
             self.bytes_shared,
             self.mean_device_prep_ms,
             self.total_wall_ms
@@ -55,11 +59,13 @@ mod tests {
             attack_recall: 0.8,
             bytes_shared: 1024,
             mean_device_prep_ms: 1.0,
+            pool_kg_validity: 0.95,
             total_wall_ms: 2.0,
         };
         let s = r.to_string();
         assert!(s.contains("raw"));
         assert!(s.contains("acc=0.900"));
+        assert!(s.contains("kg-valid=0.950"));
         assert!(s.contains("1024"));
     }
 }

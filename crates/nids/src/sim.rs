@@ -258,16 +258,25 @@ impl DistributedSim {
                 .map_err(|_| "device thread panicked".to_string())??;
         }
 
-        let (global_accuracy, attack_recall) = match (&self.config.policy, shared) {
+        let (global_accuracy, attack_recall, pool_kg_validity) = match (&self.config.policy, shared)
+        {
             (SharingPolicy::LocalOnly, _) => {
                 let n = local_accs.len().max(1) as f64;
                 (
                     local_accs.iter().sum::<f64>() / n,
                     local_recalls.iter().sum::<f64>() / n,
+                    1.0,
                 )
             }
-            (_, Some(pool)) => evaluate_nids(&pool, &test, &test)
-                .map_err(|e| format!("global evaluation failed: {e}"))?,
+            (_, Some(pool)) => {
+                let (acc, recall) = evaluate_nids(&pool, &test, &test)
+                    .map_err(|e| format!("global evaluation failed: {e}"))?;
+                // Compiled KG validity of what actually crossed the wire —
+                // the semantic-quality counterpart of the accuracy number.
+                let validity =
+                    kinet_eval::metrics::kg_validity(&LabSimulator::knowledge_graph(), &pool);
+                (acc, recall, validity)
+            }
             (_, None) => return Err("no device shared any data".to_string()),
         };
 
@@ -278,6 +287,7 @@ impl DistributedSim {
             attack_recall,
             bytes_shared,
             mean_device_prep_ms: prep_times.iter().sum::<f64>() / prep_times.len().max(1) as f64,
+            pool_kg_validity,
             total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
         })
     }
@@ -334,6 +344,10 @@ mod tests {
         assert!(report.global_accuracy > 0.5, "{report}");
         assert!(report.bytes_shared > 1000);
         assert_eq!(report.policy, "raw");
+        assert!(
+            (report.pool_kg_validity - 1.0).abs() < 1e-9,
+            "simulator output satisfies its own KG: {report}"
+        );
     }
 
     #[test]

@@ -18,6 +18,38 @@
 //! `KINET_THREADS` setting.
 
 use crate::pool;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable pack buffers, one pair per thread. `pack_b` runs once per
+    /// call on the calling thread and `pack_a` runs per row-chunk on
+    /// whichever thread owns the chunk; routing both through a thread-local
+    /// arena means repeated matmuls on a long-lived thread (the serial
+    /// training loop, `KINET_THREADS=1`) stop re-allocating pack buffers
+    /// entirely. Workers spawned per call start with an empty arena and
+    /// allocate once, exactly as before. Buffers are zero-filled on every
+    /// borrow, so reuse is bit-identical to a fresh `vec![0.0; len]`.
+    static PACK_B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_A_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Borrows a thread-local scratch buffer, zero-filled to `len`, for the
+/// duration of `f`. Nested borrows of the same slot would observe an empty
+/// buffer (the slot is taken, not shared) — the kernel never nests.
+fn with_scratch<R>(
+    slot: &'static std::thread::LocalKey<RefCell<Vec<f32>>>,
+    len: usize,
+    f: impl FnOnce(&mut Vec<f32>) -> R,
+) -> R {
+    slot.with(|cell| {
+        let mut buf = cell.take();
+        buf.clear();
+        buf.resize(len, 0.0);
+        let out = f(&mut buf);
+        cell.replace(buf);
+        out
+    })
+}
 
 /// Rows of the micro-kernel register block. With `NR = 8` the accumulator
 /// tile is eight 8-wide rows — on AVX2 (see `.cargo/config.toml`) that is
@@ -85,15 +117,19 @@ pub(crate) fn gemm(
 
     // Pack all of B once: NR-wide column panels, k-major inside each panel.
     // Workers share it read-only while owning disjoint row ranges of `out`.
-    let packed_b = pack_b(b, k, m, tb);
+    // The buffer comes from the calling thread's scratch arena so repeated
+    // products skip the allocation.
+    with_scratch(&PACK_B_SCRATCH, m.div_ceil(NR) * k * NR, |packed_b| {
+        pack_b(packed_b, b, k, m, tb);
 
-    // Honor a scoped `with_threads` override exactly (tests compare thread
-    // counts on small shapes); otherwise cap the ambient worker count so
-    // each worker owns enough flops to amortize its spawn.
-    let threads = pool::thread_override()
-        .unwrap_or_else(|| pool::num_threads().min((n * m * k / MIN_FLOPS_PER_THREAD).max(1)));
-    pool::parallel_rows(out, n, m, MR, threads, &|row0, chunk| {
-        gemm_rows(chunk, row0, m, k, a, ta, &packed_b, accumulate);
+        // Honor a scoped `with_threads` override exactly (tests compare
+        // thread counts on small shapes); otherwise cap the ambient worker
+        // count so each worker owns enough flops to amortize its spawn.
+        let threads = pool::thread_override()
+            .unwrap_or_else(|| pool::num_threads().min((n * m * k / MIN_FLOPS_PER_THREAD).max(1)));
+        pool::parallel_rows(out, n, m, MR, threads, &|row0, chunk| {
+            gemm_rows(chunk, row0, m, k, a, ta, packed_b, accumulate);
+        });
     });
 }
 
@@ -112,30 +148,32 @@ fn gemm_rows(
 ) {
     let rows = chunk.len() / m;
     let n_panels = m.div_ceil(NR);
-    // Scratch for one MR-row packed panel of A, reused across the row range.
-    let mut packed_a = vec![0.0f32; k * MR];
-    let mut i = 0;
-    while i < rows {
-        let mr = MR.min(rows - i);
-        pack_a_panel(&mut packed_a, a, ta, row0 + i, mr, k);
-        for pj in 0..n_panels {
-            let j0 = pj * NR;
-            let nr = NR.min(m - j0);
-            let b_panel = &packed_b[pj * k * NR..(pj + 1) * k * NR];
-            let acc = microkernel(&packed_a, b_panel);
-            for (r, acc_row) in acc.iter().enumerate().take(mr) {
-                let orow = &mut chunk[(i + r) * m + j0..(i + r) * m + j0 + nr];
-                if accumulate {
-                    for (o, &v) in orow.iter_mut().zip(acc_row) {
-                        *o += v;
+    // Scratch for one MR-row packed panel of A, reused across the row range
+    // (and across calls on long-lived threads via the arena).
+    with_scratch(&PACK_A_SCRATCH, k * MR, |packed_a| {
+        let mut i = 0;
+        while i < rows {
+            let mr = MR.min(rows - i);
+            pack_a_panel(packed_a, a, ta, row0 + i, mr, k);
+            for pj in 0..n_panels {
+                let j0 = pj * NR;
+                let nr = NR.min(m - j0);
+                let b_panel = &packed_b[pj * k * NR..(pj + 1) * k * NR];
+                let acc = microkernel(packed_a, b_panel);
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    let orow = &mut chunk[(i + r) * m + j0..(i + r) * m + j0 + nr];
+                    if accumulate {
+                        for (o, &v) in orow.iter_mut().zip(acc_row) {
+                            *o += v;
+                        }
+                    } else {
+                        orow.copy_from_slice(&acc_row[..nr]);
                     }
-                } else {
-                    orow.copy_from_slice(&acc_row[..nr]);
                 }
             }
+            i += mr;
         }
-        i += mr;
-    }
+    });
 }
 
 /// The register-blocked inner loop: `acc[r][c] += a[p][r] * b[p][c]` over
@@ -188,10 +226,10 @@ fn pack_a_panel(dst: &mut [f32], a: &[f32], ta: Trans, i0: usize, mr: usize, k: 
 
 /// Packs all of `op(B)` (logical `k × m`) into NR-wide column panels:
 /// `packed[panel * k * NR + p * NR + c] = opB[p][panel * NR + c]`, with the
-/// last panel zero-padded to `NR` columns.
-fn pack_b(b: &[f32], k: usize, m: usize, tb: Trans) -> Vec<f32> {
-    let n_panels = m.div_ceil(NR);
-    let mut packed = vec![0.0f32; n_panels * k * NR];
+/// last panel zero-padded to `NR` columns. `packed` must arrive zero-filled
+/// at `m.div_ceil(NR) * k * NR` elements (the scratch arena guarantees it).
+fn pack_b(packed: &mut [f32], b: &[f32], k: usize, m: usize, tb: Trans) {
+    debug_assert_eq!(packed.len(), m.div_ceil(NR) * k * NR);
     match tb {
         Trans::No => {
             // B stored k × m: row p contiguous; copy NR-wide slivers.
@@ -217,7 +255,6 @@ fn pack_b(b: &[f32], k: usize, m: usize, tb: Trans) -> Vec<f32> {
             }
         }
     }
-    packed
 }
 
 /// Unpacked fallback for tiny products: one accumulator per output element,
@@ -357,6 +394,22 @@ mod tests {
         let mut out = vec![1.0f32; 4];
         gemm(&mut out, 2, 2, 0, &[], Trans::No, &[], Trans::No, true);
         assert_eq!(out, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_bit_identical() {
+        // Exercise the pack arena: a large product, a differently-shaped
+        // smaller one, then the first again — every call must match the
+        // naive reference exactly, including the calls that reuse (and
+        // re-zero) a previously grown scratch buffer.
+        for &(n, m, k) in &[(40, 36, 64), (17, 9, 80), (40, 36, 64), (33, 70, 33)] {
+            let a = fill(n * k, (n + k) as u32);
+            let b = fill(k * m, (m * 3 + k) as u32);
+            let expected = naive(n, m, k, &a, Trans::No, &b, Trans::Yes);
+            let mut out = vec![0.0f32; n * m];
+            gemm(&mut out, n, m, k, &a, Trans::No, &b, Trans::Yes, false);
+            assert_eq!(out, expected, "n={n} m={m} k={k}");
+        }
     }
 
     #[test]

@@ -337,6 +337,51 @@ impl Matrix {
         out
     }
 
+    /// Gathers the given rows into `out`, resizing it to
+    /// `indices.len() × self.cols()`. The reusable-buffer counterpart of
+    /// [`Matrix::select_rows`] for per-batch gathers in training loops:
+    /// no allocation once `out` has capacity, and large gathers fan out
+    /// over the kernel worker pool (each output row is an independent
+    /// copy, so the result is identical for every thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert!(
+            indices.iter().all(|&i| i < self.rows),
+            "gather index out of bounds for {} rows",
+            self.rows
+        );
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.resize(indices.len() * self.cols, 0.0);
+        if out.data.is_empty() {
+            return;
+        }
+        // Copy-bound work: only fan out when each worker moves enough bytes
+        // to amortize its spawn.
+        const MIN_ELEMS_PER_THREAD: usize = 64 * 1024;
+        let threads = crate::pool::num_threads()
+            .min((out.data.len() / MIN_ELEMS_PER_THREAD).max(1))
+            .max(1);
+        let cols = self.cols;
+        crate::pool::parallel_rows(
+            &mut out.data,
+            indices.len(),
+            cols,
+            1,
+            threads,
+            &|first_row, chunk| {
+                for (r, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+                    let src = indices[first_row + r];
+                    orow.copy_from_slice(&self.data[src * cols..(src + 1) * cols]);
+                }
+            },
+        );
+    }
+
     /// `true` if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|v| !v.is_finite())
@@ -477,6 +522,26 @@ mod tests {
         let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
         let g = m.select_rows(&[2, 0, 2]);
         assert_eq!(g.column(0), vec![3.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn gather_rows_into_matches_select_rows_and_reuses_buffer() {
+        let m = Matrix::from_fn(37, 5, |r, c| (r * 10 + c) as f32);
+        let idx: Vec<usize> = (0..64).map(|i| (i * 7) % 37).collect();
+        let mut buf = Matrix::default();
+        m.gather_rows_into(&idx, &mut buf);
+        assert_eq!(buf, m.select_rows(&idx));
+        // Reuse with a smaller gather, then under a thread override.
+        m.gather_rows_into(&[3, 3, 0], &mut buf);
+        assert_eq!(buf, m.select_rows(&[3, 3, 0]));
+        let parallel = crate::pool::with_threads(3, || {
+            let mut b = Matrix::default();
+            m.gather_rows_into(&idx, &mut b);
+            b
+        });
+        assert_eq!(parallel, m.select_rows(&idx));
+        m.gather_rows_into(&[], &mut buf);
+        assert_eq!(buf.rows(), 0);
     }
 
     #[test]

@@ -68,6 +68,42 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Counts the indices in `0..len` satisfying `pred`, splitting the range
+/// into contiguous chunks run on the kernel worker pool.
+///
+/// `min_per_thread` bounds the fan-out: no worker is spawned for fewer than
+/// that many indices (spawn overhead would dominate), except under a scoped
+/// [`with_threads`] override, which is honored verbatim. The result is
+/// deterministic for every thread count: integer addition of disjoint
+/// per-range counts is order-independent.
+pub fn parallel_count(
+    len: usize,
+    min_per_thread: usize,
+    pred: &(dyn Fn(usize) -> bool + Sync),
+) -> usize {
+    let threads = thread_override()
+        .unwrap_or_else(|| num_threads().min(len / min_per_thread.max(1)).max(1))
+        .clamp(1, len.max(1));
+    if threads <= 1 {
+        return (0..len).filter(|&i| pred(i)).count();
+    }
+    let per = len.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * per).min(len);
+                let hi = ((t + 1) * per).min(len);
+                s.spawn(move |_| (lo..hi).filter(|&i| pred(i)).count())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("count worker panicked"))
+            .sum()
+    })
+    .expect("count worker scope failed")
+}
+
 /// Splits `out` (row-major, `rows × cols`) into contiguous chunks whose row
 /// counts are multiples of `align` and applies `work(first_row, chunk)` to
 /// each — on scoped worker threads when more than one chunk is useful.
@@ -139,6 +175,17 @@ mod tests {
                 assert_eq!(out[r * cols + c], r as f32, "row {r} col {c}");
             }
         }
+    }
+
+    #[test]
+    fn parallel_count_matches_serial_for_any_thread_count() {
+        let pred = |i: usize| i.is_multiple_of(3);
+        let expected = (0..1000).filter(|&i| pred(i)).count();
+        for t in [1, 2, 3, 7] {
+            let got = with_threads(t, || parallel_count(1000, 1, &pred));
+            assert_eq!(got, expected, "threads={t}");
+        }
+        assert_eq!(parallel_count(0, 1, &pred), 0);
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn umbrella_reexports_resolve() {
     );
 }
 
-fn train_and_release_csv() -> Vec<u8> {
+fn train_and_release_csv_with(interned: bool) -> Vec<u8> {
     let data = LabSimulator::new(LabSimConfig {
         n_records: 200,
         seed: 13,
@@ -46,7 +46,11 @@ fn train_and_release_csv() -> Vec<u8> {
     .generate()
     .expect("lab generation succeeds");
     let mut model = KinetGan::new(
-        KinetGanConfig::fast_demo().with_epochs(2).with_seed(99),
+        KinetGanConfig::fast_demo()
+            .with_epochs(2)
+            .with_seed(99)
+            .with_rejection_rounds(1)
+            .with_interned_pipeline(interned),
         LabSimulator::knowledge_graph(),
     );
     model.fit(&data).expect("training succeeds");
@@ -54,6 +58,10 @@ fn train_and_release_csv() -> Vec<u8> {
     let mut buf = Vec::new();
     release.write_csv(&mut buf).expect("csv encoding succeeds");
     buf
+}
+
+fn train_and_release_csv() -> Vec<u8> {
+    train_and_release_csv_with(true)
 }
 
 #[test]
@@ -64,6 +72,19 @@ fn fixed_seed_training_is_bit_for_bit_deterministic() {
     assert_eq!(
         first, second,
         "two identical fixed-seed training runs must release identical bytes"
+    );
+}
+
+#[test]
+fn interned_pipeline_matches_string_reference_bytes() {
+    // The compiled (interned) knowledge-infusion path must consume the RNG
+    // in exactly the reference order and make identical decisions, so a
+    // fixed seed releases the same bytes on either implementation.
+    let interned = train_and_release_csv_with(true);
+    let string_ref = train_and_release_csv_with(false);
+    assert_eq!(
+        interned, string_ref,
+        "interned fast path diverged from the string reference pipeline"
     );
 }
 

@@ -43,6 +43,10 @@ impl SizeRange {
     fn sample(&self, rng: &mut TestRng) -> usize {
         rng.random_range(self.min..=self.max)
     }
+
+    fn min(&self) -> usize {
+        self.min
+    }
 }
 
 /// Vectors of values from `element`, sized within `size`.
@@ -59,12 +63,43 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         let n = self.size.sample(rng);
         (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Structural shrinks first (never below the strategy's minimum
+        // length): drop the whole tail beyond the minimum, then drop one
+        // element at a time.
+        if value.len() > self.size.min() {
+            out.push(value[..self.size.min()].to_vec());
+            let half = self.size.min().max(value.len() / 2);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            for i in 0..value.len() {
+                let mut cand = value.clone();
+                cand.remove(i);
+                out.push(cand);
+            }
+        }
+        // Then element-wise shrinks, one position at a time.
+        for (i, v) in value.iter().enumerate() {
+            for smaller in self.element.shrink(v) {
+                let mut cand = value.clone();
+                cand[i] = smaller;
+                out.push(cand);
+            }
+        }
+        out
     }
 }
 
@@ -91,7 +126,7 @@ pub struct BTreeSetStrategy<S> {
 impl<S> Strategy for BTreeSetStrategy<S>
 where
     S: Strategy,
-    S::Value: Ord,
+    S::Value: Ord + Clone,
 {
     type Value = BTreeSet<S::Value>;
 
@@ -104,5 +139,17 @@ where
             attempts += 1;
         }
         set
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        if value.len() <= self.size.min() {
+            return Vec::new();
+        }
+        // Drop one element at a time (sets may legitimately end up smaller
+        // than the sampled target, so only the configured minimum binds).
+        value
+            .iter()
+            .map(|drop| value.iter().filter(|v| *v != drop).cloned().collect())
+            .collect()
     }
 }

@@ -1,11 +1,14 @@
 //! Offline substitute for the `proptest` surface this workspace uses.
 //!
-//! Random testing without shrinking: each `proptest!` test derives a
-//! deterministic RNG seed from its own name, draws `ProptestConfig::cases`
-//! inputs from the declared strategies, and runs the body as a
-//! `Result`-returning case (so `prop_assert!` failures and explicit
-//! `return Ok(())` rejections both work). Failures panic with the case
-//! number and seed so a run is reproducible by construction.
+//! Each `proptest!` test derives a deterministic RNG seed from its own
+//! name, draws `ProptestConfig::cases` inputs from the declared
+//! strategies, and runs the body as a `Result`-returning case (so
+//! `prop_assert!` failures and explicit `return Ok(())` rejections both
+//! work). On failure the driver **greedily shrinks** the input — each
+//! strategy proposes smaller candidates ([`Strategy::shrink`]) and the
+//! first candidate that still fails becomes the new input, until no
+//! candidate fails — then panics with the case number, seed, and the
+//! minimized input. Runs are reproducible by construction.
 
 pub mod collection;
 pub mod sample;
@@ -62,6 +65,50 @@ pub fn rng_for_test(name: &str) -> TestRng {
     TestRng::seed_from_u64(seed_for_test(name))
 }
 
+/// Upper bound on accepted shrink steps — a backstop against pathological
+/// candidate chains, far above anything a real minimization needs.
+const MAX_SHRINK_STEPS: usize = 1024;
+
+/// Ties a case closure's parameter type to a strategy's value type, so
+/// the `proptest!` expansion never needs a written-out type.
+#[doc(hidden)]
+pub fn bind_case<S, F>(_: &S, f: F) -> F
+where
+    S: Strategy + ?Sized,
+    F: FnMut(S::Value) -> Result<(), String>,
+{
+    f
+}
+
+/// Greedily minimizes a failing input: repeatedly asks `strategy` for
+/// smaller candidates and moves to the first one on which `run` still
+/// fails. Returns the minimized value, its failure message, and the number
+/// of accepted shrink steps.
+#[doc(hidden)]
+pub fn shrink_failure<S: Strategy + ?Sized>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    run: &mut dyn FnMut(S::Value) -> Result<(), String>,
+) -> (S::Value, String, usize)
+where
+    S::Value: Clone,
+{
+    let mut steps = 0;
+    'minimize: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrink(&value) {
+            if let Err(m) = run(candidate.clone()) {
+                value = candidate;
+                message = m;
+                steps += 1;
+                continue 'minimize;
+            }
+        }
+        break;
+    }
+    (value, message, steps)
+}
+
 /// Everything a property test file needs in scope.
 pub mod prelude {
     pub use crate as prop;
@@ -94,26 +141,32 @@ macro_rules! proptest {
 #[macro_export]
 macro_rules! __proptest_impl {
     ( ($config:expr)
-      $( #[$meta:meta]
+      $( $(#[$meta:meta])+
          fn $name:ident( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
       )*
     ) => {
         $(
-            #[$meta]
+            $(#[$meta])+
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
                 let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..config.cases {
-                    let ( $($pat,)+ ) = (
-                        $( $crate::Strategy::sample(&($strategy), &mut rng), )+
-                    );
-                    let mut run = move || -> ::std::result::Result<(), ::std::string::String> {
+                let strategies = ( $( $strategy, )+ );
+                let mut run = $crate::bind_case(&strategies, move |__value| {
+                    let ( $($pat,)+ ) = __value;
+                    // Inner closure so `return Ok(())` / prop_assert! early
+                    // exits leave only the case, not the whole test.
+                    (move || -> ::std::result::Result<(), ::std::string::String> {
                         $body
                         Ok(())
-                    };
-                    if let Err(message) = run() {
+                    })()
+                });
+                for case in 0..config.cases {
+                    let value = $crate::Strategy::sample(&strategies, &mut rng);
+                    if let Err(message) = run(::std::clone::Clone::clone(&value)) {
+                        let (min_value, min_message, steps) =
+                            $crate::shrink_failure(&strategies, value, message, &mut run);
                         panic!(
-                            "proptest case {case}/{total} of {name} (seed {seed:#018x}) failed: {message}",
+                            "proptest case {case}/{total} of {name} (seed {seed:#018x}) failed: {min_message}\n  minimized input ({steps} shrink steps): {min_value:?}",
                             case = case + 1,
                             total = config.cases,
                             name = stringify!($name),
@@ -194,4 +247,96 @@ macro_rules! prop_oneof {
             $( ::std::boxed::Box::new($strategy) ),+
         ])
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn shrink_minimizes_a_range_failure() {
+        // Known-failing predicate: everything >= 17 fails. Greedy shrinking
+        // from any failing start must land exactly on the boundary.
+        let strategy = 0usize..1000;
+        let run = |v: usize| -> Result<(), String> {
+            if v >= 17 {
+                Err(format!("{v} too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) =
+            shrink_failure(&strategy, 999, "999 too big".into(), &mut |v| run(v));
+        assert_eq!(min, 17, "greedy shrink reaches the minimal failing input");
+        assert!(
+            msg.contains("17"),
+            "message reflects the minimized case: {msg}"
+        );
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_minimizes_vec_structure_and_elements() {
+        let strategy = crate::collection::vec(0u32..100, 0..8);
+        let run = |v: Vec<u32>| -> Result<(), String> {
+            if v.iter().any(|&x| x >= 5) {
+                Err("contains a big element".into())
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = shrink_failure(
+            &strategy,
+            vec![80, 3, 9, 40],
+            "contains a big element".into(),
+            &mut |v| run(v),
+        );
+        assert_eq!(min, vec![5], "one element, shrunk to the failing boundary");
+    }
+
+    #[test]
+    fn shrink_survives_signed_ranges_wider_than_the_positive_half() {
+        // -100..100 spans 200 > i8::MAX: the midpoint must widen instead
+        // of overflowing `v - lo`.
+        let strategy = -100i8..100;
+        let (min, _, _) = shrink_failure(&strategy, 100, "big".into(), &mut |v| {
+            if v >= 17 {
+                Err("big".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(min, 17);
+        let full = i8::MIN..=i8::MAX;
+        let candidates = crate::Strategy::shrink(&full, &i8::MAX);
+        assert!(candidates.iter().all(|&c| c < i8::MAX));
+    }
+
+    #[test]
+    fn shrink_stops_at_unshrinkable_values() {
+        let strategy = crate::strategy::Just(41usize);
+        let (min, _, steps) =
+            shrink_failure(&strategy, 41, "nope".into(), &mut |_| Err("nope".into()));
+        assert_eq!(min, 41);
+        assert_eq!(steps, 0, "Just has no smaller candidates");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn passing_properties_still_pass(x in 0usize..50, v in prop::collection::vec(0u32..9, 0..4)) {
+            prop_assert!(x < 50);
+            prop_assert!(v.len() < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2))]
+        #[test]
+        #[should_panic(expected = "minimized input")]
+        fn failing_property_reports_minimized_input(x in 1usize..1000) {
+            prop_assert!(x < 1, "x={x}");
+        }
+    }
 }

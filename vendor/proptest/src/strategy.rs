@@ -11,6 +11,17 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Greedy shrink candidates for a failing `value`, most aggressive
+    /// first. The driver re-runs the failing case on each candidate and
+    /// recurses on the first that still fails; strategies with no notion
+    /// of "smaller" return nothing (the default) and shrinking stops
+    /// there. Candidates must stay within the strategy's domain and must
+    /// strictly decrease some well-founded measure so shrinking
+    /// terminates.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Transforms generated values with `map`.
     fn prop_map<O, F>(self, map: F) -> Map<Self, F>
     where
@@ -48,6 +59,10 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -55,6 +70,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -115,6 +134,12 @@ impl<T> Strategy for Union<T> {
         let arm = rng.random_range(0..self.arms.len());
         self.arms[arm].sample(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // The generating arm is unknown; every arm may propose candidates
+        // (a candidate only survives if it still fails the property).
+        self.arms.iter().flat_map(|a| a.shrink(value)).collect()
+    }
 }
 
 /// Always yields clones of one value.
@@ -128,13 +153,29 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-macro_rules! range_strategy {
+macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
 
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.random_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (self.start, *value);
+                if v <= lo {
+                    return Vec::new();
+                }
+                // Toward the range start: the start itself, the midpoint
+                // (widened so signed ranges wider than the type's positive
+                // half cannot overflow), one step down — all strictly
+                // closer to `lo` than `v`.
+                let mid = lo + ((v as i128 - lo as i128) / 2) as $t;
+                let mut out = vec![lo, mid, v - 1];
+                out.dedup();
+                out.retain(|&c| c < v);
+                out
             }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -143,14 +184,73 @@ macro_rules! range_strategy {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.random_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (*self.start(), *value);
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mid = lo + ((v as i128 - lo as i128) / 2) as $t;
+                let mut out = vec![lo, mid, v - 1];
+                out.dedup();
+                out.retain(|&c| c < v);
+                out
+            }
         }
     )*};
 }
-range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (self.start, *value);
+                if v.is_nan() || v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo, lo + (v - lo) / 2.0];
+                out.retain(|&c| c.is_finite() && c >= lo && c < v);
+                out.dedup();
+                out
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (*self.start(), *value);
+                if v.is_nan() || v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo, lo + (v - lo) / 2.0];
+                out.retain(|&c| c.is_finite() && c >= lo && c < v);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// Tuple strategies shrink one component at a time, holding the rest
+/// fixed — hence the `Clone` bounds on component values.
 macro_rules! tuple_strategy {
-    ($(($($s:ident),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+    ($(($($s:ident / $v:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
             #[allow(non_snake_case)]
@@ -158,15 +258,27 @@ macro_rules! tuple_strategy {
                 let ($($s,)+) = self;
                 ($($s.sample(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for $v in self.$i.shrink(&value.$i) {
+                        let mut cand = value.clone();
+                        cand.$i = $v;
+                        out.push(cand);
+                    }
+                )+
+                out
+            }
         }
     )*};
 }
 tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
+    (A / a / 0)
+    (A / a / 0, B / b / 1)
+    (A / a / 0, B / b / 1, C / c / 2)
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3)
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4)
 }
 
 /// Types with a canonical strategy, usable via [`crate::any`].
@@ -189,6 +301,19 @@ macro_rules! arbitrary_int {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.random::<$t>()
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                // Toward zero: zero itself, halving, one step toward 0.
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                let mut out = vec![0, v / 2, step];
+                out.dedup();
+                out.retain(|&c| c != v);
+                out
+            }
         }
         impl Arbitrary for $t {
             type Strategy = FullRange<$t>;
@@ -199,7 +324,31 @@ macro_rules! arbitrary_int {
         }
     )*};
 }
-arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.random::<bool>()
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange(core::marker::PhantomData)
+    }
+}
 
 impl Strategy for FullRange<f64> {
     type Value = f64;
@@ -208,6 +357,16 @@ impl Strategy for FullRange<f64> {
         // Unit interval: finite, well-behaved, and what tests want
         // from `any::<f64>()` in practice.
         rng.random::<f64>()
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        if v == 0.0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0, v / 2.0];
+        out.retain(|&c| c.is_finite() && c.abs() < v.abs());
+        out
     }
 }
 
