@@ -7,9 +7,12 @@ use kinet_nids::{DistributedConfig, DistributedSim, ModelKind, SharingPolicy};
 
 fn main() {
     let cfg = ExpConfig::from_env();
+    // The small-shard schedule needs a real epoch budget (the nids crate
+    // defaults to 60); the old `.min(12)` cap would undertrain it back to
+    // label noise. `KINET_EXP_EPOCHS` still scales the sweep down for CI.
     println!(
         "distributed — policy × fleet-size sweep (epochs={})\n",
-        cfg.epochs.min(12)
+        cfg.epochs
     );
     let mut reports = Vec::new();
     for n_devices in [2usize, 4, 8] {
@@ -24,7 +27,7 @@ fn main() {
                 records_per_device: (cfg.rows / n_devices).max(200),
                 test_records: cfg.rows / 2,
                 policy,
-                model_epochs: cfg.epochs.min(12),
+                model_epochs: cfg.epochs,
                 seed: cfg.seed,
             });
             match sim.run() {

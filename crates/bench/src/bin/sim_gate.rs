@@ -1,0 +1,103 @@
+//! Distributed-sim quality gate: runs the Table-1 deployment scenario
+//! (4 devices × 500 records, the small-shard training schedule) for all
+//! three sharing policies, asserts the utility floors, and persists the
+//! full [`DistributedReport`]s as `target/experiments/distributed_report
+//! .json` so per-PR CI artifacts make utility regressions as visible as
+//! the perf ones `bench_gate` guards.
+//!
+//! Exit code 1 when any floor is violated.
+
+use kinet_bench::write_json;
+use kinet_datasets::lab::LabSimulator;
+use kinet_nids::{DistributedConfig, DistributedSim, ModelKind, SharingPolicy};
+
+/// The asserted floors, shared with `crates/nids/src/sim.rs` tests and
+/// documented in README's Table-1 section.
+const RAW_ACC_FLOOR: f64 = 0.9;
+const SYNTH_ACC_FLOOR: f64 = 0.5;
+const SYNTH_KG_VALIDITY_FLOOR: f64 = 0.5;
+
+fn main() {
+    println!("sim_gate — distributed NIDS quality floors (4 devices x 500 records)\n");
+    let mut reports = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for policy in [
+        SharingPolicy::Raw,
+        SharingPolicy::Synthetic(ModelKind::KinetGan),
+        SharingPolicy::LocalOnly,
+    ] {
+        let sim = DistributedSim::new(DistributedConfig {
+            n_devices: 4,
+            records_per_device: 500,
+            test_records: 800,
+            policy: policy.clone(),
+            ..DistributedConfig::default()
+        });
+        match sim.run() {
+            Ok(report) => {
+                println!("{report}");
+                reports.push((policy, report));
+            }
+            Err(e) => failures.push(format!("{policy:?}: simulation failed: {e}")),
+        }
+    }
+
+    // Dispatch on the policy enum (not the report's label string) so a
+    // reworded label or edited policy list cannot silently skip a floor.
+    for (policy, report) in &reports {
+        let check = |ok: bool, what: &str| {
+            if !ok {
+                Some(format!("{}: {what}: {report}", report.policy))
+            } else {
+                None
+            }
+        };
+        let mut fail = |f: Option<String>| failures.extend(f);
+        match policy {
+            SharingPolicy::Raw => {
+                fail(check(
+                    report.global_accuracy >= RAW_ACC_FLOOR,
+                    "raw-sharing accuracy under floor",
+                ));
+            }
+            SharingPolicy::Synthetic(ModelKind::KinetGan) => {
+                fail(check(
+                    report.global_accuracy >= SYNTH_ACC_FLOOR,
+                    "synthetic-sharing accuracy under floor",
+                ));
+                fail(check(
+                    report.attack_recall > 0.0,
+                    "attack recall collapsed to zero",
+                ));
+                fail(check(
+                    report.pool_kg_validity >= SYNTH_KG_VALIDITY_FLOOR,
+                    "pooled KG validity under floor",
+                ));
+                fail(check(
+                    report.pool_attack_count(&LabSimulator::attack_events()) > 0,
+                    "no attack-class rows in the shared pool (class collapse)",
+                ));
+                fail(check(
+                    report.device_diags.len() == report.n_devices,
+                    "missing per-device training diagnostics",
+                ));
+            }
+            SharingPolicy::Synthetic(_) | SharingPolicy::LocalOnly => {}
+        }
+    }
+
+    let json_reports: Vec<_> = reports.iter().map(|(_, r)| r).collect();
+    match write_json("distributed_report", &json_reports) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => failures.push(format!("could not write distributed_report.json: {e}")),
+    }
+
+    if failures.is_empty() {
+        println!("sim_gate: all quality floors hold");
+    } else {
+        for f in &failures {
+            eprintln!("sim_gate FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

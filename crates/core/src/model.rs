@@ -6,9 +6,9 @@ use crate::generator::ConditionalGenerator;
 use crate::pipeline::KgTrainPipeline;
 use kinet_data::condition::ConditionVectorSpec;
 use kinet_data::encoded::{row_to_assignment, KgTableChecker};
-use kinet_data::sampler::{BalanceMode, TrainingSampler};
+use kinet_data::sampler::TrainingSampler;
 use kinet_data::synth::{SynthError, TabularSynthesizer};
-use kinet_data::transform::DataTransformer;
+use kinet_data::transform::{CategoricalEncoder, DataTransformer};
 use kinet_data::{ColumnKind, Table, Value};
 use kinet_kg::{Assignment, AttrValue, NetworkKg};
 use kinet_nn::optim::{Adam, Optimizer};
@@ -25,6 +25,21 @@ pub struct TrainingReport {
     pub d_loss: Vec<f32>,
     /// Mean generator loss per epoch (adversarial + condition + mask).
     pub g_loss: Vec<f32>,
+    /// Scope-class dictionary for [`TrainingReport::epoch_class_counts`]
+    /// (the KG scope field's categories, in encoder order). Empty when the
+    /// scope column is absent or not categorical.
+    pub class_names: Vec<String>,
+    /// Per epoch, per scope class: how many training conditions were drawn
+    /// for that class. The footprint of train-by-sampling — a rare attack
+    /// class whose row here is all zeros was never conditioned on, which is
+    /// exactly the class-collapse signature the balance modes exist to
+    /// prevent.
+    pub epoch_class_counts: Vec<Vec<u64>>,
+    /// Downstream utility probe: accuracy of a softmax classifier trained
+    /// on a post-fit synthetic sample to predict the scope class, evaluated
+    /// against the real training rows (train-on-synthetic/test-on-real).
+    /// `None` when the scope column is unavailable.
+    pub probe_accuracy: Option<f64>,
     /// KG-validity rate of a probe sample drawn after training.
     pub final_validity: f64,
 }
@@ -264,6 +279,34 @@ impl KinetGan {
         let steps = (table.n_rows() / cfg.batch_size).max(1);
         let mut report = TrainingReport::default();
 
+        // Scope-class tracking for the per-epoch condition diagnostics:
+        // which event class each drawn training condition belongs to.
+        let scope = self.kg.scope_field();
+        let scope_cat = table
+            .schema()
+            .index_of(scope)
+            .filter(|&c| table.schema().column(c).kind() == ColumnKind::Categorical);
+        let mut row_class: Vec<usize> = Vec::new();
+        if scope_cat.is_some() {
+            // Reuse the condition spec's encoder when the scope is itself a
+            // conditional column (the normal KiNETGAN case) so the
+            // diagnostics share its category order; fit one only otherwise.
+            let local;
+            let enc = match cond_spec.column_index(scope) {
+                Some(ci) => cond_spec.encoder(ci),
+                None => {
+                    local = CategoricalEncoder::fit(table.cat_column(scope)?.iter().cloned());
+                    &local
+                }
+            };
+            row_class = table
+                .cat_column(scope)?
+                .iter()
+                .map(|v| enc.encode(v).unwrap_or(0))
+                .collect();
+            report.class_names = enc.categories().to_vec();
+        }
+
         // Interned fast path: pre-encode the table once (codes + the
         // deterministic transform) and compile per-event sampling plans;
         // every batch then gathers by index into reused buffers. The
@@ -273,10 +316,11 @@ impl KinetGan {
         let mut real_buf = Matrix::default();
         let mut pos_buf = Matrix::default();
 
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
             let mut d_epoch = 0.0f32;
             let mut g_epoch = 0.0f32;
-            for _step in 0..steps {
+            let mut class_counts = vec![0u64; report.class_names.len()];
+            for step in 0..steps {
                 let conditions = sampler.sample_batch(
                     table,
                     &cond_spec,
@@ -285,6 +329,11 @@ impl KinetGan {
                     cfg.batch_size,
                     &mut rng,
                 )?;
+                if !row_class.is_empty() {
+                    for cond in &conditions {
+                        class_counts[row_class[cond.row]] += 1;
+                    }
+                }
                 let c = Matrix::from_fn(cfg.batch_size, cond_spec.width(), |r, ccol| {
                     conditions[r].vector[ccol]
                 });
@@ -318,14 +367,19 @@ impl KinetGan {
                         loss = loss.add(kg_loss);
                     }
                     let loss_value = loss.value()[(0, 0)];
-                    d_epoch += loss_value;
-                    if loss_value.is_finite() {
-                        tape.backward(loss);
-                        if cfg.clip_norm > 0.0 {
-                            d_params.clip_grad_norm(cfg.clip_norm);
-                        }
-                        d_opt.step();
+                    if !loss_value.is_finite() {
+                        return Err(SynthError::Training(format!(
+                            "discriminator loss became non-finite ({loss_value}) at epoch \
+                             {epoch}, step {step} — training diverged; lower `lr`, raise \
+                             `batch_size`, or enable `clip_norm`"
+                        )));
                     }
+                    d_epoch += loss_value;
+                    tape.backward(loss);
+                    if cfg.clip_norm > 0.0 {
+                        d_params.clip_grad_norm(cfg.clip_norm);
+                    }
+                    d_opt.step();
                     d_opt.zero_grad();
                     g_opt.zero_grad(); // discard generator grads from this tape
                 }
@@ -364,20 +418,26 @@ impl KinetGan {
                         }
                     }
                     let loss_value = loss.value()[(0, 0)];
-                    g_epoch += loss_value;
-                    if loss_value.is_finite() {
-                        tape.backward(loss);
-                        if cfg.clip_norm > 0.0 {
-                            g_params.clip_grad_norm(cfg.clip_norm);
-                        }
-                        g_opt.step();
+                    if !loss_value.is_finite() {
+                        return Err(SynthError::Training(format!(
+                            "generator loss became non-finite ({loss_value}) at epoch {epoch}, \
+                             step {step} — training diverged; lower `lr`, raise `batch_size`, \
+                             or enable `clip_norm`"
+                        )));
                     }
+                    g_epoch += loss_value;
+                    tape.backward(loss);
+                    if cfg.clip_norm > 0.0 {
+                        g_params.clip_grad_norm(cfg.clip_norm);
+                    }
+                    g_opt.step();
                     g_opt.zero_grad();
                     d_opt.zero_grad(); // discard discriminator grads
                 }
             }
             report.d_loss.push(d_epoch / steps as f32);
             report.g_loss.push(g_epoch / steps as f32);
+            report.epoch_class_counts.push(class_counts);
         }
 
         Ok(Fitted {
@@ -451,16 +511,102 @@ impl KinetGan {
         }
     }
 
-    /// Draws a probe sample and records its KG-validity in the report.
+    /// Draws a probe sample and records its KG-validity and downstream
+    /// utility (train-on-synthetic/test-on-real probe accuracy) in the
+    /// report.
     fn finalize_report(&mut self, probe: usize, seed: u64) {
-        let validity = match self.sample(probe, seed) {
-            Ok(t) => self.validity_rate(&t),
-            Err(_) => 0.0,
+        let (validity, probe_acc) = match self.sample(probe, seed) {
+            Ok(t) => (
+                self.validity_rate(&t),
+                self.fitted
+                    .as_ref()
+                    .and_then(|f| probe_accuracy(f, &t, self.kg.scope_field())),
+            ),
+            Err(_) => (0.0, None),
         };
         if let Some(f) = self.fitted.as_mut() {
             f.report.final_validity = validity;
+            f.report.probe_accuracy = probe_acc;
         }
     }
+}
+
+/// Trains a small multinomial-logistic probe on `synth` to predict the
+/// scope class from the other encoded columns and scores it against the
+/// real training rows. A cheap, self-contained stand-in for the full
+/// `kinet_eval` TSTR panel — enough to see *during training experiments*
+/// whether the release carries any label signal at all.
+fn probe_accuracy(f: &Fitted, synth: &Table, scope: &str) -> Option<f64> {
+    let col = f.table.schema().index_of(scope)?;
+    if f.table.schema().column(col).kind() != ColumnKind::Categorical {
+        return None;
+    }
+    let name = scope.to_string();
+    let enc = f.transformer.categorical_encoder(&name)?;
+    let span = f.transformer.spans()[col];
+    let k = enc.n_categories();
+    if k < 2 || synth.is_empty() {
+        return None;
+    }
+
+    // Encode a table: deterministic CTGAN transform with the label block
+    // zeroed out of the features, label codes as targets. Rows whose label
+    // is outside the training dictionary are dropped.
+    let encode = |t: &Table| -> Option<(Matrix, Vec<usize>)> {
+        let x = f.transformer.transform_deterministic(t);
+        let labels = t.cat_column(&name).ok()?;
+        let keep: Vec<(usize, usize)> = labels
+            .iter()
+            .enumerate()
+            .filter_map(|(r, v)| enc.encode(v).map(|code| (r, code)))
+            .collect();
+        if keep.is_empty() {
+            return None;
+        }
+        let mut xm = Matrix::from_fn(keep.len(), x.cols(), |r, c| x[(keep[r].0, c)]);
+        for r in 0..xm.rows() {
+            xm.row_mut(r)[span.start..span.start + span.width].fill(0.0);
+        }
+        Some((xm, keep.iter().map(|&(_, code)| code).collect()))
+    };
+    let (xtr, ytr) = encode(synth)?;
+    let (xte, yte) = encode(&f.table)?;
+
+    // Full-batch softmax regression; encoded features are one-hots and
+    // tanh-range alphas, so no standardization is needed.
+    let (n, d) = xtr.shape();
+    let mut w = Matrix::zeros(d, k);
+    let mut b = Matrix::zeros(1, k);
+    let onehot = Matrix::from_fn(n, k, |r, c| if ytr[r] == c { 1.0 } else { 0.0 });
+    for _ in 0..150 {
+        let logits = xtr.matmul(&w).add_row_broadcast(&b);
+        let mut err = softmax_rows(&logits).sub(&onehot);
+        err.scale_inplace(1.0 / n as f32);
+        let gw = xtr.matmul_tn(&err);
+        let gb = err.sum_rows();
+        w.add_assign_scaled(&gw, -0.5);
+        b.add_assign_scaled(&gb, -0.5);
+    }
+    let pred = xte.matmul(&w).add_row_broadcast(&b).argmax_rows();
+    let hits = pred.iter().zip(&yte).filter(|(p, t)| p == t).count();
+    Some(hits as f64 / yte.len() as f64)
+}
+
+fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
 }
 
 fn c_block(c: &Matrix, offset: usize, width: usize) -> Matrix {
@@ -499,10 +645,13 @@ impl TabularSynthesizer for KinetGan {
             self.config.batch_size,
             &mut rng,
             |want, rng| {
+                // `sample_balance = None` reproduces the original class
+                // marginals; LogFreq/Uniform boost rare classes in the
+                // release itself (e.g. minority attack classes for NIDS).
                 let conds = f.sampler.sample_batch(
                     &f.table,
                     &f.cond_spec,
-                    BalanceMode::None, // original data distribution at test time
+                    self.config.sample_balance,
                     true,
                     want,
                     rng,
@@ -511,7 +660,7 @@ impl TabularSynthesizer for KinetGan {
                 let tape = Tape::new();
                 let gen = f.generator.generate(&tape, &c, self.config.tau, false, rng);
                 let mut decoded = f.transformer.inverse_transform(&gen.output.value())?;
-                for round in 0..self.config.rejection_rounds {
+                for _round in 0..self.config.rejection_rounds {
                     let invalid_rows: &[usize] = match &checker {
                         Some(ch) => {
                             ch.invalid_rows(&decoded, &mut invalid_buf)?;
@@ -532,9 +681,24 @@ impl TabularSynthesizer for KinetGan {
                     if invalid_rows.is_empty() {
                         break;
                     }
+                    // Fresh conditions for the retried rows, drawn with the
+                    // same balance mode: a condition whose combination the
+                    // generator never learned would otherwise be retried
+                    // verbatim every round and fail every round, skewing
+                    // the released class marginals toward the easy classes.
+                    // An i.i.d. re-draw keeps every round's conditions
+                    // distributed exactly like the first round's.
+                    let retry_conds = f.sampler.sample_batch(
+                        &f.table,
+                        &f.cond_spec,
+                        self.config.sample_balance,
+                        true,
+                        invalid_rows.len(),
+                        rng,
+                    )?;
                     let retry_c =
                         Matrix::from_fn(invalid_rows.len(), f.cond_spec.width(), |i, j| {
-                            c[(invalid_rows[i], j)]
+                            retry_conds[i].vector[j]
                         });
                     let tape = Tape::new();
                     let regen = f
@@ -547,7 +711,6 @@ impl TabularSynthesizer for KinetGan {
                         rows[r] = redecoded.row(i);
                     }
                     decoded = Table::from_rows(decoded.schema().clone(), rows)?;
-                    let _ = round;
                 }
                 Ok(decoded)
             },
@@ -676,6 +839,133 @@ mod tests {
         );
         model.fit(&data).unwrap();
         assert_eq!(model.sample(64, 1).unwrap().n_rows(), 64);
+    }
+
+    #[test]
+    fn divergent_training_fails_loudly_naming_the_epoch() {
+        // An absurd learning rate with clipping disabled blows the weights
+        // up within a few steps; the trainer must surface a SynthError
+        // that names where it happened instead of training through NaNs
+        // and emitting garbage.
+        // Adam's scale-invariant updates plus batch-norm keep merely-large
+        // rates finite, so the rate must be big enough to overflow f32
+        // squares within a step or two.
+        let data = tiny_data(200, 11);
+        let mut cfg = tiny_config().with_epochs(30);
+        cfg.lr = 1e30;
+        cfg.clip_norm = 0.0;
+        let mut model = KinetGan::new(cfg, NetworkKg::lab_default());
+        let err = model.fit(&data).expect_err("divergence must be an error");
+        let msg = err.to_string();
+        assert!(
+            matches!(err, SynthError::Training(_)),
+            "divergence is a training error: {msg}"
+        );
+        assert!(
+            msg.contains("non-finite") && msg.contains("epoch"),
+            "error should name the non-finite loss and the epoch: {msg}"
+        );
+    }
+
+    #[test]
+    fn training_report_carries_utility_diagnostics() {
+        let data = tiny_data(300, 12);
+        let mut model = KinetGan::new(tiny_config().with_epochs(3), NetworkKg::lab_default());
+        model.fit(&data).unwrap();
+        let report = model.report().unwrap();
+        // class diagnostics: one dictionary, one count row per epoch,
+        // every drawn condition accounted for
+        assert!(!report.class_names.is_empty());
+        assert_eq!(report.epoch_class_counts.len(), 3);
+        let steps = (data.n_rows() / model.config().batch_size).max(1);
+        for counts in &report.epoch_class_counts {
+            assert_eq!(counts.len(), report.class_names.len());
+            let total: u64 = counts.iter().sum();
+            assert_eq!(total as usize, steps * model.config().batch_size);
+        }
+        // the probe is a real accuracy
+        let probe = report.probe_accuracy.expect("scope column is categorical");
+        assert!((0.0..=1.0).contains(&probe), "{probe}");
+    }
+
+    #[test]
+    fn log_freq_balance_conditions_on_minority_classes() {
+        // On an imbalanced shard, log-frequency train-by-sampling must
+        // draw conditions for rare classes far above their raw frequency;
+        // a uniform row draw would leave them near-invisible.
+        let data = tiny_data(400, 13);
+        let mut model = KinetGan::new(tiny_config().with_epochs(2), NetworkKg::lab_default());
+        model.fit(&data).unwrap();
+        let report = model.report().unwrap();
+        let totals: Vec<u64> = (0..report.class_names.len())
+            .map(|i| report.epoch_class_counts.iter().map(|c| c[i]).sum())
+            .collect();
+        let grand: u64 = totals.iter().sum();
+        for (name, &count) in report.class_names.iter().zip(&totals) {
+            let freq = data
+                .cat_column("event")
+                .unwrap()
+                .iter()
+                .filter(|v| *v == name)
+                .count() as f64
+                / data.n_rows() as f64;
+            if freq > 0.0 && freq < 0.05 {
+                let share = count as f64 / grand as f64;
+                assert!(
+                    share > freq,
+                    "rare class {name} (freq {freq:.3}) under-conditioned: {share:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_balance_boosts_minority_conditions() {
+        // A trivially learnable 95/5 two-class shard: with sampling-time
+        // log-frequency balancing the release must carry clearly more
+        // rare-class rows than the original marginal reproduces.
+        let schema = kinet_data::Schema::new(vec![
+            kinet_data::ColumnMeta::categorical("event"),
+            kinet_data::ColumnMeta::continuous("x"),
+        ]);
+        let rows = (0..300)
+            .map(|i| {
+                let rare = i % 20 == 0; // 5%
+                vec![
+                    Value::cat(if rare { "rare" } else { "common" }),
+                    Value::num(if rare { 10.0 } else { 0.0 } + (i % 7) as f64 * 0.01),
+                ]
+            })
+            .collect();
+        let data = Table::from_rows(schema, rows).unwrap();
+        let store = kinet_kg::ontology::GraphBuilder::new("two-class").build();
+        let kg = || NetworkKg::new("two-class", store.clone(), "event", &["event"]);
+        let rare_share = |t: &Table| {
+            t.cat_column("event")
+                .unwrap()
+                .iter()
+                .filter(|v| v.as_str() == "rare")
+                .count() as f64
+                / t.n_rows() as f64
+        };
+        let cfg = tiny_config().with_epochs(80).with_kg_mode(KgMode::Off);
+        let mut plain = KinetGan::new(cfg.clone(), kg());
+        plain.fit(&data).unwrap();
+        let mut boosted = KinetGan::new(
+            cfg.with_sample_balance(kinet_data::sampler::BalanceMode::LogFreq),
+            kg(),
+        );
+        boosted.fit(&data).unwrap();
+        let plain_share = rare_share(&plain.sample(400, 3).unwrap());
+        let boosted_share = rare_share(&boosted.sample(400, 3).unwrap());
+        // log-frequency weight of the rare class is ln(16)/(ln(16)+ln(286))
+        // ≈ 0.33 against a 5% marginal — the gap must be unmistakable
+        // (diluted in practice by imperfect condition adherence).
+        assert!(
+            boosted_share > plain_share + 0.05,
+            "log-freq sampling balance must emit more rare rows: \
+             plain {plain_share:.3} vs boosted {boosted_share:.3}"
+        );
     }
 
     #[test]

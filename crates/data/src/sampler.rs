@@ -117,6 +117,21 @@ impl TrainingSampler {
         &self.rows_by_cat[col][cat]
     }
 
+    /// Normalized log-frequency weights over the categories of conditional
+    /// column `col` — the distribution [`BalanceMode::LogFreq`] draws the
+    /// boosted category from (weights sum to 1; empty categories get 0).
+    pub fn log_freq_weights(&self, col: usize) -> Vec<f64> {
+        let cdf = &self.logfreq_cdf[col];
+        let mut prev = 0.0;
+        cdf.iter()
+            .map(|&c| {
+                let w = c - prev;
+                prev = c;
+                w
+            })
+            .collect()
+    }
+
     /// Samples one training condition.
     ///
     /// With `full_condition = true` the returned vector one-hots *all*

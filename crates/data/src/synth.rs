@@ -77,17 +77,26 @@ pub trait TabularSynthesizer {
 
 /// The shared batched sampling loop every generator-backed synthesizer in
 /// the workspace runs: draw batches of at most `batch.max(32)` rows from
-/// `gen_batch` until `n` rows are collected, then trim to exactly `n`.
+/// `gen_batch` until `n` rows are collected. The result holds **exactly**
+/// `n` rows for every `n`/`batch` combination.
 ///
-/// `gen_batch(want, rng)` must return exactly `want` decoded rows; it owns
-/// whatever model-specific work a batch needs (condition sampling, forward
-/// pass, inverse transform, KG rejection rounds). RNG consumption order is
-/// exactly the per-model loops this replaces, so fixed-seed releases are
-/// unchanged.
+/// `gen_batch(want, rng)` should return exactly `want` decoded rows; it
+/// owns whatever model-specific work a batch needs (condition sampling,
+/// forward pass, inverse transform, KG rejection rounds). A batch that
+/// overshoots is truncated to its requested size — keeping each batch's
+/// contribution at `want` rows is what preserves the condition-sampler's
+/// class marginals independently of how `n` splits into batches. A batch
+/// that undershoots is tolerated (the remainder is re-requested), but a
+/// batch that returns no rows at all is an error: looping on it would
+/// never terminate.
+///
+/// RNG consumption order is exactly the per-model loops this replaces, so
+/// fixed-seed releases are unchanged.
 ///
 /// # Errors
 ///
-/// Propagates `gen_batch` and table-append failures.
+/// Propagates `gen_batch` and table-append failures, and reports a
+/// [`SynthError::Training`] when `gen_batch` makes no progress.
 pub fn sample_in_batches<R: rand::Rng>(
     schema: crate::Schema,
     n: usize,
@@ -99,10 +108,24 @@ pub fn sample_in_batches<R: rand::Rng>(
     let batch = batch.max(32);
     while out.n_rows() < n {
         let want = (n - out.n_rows()).min(batch);
-        out.append(&gen_batch(want, rng)?)?;
+        let got = gen_batch(want, rng)?;
+        if got.is_empty() {
+            return Err(SynthError::Training(format!(
+                "batch generator returned no rows (requested {want}); \
+                 sampling cannot make progress"
+            )));
+        }
+        if got.n_rows() > want {
+            // Truncate the overshoot so this batch contributes exactly the
+            // rows that were requested of it.
+            let idx: Vec<usize> = (0..want).collect();
+            out.append(&got.select_rows(&idx))?;
+        } else {
+            out.append(&got)?;
+        }
     }
-    let idx: Vec<usize> = (0..n).collect();
-    Ok(out.select_rows(&idx))
+    debug_assert_eq!(out.n_rows(), n, "batched sampling must deliver exactly n");
+    Ok(out)
 }
 
 /// Blanket helper: fit then sample in one call.
@@ -196,6 +219,103 @@ mod tests {
         let mut r = Resampler { data: None };
         r.fit(&table()).unwrap();
         assert!(r.critic_scores(&table()).is_none());
+    }
+
+    /// 90% "common" / 10% "rare" rows, for marginal checks.
+    fn imbalanced() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::categorical("c"),
+            ColumnMeta::continuous("x"),
+        ]);
+        let rows = (0..100)
+            .map(|i| {
+                vec![
+                    Value::cat(if i < 90 { "common" } else { "rare" }),
+                    Value::num(i as f64),
+                ]
+            })
+            .collect();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn batched_sampling_is_exact_for_every_combination() {
+        let data = imbalanced();
+        for n in [0usize, 1, 31, 32, 33, 63, 64, 65, 100, 257] {
+            for batch in [0usize, 1, 32, 50, 64, 333] {
+                let mut rng = StdRng::seed_from_u64(9);
+                let out =
+                    sample_in_batches(data.schema().clone(), n, batch, &mut rng, |want, rng| {
+                        let idx: Vec<usize> = (0..want)
+                            .map(|_| rng.random_range(0..data.n_rows()))
+                            .collect();
+                        Ok(data.select_rows(&idx))
+                    })
+                    .unwrap();
+                assert_eq!(out.n_rows(), n, "n={n} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn overshooting_batches_are_truncated_to_request() {
+        let data = imbalanced();
+        let mut rng = StdRng::seed_from_u64(4);
+        // A misbehaving generator that always returns 48 rows.
+        let out = sample_in_batches(data.schema().clone(), 70, 32, &mut rng, |_want, rng| {
+            let idx: Vec<usize> = (0..48)
+                .map(|_| rng.random_range(0..data.n_rows()))
+                .collect();
+            Ok(data.select_rows(&idx))
+        })
+        .unwrap();
+        assert_eq!(out.n_rows(), 70);
+    }
+
+    #[test]
+    fn empty_batches_error_instead_of_spinning() {
+        let data = imbalanced();
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = sample_in_batches(data.schema().clone(), 10, 32, &mut rng, |_, _| {
+            Ok(Table::empty(imbalanced().schema().clone()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, SynthError::Training(_)), "{err}");
+        assert!(err.to_string().contains("no rows"), "{err}");
+    }
+
+    #[test]
+    fn class_marginals_survive_batch_splitting() {
+        // The same resampling generator must produce statistically
+        // indistinguishable class marginals no matter how n splits into
+        // batches: each batch contributes exactly its requested rows, so
+        // no batch-boundary effect can skew the class mix.
+        let data = imbalanced();
+        let rare_fraction = |batch: usize| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let out =
+                sample_in_batches(data.schema().clone(), 600, batch, &mut rng, |want, rng| {
+                    let idx: Vec<usize> = (0..want)
+                        .map(|_| rng.random_range(0..data.n_rows()))
+                        .collect();
+                    Ok(data.select_rows(&idx))
+                })
+                .unwrap();
+            let rare = out
+                .cat_column("c")
+                .unwrap()
+                .iter()
+                .filter(|v| v.as_str() == "rare")
+                .count();
+            rare as f64 / 600.0
+        };
+        for batch in [32, 64, 123, 600] {
+            let frac = rare_fraction(batch);
+            assert!(
+                (0.05..0.17).contains(&frac),
+                "batch={batch}: rare fraction {frac} strayed from the 10% marginal"
+            );
+        }
     }
 
     #[test]

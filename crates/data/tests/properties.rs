@@ -3,6 +3,7 @@
 
 use kinet_data::condition::ConditionVectorSpec;
 use kinet_data::gmm::GaussianMixture1d;
+use kinet_data::sampler::{BalanceMode, TrainingSampler};
 use kinet_data::transform::DataTransformer;
 use kinet_data::{ColumnMeta, Schema, Table, Value};
 use proptest::prelude::*;
@@ -95,6 +96,87 @@ proptest! {
         prop_assert_eq!(train.n_rows() + test.n_rows(), table.n_rows());
         prop_assert!(!train.is_empty());
         prop_assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn log_freq_weights_match_ln_one_plus_count(table in arb_table()) {
+        let spec = ConditionVectorSpec::fit(&table, &["label"]).unwrap();
+        let sampler = TrainingSampler::fit(&table, &spec).unwrap();
+        let weights = sampler.log_freq_weights(0);
+        let enc = spec.encoder(0);
+        prop_assert_eq!(weights.len(), enc.n_categories());
+        // Reference masses straight from the definition: ln(1 + count).
+        let labels = table.cat_column("label").unwrap();
+        let masses: Vec<f64> = enc
+            .categories()
+            .iter()
+            .map(|cat| {
+                let count = labels.iter().filter(|v| *v == cat).count();
+                (1.0 + count as f64).ln()
+            })
+            .collect();
+        let total: f64 = masses.iter().sum();
+        for (i, (&w, &m)) in weights.iter().zip(&masses).enumerate() {
+            prop_assert!(
+                (w - m / total).abs() < 1e-9,
+                "category {i}: weight {w} vs log-frequency {}", m / total
+            );
+        }
+        prop_assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_freq_marginals_follow_weights(table in arb_table(), seed in any::<u64>()) {
+        let spec = ConditionVectorSpec::fit(&table, &["label"]).unwrap();
+        let sampler = TrainingSampler::fit(&table, &spec).unwrap();
+        let weights = sampler.log_freq_weights(0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 1200;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            let c = sampler
+                .sample_condition(&table, &spec, BalanceMode::LogFreq, true, &mut rng)
+                .unwrap();
+            counts[c.boosted_category.unwrap()] += 1;
+        }
+        // Empirical marginals must track the analytic log-frequency
+        // weights (5σ band of the binomial so the test is seed-robust).
+        for (i, (&count, &w)) in counts.iter().zip(&weights).enumerate() {
+            let expected = w * draws as f64;
+            let sigma = (draws as f64 * w * (1.0 - w)).sqrt();
+            prop_assert!(
+                (count as f64 - expected).abs() <= 5.0 * sigma + 1.0,
+                "category {i}: drew {count}, expected {expected:.1} ± {sigma:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_conditions_are_one_hot_and_row_consistent(
+        table in arb_table(),
+        seed in any::<u64>(),
+        mode_sel in 0usize..3,
+    ) {
+        let mode = [BalanceMode::LogFreq, BalanceMode::Uniform, BalanceMode::None][mode_sel];
+        let spec = ConditionVectorSpec::fit(&table, &["label"]).unwrap();
+        let sampler = TrainingSampler::fit(&table, &spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for c in sampler
+            .sample_batch(&table, &spec, mode, true, 24, &mut rng)
+            .unwrap()
+        {
+            // one-hot per conditional column block
+            let ones = c.vector.iter().filter(|&&v| v == 1.0).count();
+            let zeros = c.vector.iter().filter(|&&v| v == 0.0).count();
+            prop_assert_eq!(ones, spec.n_columns());
+            prop_assert_eq!(ones + zeros, spec.width());
+            // the drawn real row carries exactly the conditioned values
+            prop_assert!(spec.row_matches(&table, c.row, &c.vector).unwrap());
+            if let (Some(col), Some(cat)) = (c.boosted_column, c.boosted_category) {
+                prop_assert!((c.vector[spec.offset(col) + cat] - 1.0).abs() < 1e-6,
+                    "boosted pick must be set in the vector");
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,29 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Per-device generator-training diagnostics shipped alongside the
+/// synthetic table — what a fleet operator needs to tell "this device's
+/// generator diverged" from "the aggregate pool is weak".
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceTrainingDiag {
+    /// Index of the device node in the fleet (device identities cycle, so
+    /// the name alone is not unique; this also fixes the report order).
+    pub device_index: usize,
+    /// Device identity.
+    pub device: String,
+    /// Final-epoch mean discriminator loss.
+    pub final_d_loss: f64,
+    /// Final-epoch mean generator loss.
+    pub final_g_loss: f64,
+    /// Train-on-synthetic/test-on-real probe accuracy of the device's own
+    /// release (see `kinetgan::TrainingReport::probe_accuracy`).
+    pub probe_accuracy: Option<f64>,
+    /// KG-validity rate of the device's post-fit probe sample.
+    pub final_validity: f64,
+    /// Epochs actually trained.
+    pub epochs: usize,
+}
+
 /// Metrics from one end-to-end distributed NIDS run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DistributedReport {
@@ -25,8 +48,40 @@ pub struct DistributedReport {
     /// Knowledge-graph validity rate of the pooled shared data, scored by
     /// the compiled reasoner (1.0 when no data is shared).
     pub pool_kg_validity: f64,
+    /// Label-class histogram of the pooled shared table (empty for
+    /// local-only runs). A rare attack class at zero here is class
+    /// collapse: the aggregator never even saw a training example for it.
+    pub pool_class_counts: Vec<(String, usize)>,
+    /// Per-device generator-training diagnostics (synthetic sharing only;
+    /// sorted by device then seed order for determinism).
+    pub device_diags: Vec<DeviceTrainingDiag>,
     /// End-to-end wall-clock time in milliseconds.
     pub total_wall_ms: f64,
+}
+
+impl DistributedReport {
+    /// Mean per-device probe accuracy, when any device reported one.
+    pub fn mean_probe_accuracy(&self) -> Option<f64> {
+        let probes: Vec<f64> = self
+            .device_diags
+            .iter()
+            .filter_map(|d| d.probe_accuracy)
+            .collect();
+        if probes.is_empty() {
+            None
+        } else {
+            Some(probes.iter().sum::<f64>() / probes.len() as f64)
+        }
+    }
+
+    /// Pooled count of rows whose label is one of `attack_events`.
+    pub fn pool_attack_count(&self, attack_events: &[&str]) -> usize {
+        self.pool_class_counts
+            .iter()
+            .filter(|(name, _)| attack_events.contains(&name.as_str()))
+            .map(|(_, n)| n)
+            .sum()
+    }
 }
 
 impl fmt::Display for DistributedReport {
@@ -42,7 +97,11 @@ impl fmt::Display for DistributedReport {
             self.bytes_shared,
             self.mean_device_prep_ms,
             self.total_wall_ms
-        )
+        )?;
+        if let Some(probe) = self.mean_probe_accuracy() {
+            write!(f, " probe={probe:.3}")?;
+        }
+        Ok(())
     }
 }
 
@@ -50,9 +109,8 @@ impl fmt::Display for DistributedReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn display_contains_key_fields() {
-        let r = DistributedReport {
+    fn sample_report() -> DistributedReport {
+        DistributedReport {
             policy: "raw".into(),
             n_devices: 4,
             global_accuracy: 0.9,
@@ -60,12 +118,53 @@ mod tests {
             bytes_shared: 1024,
             mean_device_prep_ms: 1.0,
             pool_kg_validity: 0.95,
+            pool_class_counts: vec![("heartbeat".into(), 700), ("port_scan".into(), 30)],
+            device_diags: Vec::new(),
             total_wall_ms: 2.0,
-        };
-        let s = r.to_string();
+        }
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = sample_report().to_string();
         assert!(s.contains("raw"));
         assert!(s.contains("acc=0.900"));
         assert!(s.contains("kg-valid=0.950"));
         assert!(s.contains("1024"));
+        assert!(
+            !s.contains("probe="),
+            "no probe summary without device diagnostics: {s}"
+        );
+    }
+
+    #[test]
+    fn probe_mean_and_attack_counts() {
+        let mut r = sample_report();
+        assert!(r.mean_probe_accuracy().is_none());
+        assert_eq!(r.pool_attack_count(&["port_scan"]), 30);
+        assert_eq!(r.pool_attack_count(&["traffic_flooding"]), 0);
+        r.device_diags = vec![
+            DeviceTrainingDiag {
+                device_index: 0,
+                device: "a".into(),
+                final_d_loss: 1.0,
+                final_g_loss: 2.0,
+                probe_accuracy: Some(0.8),
+                final_validity: 0.9,
+                epochs: 60,
+            },
+            DeviceTrainingDiag {
+                device_index: 1,
+                device: "b".into(),
+                final_d_loss: 1.0,
+                final_g_loss: 2.0,
+                probe_accuracy: Some(0.6),
+                final_validity: 0.9,
+                epochs: 60,
+            },
+        ];
+        let mean = r.mean_probe_accuracy().unwrap();
+        assert!((mean - 0.7).abs() < 1e-12, "{mean}");
+        assert!(r.to_string().contains("probe=0.700"));
     }
 }

@@ -1,13 +1,12 @@
 //! The device/aggregator simulation itself.
 
-use crate::report::DistributedReport;
+use crate::report::{DeviceTrainingDiag, DistributedReport};
 use crossbeam::channel;
 use kinet_baselines::{common::BaselineConfig, CtGan, Tvae};
 use kinet_data::synth::TabularSynthesizer;
 use kinet_data::Table;
 use kinet_datasets::lab::{LabSimConfig, LabSimulator};
-use kinet_eval::classifiers::{accuracy, Classifier, RandomForest};
-use kinet_eval::encode::MlEncoder;
+use kinet_eval::utility::evaluate_nids;
 use kinetgan::{KinetGan, KinetGanConfig};
 use std::thread;
 use std::time::Instant;
@@ -79,7 +78,10 @@ impl Default for DistributedConfig {
             records_per_device: 800,
             test_records: 1200,
             policy: SharingPolicy::Synthetic(ModelKind::KinetGan),
-            model_epochs: 10,
+            // A few-hundred-row shard at batch 32 gives ~15 optimizer steps
+            // per epoch; 60 epochs is the small-shard budget the Table-1
+            // quality floors were measured at (DESIGN.md §2.4).
+            model_epochs: 60,
             seed: 42,
         }
     }
@@ -101,8 +103,10 @@ impl DistributedConfig {
 
 enum DeviceMessage {
     Share {
+        device_index: usize,
         table: Table,
         prep_ms: f64,
+        diag: Option<DeviceTrainingDiag>,
     },
     LocalResult {
         accuracy: f64,
@@ -167,19 +171,37 @@ impl DistributedSim {
                 let t0 = Instant::now();
                 let message = match policy {
                     SharingPolicy::Raw => DeviceMessage::Share {
+                        device_index: d,
                         table: local,
                         prep_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        diag: None,
                     },
                     SharingPolicy::Synthetic(kind) => {
                         let n = local.n_rows();
+                        let mut diag = None;
                         let synth = match kind {
                             ModelKind::KinetGan => {
-                                let mcfg = KinetGanConfig::fast_demo()
+                                // The small-shard schedule: a few hundred
+                                // local rows need smaller batches, a higher
+                                // learning rate and KG rejection resampling
+                                // to release label-bearing data (DESIGN.md
+                                // §2.4). `model_epochs` still controls the
+                                // training budget.
+                                let mcfg = KinetGanConfig::small_shard()
                                     .with_epochs(epochs)
                                     .with_seed(seed);
                                 let mut model =
                                     KinetGan::new(mcfg, LabSimulator::knowledge_graph());
                                 model.fit(&local).map_err(|e| e.to_string())?;
+                                diag = model.report().map(|r| DeviceTrainingDiag {
+                                    device_index: d,
+                                    device: device.clone(),
+                                    final_d_loss: r.d_loss.last().copied().unwrap_or(0.0) as f64,
+                                    final_g_loss: r.g_loss.last().copied().unwrap_or(0.0) as f64,
+                                    probe_accuracy: r.probe_accuracy,
+                                    final_validity: r.final_validity,
+                                    epochs: r.d_loss.len(),
+                                });
                                 model.sample(n, seed ^ 1).map_err(|e| e.to_string())?
                             }
                             ModelKind::CtGan => {
@@ -200,16 +222,24 @@ impl DistributedSim {
                             }
                         };
                         DeviceMessage::Share {
+                            device_index: d,
                             table: synth,
                             prep_ms: t0.elapsed().as_secs_f64() * 1e3,
+                            diag,
                         }
                     }
                     SharingPolicy::LocalOnly => {
-                        let (acc, recall) = evaluate_nids(&local, &test_local, &local)
-                            .map_err(|e| format!("device {device}: {e}"))?;
+                        let eval = evaluate_nids(
+                            &local,
+                            &test_local,
+                            &local,
+                            LabSimulator::label_column(),
+                            &LabSimulator::attack_events(),
+                        )
+                        .map_err(|e| format!("device {device}: {e}"))?;
                         DeviceMessage::LocalResult {
-                            accuracy: acc,
-                            attack_recall: recall,
+                            accuracy: eval.accuracy,
+                            attack_recall: eval.attack_recall,
                             prep_ms: t0.elapsed().as_secs_f64() * 1e3,
                         }
                     }
@@ -221,26 +251,32 @@ impl DistributedSim {
         drop(tx);
 
         // ---- aggregator ----
-        let mut shared: Option<Table> = None;
+        // Shares are collected as they arrive but pooled in device order:
+        // thread completion order is nondeterministic, and the pooled row
+        // order feeds classifier bootstrap sampling, so pooling in arrival
+        // order would make the reported Table-1 numbers run-dependent.
+        let mut shares: Vec<(usize, Table)> = Vec::new();
         let mut bytes_shared = 0usize;
         let mut prep_times = Vec::new();
         let mut local_accs = Vec::new();
         let mut local_recalls = Vec::new();
+        let mut device_diags = Vec::new();
         for message in rx.iter() {
             match message {
-                DeviceMessage::Share { table, prep_ms } => {
+                DeviceMessage::Share {
+                    device_index,
+                    table,
+                    prep_ms,
+                    diag,
+                } => {
                     prep_times.push(prep_ms);
+                    device_diags.extend(diag);
                     let mut wire = Vec::new();
                     table
                         .write_csv(&mut wire)
                         .map_err(|e| format!("wire encoding failed: {e}"))?;
                     bytes_shared += wire.len();
-                    match &mut shared {
-                        Some(pool) => pool
-                            .append(&table)
-                            .map_err(|e| format!("pooling failed: {e}"))?,
-                        None => shared = Some(table),
-                    }
+                    shares.push((device_index, table));
                 }
                 DeviceMessage::LocalResult {
                     accuracy,
@@ -258,27 +294,51 @@ impl DistributedSim {
                 .map_err(|_| "device thread panicked".to_string())??;
         }
 
-        let (global_accuracy, attack_recall, pool_kg_validity) = match (&self.config.policy, shared)
-        {
-            (SharingPolicy::LocalOnly, _) => {
-                let n = local_accs.len().max(1) as f64;
-                (
-                    local_accs.iter().sum::<f64>() / n,
-                    local_recalls.iter().sum::<f64>() / n,
-                    1.0,
-                )
+        device_diags.sort_by_key(|diag: &DeviceTrainingDiag| diag.device_index);
+        shares.sort_by_key(|(device_index, _)| *device_index);
+        let mut shared: Option<Table> = None;
+        for (_, table) in shares {
+            match &mut shared {
+                Some(pool) => pool
+                    .append(&table)
+                    .map_err(|e| format!("pooling failed: {e}"))?,
+                None => shared = Some(table),
             }
-            (_, Some(pool)) => {
-                let (acc, recall) = evaluate_nids(&pool, &test, &test)
+        }
+
+        let (global_accuracy, attack_recall, pool_kg_validity, pool_class_counts) =
+            match (&self.config.policy, shared) {
+                (SharingPolicy::LocalOnly, _) => {
+                    let n = local_accs.len().max(1) as f64;
+                    (
+                        local_accs.iter().sum::<f64>() / n,
+                        local_recalls.iter().sum::<f64>() / n,
+                        1.0,
+                        Vec::new(),
+                    )
+                }
+                (_, Some(pool)) => {
+                    let eval = evaluate_nids(
+                        &pool,
+                        &test,
+                        &test,
+                        LabSimulator::label_column(),
+                        &LabSimulator::attack_events(),
+                    )
                     .map_err(|e| format!("global evaluation failed: {e}"))?;
-                // Compiled KG validity of what actually crossed the wire —
-                // the semantic-quality counterpart of the accuracy number.
-                let validity =
-                    kinet_eval::metrics::kg_validity(&LabSimulator::knowledge_graph(), &pool);
-                (acc, recall, validity)
-            }
-            (_, None) => return Err("no device shared any data".to_string()),
-        };
+                    // Compiled KG validity of what actually crossed the wire —
+                    // the semantic-quality counterpart of the accuracy number.
+                    let validity =
+                        kinet_eval::metrics::kg_validity(&LabSimulator::knowledge_graph(), &pool);
+                    let counts = pool
+                        .category_counts(LabSimulator::label_column())
+                        .map_err(|e| format!("pool label histogram failed: {e}"))?
+                        .into_iter()
+                        .collect();
+                    (eval.accuracy, eval.attack_recall, validity, counts)
+                }
+                (_, None) => return Err("no device shared any data".to_string()),
+            };
 
         Ok(DistributedReport {
             policy: cfg.policy.label(),
@@ -288,47 +348,11 @@ impl DistributedSim {
             bytes_shared,
             mean_device_prep_ms: prep_times.iter().sum::<f64>() / prep_times.len().max(1) as f64,
             pool_kg_validity,
+            pool_class_counts,
+            device_diags,
             total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
         })
     }
-}
-
-/// Trains a random-forest NIDS on `train` and evaluates on `test`:
-/// returns `(accuracy, attack recall)`. The feature space is fitted on
-/// `reference` so train/test agree.
-fn evaluate_nids(
-    train: &Table,
-    test: &Table,
-    reference: &Table,
-) -> Result<(f64, f64), kinet_data::DataError> {
-    let encoder = MlEncoder::fit(reference, LabSimulator::label_column())?;
-    let (xtr, ytr) = encoder.encode(train)?;
-    let (xte, yte) = encoder.encode(test)?;
-    let mut rf = RandomForest::new(12, 10);
-    rf.fit(&xtr, &ytr, encoder.n_classes());
-    let pred = rf.predict(&xte);
-    let acc = accuracy(&pred, &yte);
-
-    let attack_codes: Vec<usize> = LabSimulator::attack_events()
-        .iter()
-        .filter_map(|e| encoder.label_code(e))
-        .collect();
-    let mut attacks = 0usize;
-    let mut caught = 0usize;
-    for (p, t) in pred.iter().zip(&yte) {
-        if attack_codes.contains(t) {
-            attacks += 1;
-            if attack_codes.contains(p) {
-                caught += 1;
-            }
-        }
-    }
-    let recall = if attacks == 0 {
-        1.0
-    } else {
-        caught as f64 / attacks as f64
-    };
-    Ok((acc, recall))
 }
 
 #[cfg(test)]
@@ -361,14 +385,18 @@ mod tests {
 
     #[test]
     fn synthetic_sharing_with_kinetgan() {
-        // The 2-epoch fast() config is enough for the structural policy
-        // tests above, but a generator that undertrained produces label
-        // noise; give this quality assertion a real (if small) training
-        // budget.
+        // The headline Table-1 scenario: 4 devices × 500 records under the
+        // small-shard schedule. The floors are deliberately demanding —
+        // an undertrained generator emits label noise (acc ≈0.24 before
+        // the condition-balanced trainer landed) and these assertions are
+        // exactly what caught it.
         let config = DistributedConfig {
-            records_per_device: 400,
-            model_epochs: 12,
-            ..DistributedConfig::fast(SharingPolicy::Synthetic(ModelKind::KinetGan))
+            n_devices: 4,
+            records_per_device: 500,
+            test_records: 800,
+            model_epochs: 60,
+            policy: SharingPolicy::Synthetic(ModelKind::KinetGan),
+            seed: 42,
         };
         let report = DistributedSim::new(config).run().unwrap();
         assert!(report.policy.contains("KiNETGAN"));
@@ -380,10 +408,33 @@ mod tests {
             report.mean_device_prep_ms > 0.0,
             "training takes measurable time"
         );
-        // Quality floor: clearly above the ~1/18 random-guess accuracy of
-        // the lab event mix. Small-scale KiNETGAN utility is still far from
-        // the raw-sharing ceiling (see ROADMAP); tighten as the model improves.
-        assert!(report.global_accuracy > 0.1, "{report}");
+        // Quality floor: synthetic sharing must be useful, not merely
+        // above the ~1/18 random-guess accuracy of the lab event mix.
+        assert!(report.global_accuracy >= 0.5, "{report}");
+        // Attack-recall floor: fails on class collapse even when benign
+        // accuracy alone would clear the accuracy floor.
+        assert!(
+            report.attack_recall > 0.0,
+            "detector must flag at least some attacks: {report}"
+        );
+        assert!(
+            report.pool_attack_count(&LabSimulator::attack_events()) > 0,
+            "pooled synthetic data must contain attack-class rows: {:?}",
+            report.pool_class_counts
+        );
+        // The KG rejection resampler keeps the pool semantically coherent.
+        assert!(
+            report.pool_kg_validity > 0.5,
+            "pooled synthetic data mostly satisfies the KG: {report}"
+        );
+        // Every device ships training diagnostics with a probe accuracy.
+        assert_eq!(report.device_diags.len(), 4);
+        assert!(report
+            .device_diags
+            .iter()
+            .all(|d| d.probe_accuracy.is_some() && d.epochs == 60));
+        let probe = report.mean_probe_accuracy().unwrap();
+        assert!(probe > 0.5, "per-device probe accuracy {probe}: {report}");
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl MatrixRandomExt for Matrix {
 
     fn gumbel(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
         Matrix::from_fn(rows, cols, |_, _| {
-            let u: f32 = (1.0f32 - rng.random::<f32>()).max(1e-12);
+            // Clamp *both* tails: `random::<f32>()` can return exactly 0,
+            // and `u = 1` would make `-ln(-ln(u)) = +inf` — one infinite
+            // Gumbel draw poisons the softmax downstream and NaNs the
+            // whole training step (observed roughly once per ~10⁷ draws).
+            let u: f32 = (1.0f32 - rng.random::<f32>()).clamp(1e-12, 1.0 - 1e-7);
             -(-u.ln()).ln()
         })
     }
@@ -190,5 +194,30 @@ mod tests {
         assert!(!m.has_non_finite());
         // Gumbel(0,1) mean is the Euler–Mascheroni constant ≈ 0.5772.
         assert!((m.mean() - 0.5772).abs() < 0.05, "mean {}", m.mean());
+    }
+
+    /// An Rng that replays fixed 64-bit words (degenerate-uniform probe).
+    struct FixedBits(Vec<u64>, usize);
+    impl rand::Rng for FixedBits {
+        fn next_u64(&mut self) -> u64 {
+            let v = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn gumbel_finite_at_uniform_extremes() {
+        // All-zero and all-one bit patterns drive `random::<f32>()` to its
+        // extreme outputs; both tails of `-ln(-ln(u))` must stay finite.
+        for bits in [0u64, u64::MAX] {
+            let mut rng = FixedBits(vec![bits], 0);
+            let m = Matrix::gumbel(4, 4, &mut rng);
+            assert!(
+                !m.has_non_finite(),
+                "gumbel({bits:#x}) produced a non-finite value: {:?}",
+                m.as_slice()
+            );
+        }
     }
 }

@@ -20,8 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             records_per_device: 500,
             test_records: 800,
             policy,
-            model_epochs: 8,
             seed: 11,
+            ..DistributedConfig::default()
         });
         let report = sim.run().map_err(std::io::Error::other)?;
         println!("{report}");

@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("knowledge graph: {kg:?}");
 
     // 3. Train KiNETGAN (§III).
-    let config = KinetGanConfig::fast_demo().with_epochs(15);
+    let config = KinetGanConfig::fast_demo()
+        .with_epochs(15)
+        .with_rejection_rounds(2);
     let mut model = KinetGan::new(config, kg);
     model.fit(&data)?;
     let report = model.report().expect("fit stores a report");

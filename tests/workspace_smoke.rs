@@ -102,3 +102,51 @@ fn kernel_thread_count_does_not_change_released_bytes() {
         );
     }
 }
+
+fn small_shard_release_csv(interned: bool) -> Vec<u8> {
+    // The condition-balanced trainer introduced for the Table-1 fix:
+    // log-frequency train-by-sampling, sampling-time balancing, and
+    // rejection rounds that re-draw conditions — every new code path must
+    // make identical decisions on the interned and string pipelines.
+    let data = LabSimulator::new(LabSimConfig {
+        n_records: 150,
+        seed: 29,
+        ..LabSimConfig::default()
+    })
+    .generate()
+    .expect("lab generation succeeds");
+    let mut model = KinetGan::new(
+        KinetGanConfig::small_shard()
+            .with_epochs(3)
+            .with_seed(77)
+            .with_sample_balance(kinetgan_suite::data::sampler::BalanceMode::LogFreq)
+            .with_interned_pipeline(interned),
+        LabSimulator::knowledge_graph(),
+    );
+    model.fit(&data).expect("training succeeds");
+    let release = model.sample(80, 9).expect("sampling succeeds");
+    let mut buf = Vec::new();
+    release.write_csv(&mut buf).expect("csv encoding succeeds");
+    buf
+}
+
+#[test]
+fn condition_balanced_trainer_is_pipeline_and_thread_invariant() {
+    let reference = small_shard_release_csv(true);
+    assert!(!reference.is_empty());
+    assert_eq!(
+        reference,
+        small_shard_release_csv(false),
+        "interned and string pipelines diverged under the balanced trainer"
+    );
+    for threads in [1usize, 2, 4] {
+        for interned in [true, false] {
+            let run =
+                kinetgan_suite::tensor::with_threads(threads, || small_shard_release_csv(interned));
+            assert_eq!(
+                reference, run,
+                "release changed at KINET_THREADS={threads}, interned={interned}"
+            );
+        }
+    }
+}
