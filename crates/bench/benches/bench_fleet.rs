@@ -1,0 +1,73 @@
+//! Fleet-throughput benchmarks: the streaming raw-sharing pipeline at
+//! growing devices × rows scales (shard generation, chunked windows,
+//! pooling, global evaluation — no GAN training, so the numbers isolate
+//! the orchestration subsystem itself), plus the chunked UNSW generator
+//! the out-of-core path rides on.
+//!
+//! The scaling curve lands in `target/experiments/BENCH_fleet.json`;
+//! `bench_gate` diffs it against `benches/baseline/BENCH_fleet.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kinet_data::stream::ChunkSource;
+use kinet_datasets::unsw::{UnswSimConfig, UnswSimulator};
+use kinet_fleet::{FleetConfig, FleetSim, SharingPolicy};
+
+fn fleet_config(devices: usize, rows: usize) -> FleetConfig {
+    FleetConfig {
+        n_devices: devices,
+        rows_per_device: rows,
+        test_records: 600,
+        policy: SharingPolicy::Raw,
+        seed: 11,
+        chunk_rows: 512,
+        device_window: Some(128),
+        ..FleetConfig::default()
+    }
+}
+
+/// Raw-sharing fleet runs across the devices × rows grid named in the
+/// ROADMAP (4×500 toy scale up to the 32×5k fleet scale).
+fn bench_fleet_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(5);
+    for (devices, rows) in [(4usize, 500usize), (8, 1_000), (32, 5_000)] {
+        let name = format!("raw_stream/{devices}x{rows}");
+        group.bench_function(&name, |b| {
+            let cfg = fleet_config(devices, rows);
+            b.iter(|| {
+                let report = FleetSim::new(cfg.clone())
+                    .run()
+                    .expect("fleet run succeeds");
+                assert!(report.peak_decoded_rows <= 512 + 128);
+                criterion::black_box(report.global_accuracy)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The chunked UNSW generator feeding out-of-core pipelines: cost of
+/// streaming 20k rows in 1k chunks without materializing the table.
+fn bench_unsw_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(5);
+    group.bench_function("unsw_chunked/20k", |b| {
+        let sim = UnswSimulator::new(UnswSimConfig {
+            n_records: 20_000,
+            seed: 15,
+        });
+        b.iter(|| {
+            let mut source = sim.chunk_source();
+            let mut rows = 0usize;
+            while let Some(chunk) = source.next_chunk(1_024).expect("generation succeeds") {
+                rows += chunk.n_rows();
+            }
+            assert_eq!(rows, 20_000);
+            criterion::black_box(rows)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_scaling, bench_unsw_streaming);
+criterion_main!(benches);

@@ -3,11 +3,11 @@
 //! baselines in `benches/baseline/` and fails above a median-ratio
 //! threshold.
 //!
-//! The vendored `serde_json` shim has no deserializer (see ROADMAP), so
-//! the gate carries a minimal scanner for the exact flat format the
-//! vendored criterion shim writes — one `{"name": …, "median_ns": …}`
-//! record per line.
+//! Summaries are parsed with the vendored `serde_json` deserializer
+//! (which replaced this module's original line-oriented scanner once the
+//! shim grew a real parser in PR 5).
 
+use serde_json::Value;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -37,33 +37,38 @@ impl GateRow {
 }
 
 /// Parses the criterion shim's summary JSON into per-benchmark medians.
-/// Tolerant of whitespace but intentionally tied to the shim's flat
-/// one-record-per-line layout.
+/// Records without a `name` or numeric `median_ns` are skipped (never
+/// produced by the shim; tolerated so a hand-edited baseline cannot crash
+/// the gate).
 pub fn parse_medians(json: &str) -> BenchMedians {
     let mut out = BTreeMap::new();
-    for line in json.lines() {
-        let Some(name) = extract_str(line, "\"name\":") else {
+    let Ok(root) = serde_json::parse_value(json) else {
+        return out;
+    };
+    let field = |v: &Value, key: &str| -> Option<Value> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, fv)| fv.clone()),
+            _ => None,
+        }
+    };
+    let Some(Value::Array(results)) = field(&root, "results") else {
+        return out;
+    };
+    for record in &results {
+        let Some(Value::String(name)) = field(record, "name") else {
             continue;
         };
-        let Some(median) = extract_u128(line, "\"median_ns\":") else {
+        let Some(Value::Number(median)) = field(record, "median_ns") else {
             continue;
         };
-        out.insert(name, median);
+        if median.fract() == 0.0 && median >= 0.0 {
+            out.insert(name, median as u128);
+        }
     }
     out
-}
-
-fn extract_str(line: &str, key: &str) -> Option<String> {
-    let rest = line.split(key).nth(1)?;
-    let start = rest.find('"')? + 1;
-    let end = start + rest[start..].find('"')?;
-    Some(rest[start..end].to_string())
-}
-
-fn extract_u128(line: &str, key: &str) -> Option<u128> {
-    let rest = line.split(key).nth(1)?.trim_start();
-    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
 }
 
 /// Compares every benchmark present in both maps.

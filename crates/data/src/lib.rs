@@ -20,6 +20,9 @@
 //!   strings → `kinet_kg` symbols) plus compiled KG validity scoring over
 //!   whole tables, parallelized on the kernel worker pool;
 //! * [`sampler::TrainingSampler`]: training-by-sampling row lookup;
+//! * [`stream::ChunkSource`] / [`stream::StreamingShard`]: out-of-core
+//!   chunked row streams with deterministic reservoir sampling and a
+//!   decoded-rows peak tracker, the substrate of the fleet simulation;
 //! * [`synth::TabularSynthesizer`]: the trait every generative model in the
 //!   workspace implements, so evaluation code is model-agnostic.
 
@@ -27,6 +30,7 @@ pub mod condition;
 pub mod encoded;
 pub mod gmm;
 pub mod sampler;
+pub mod stream;
 pub mod synth;
 pub mod transform;
 

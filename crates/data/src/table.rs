@@ -162,6 +162,50 @@ impl Table {
         Ok(())
     }
 
+    /// Overwrites row `row` with `values` (same validation as
+    /// [`Table::push_row`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::SchemaMismatch`] on arity, kind, or row-index
+    /// mismatch; a failed call leaves the table unchanged.
+    pub fn set_row(&mut self, row: usize, values: Vec<Value>) -> Result<(), DataError> {
+        if row >= self.n_rows() {
+            return Err(DataError::SchemaMismatch(format!(
+                "row {row} out of bounds for table of {} rows",
+                self.n_rows()
+            )));
+        }
+        if values.len() != self.schema.len() {
+            return Err(DataError::SchemaMismatch(format!(
+                "row has {} values but schema has {} columns",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        for (i, v) in values.iter().enumerate() {
+            let kind = self.schema.column(i).kind();
+            let ok = matches!(
+                (kind, v),
+                (ColumnKind::Categorical, Value::Cat(_)) | (ColumnKind::Continuous, Value::Num(_))
+            );
+            if !ok {
+                return Err(DataError::SchemaMismatch(format!(
+                    "column {:?} expects {kind} but got {v:?}",
+                    self.schema.column(i).name()
+                )));
+            }
+        }
+        for (i, v) in values.into_iter().enumerate() {
+            match (&mut self.columns[i], v) {
+                (ColumnData::Cat(col), Value::Cat(s)) => col[row] = s,
+                (ColumnData::Num(col), Value::Num(x)) => col[row] = x,
+                _ => unreachable!("validated above"),
+            }
+        }
+        Ok(())
+    }
+
     /// The value at `(row, col)`.
     ///
     /// # Panics
@@ -535,6 +579,16 @@ mod tests {
             Table::read_csv(t.schema().clone(), csv.as_bytes()),
             Err(DataError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_table() {
+        // Exercises the shim's full derive surface: named structs, tuple
+        // enum variants (ColumnData), Vec<String>/Vec<f64> payloads.
+        let t = small_table();
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! profile, and per-event numeric signatures (packet counts, byte volumes,
 //! durations) are distinguishable the way real NIDS features are.
 
+use kinet_data::stream::ChunkSource;
 use kinet_data::{ColumnMeta, DataError, Schema, Table, Value};
 use kinet_kg::NetworkKg;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -145,25 +146,42 @@ impl LabSimulator {
         ATTACK_EVENTS.iter().map(|(n, _)| *n).collect()
     }
 
-    /// Generates the table.
+    /// Generates the table eagerly — a thin wrapper draining
+    /// [`LabSimulator::chunk_source`], so the one-shot and chunked paths
+    /// are bit-identical by construction (same RNG draw sequence).
+    /// Memory-bounded callers should stream the chunk source instead.
     ///
     /// # Errors
     ///
     /// Propagates row-construction failures (impossible for in-range
     /// configs; surfaced rather than panicking per workspace policy).
     pub fn generate(&self) -> Result<Table, DataError> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut table = Table::empty(Self::schema());
-        for _ in 0..self.config.n_records {
-            let is_attack = rng.random::<f64>() < self.config.attack_fraction;
-            let event = if is_attack {
-                weighted_choice(ATTACK_EVENTS, &mut rng)
-            } else {
-                weighted_choice(BENIGN_EVENTS, &mut rng)
-            };
-            table.push_row(self.record_for(event, &mut rng))?;
+        self.chunk_source().collect(GENERATE_CHUNK)
+    }
+
+    /// A [`ChunkSource`] over the configured record mix: yields
+    /// `n_records` rows on demand without materializing them all, RNG
+    /// state carried across chunks.
+    pub fn chunk_source(&self) -> LabChunkSource {
+        LabChunkSource {
+            sim: self.clone(),
+            schema: Self::schema(),
+            rng: StdRng::seed_from_u64(self.config.seed),
+            remaining: self.config.n_records,
         }
-        Ok(table)
+    }
+
+    /// A [`ChunkSource`] over a single device's traffic: yields exactly
+    /// `n` rows originating from `device`, chunk by chunk, consuming the
+    /// RNG exactly like [`LabSimulator::generate_for_device`].
+    pub fn device_chunk_source(&self, device: &str, n: usize) -> LabDeviceChunkSource {
+        LabDeviceChunkSource {
+            sim: self.clone(),
+            schema: Self::schema(),
+            rng: StdRng::seed_from_u64(self.config.seed ^ hash_name(device)),
+            device: device.to_string(),
+            remaining: n,
+        }
     }
 
     /// Generates one record of the given event class (public so tests and
@@ -240,33 +258,99 @@ impl LabSimulator {
     }
 
     /// Generates records for a single device only (used by the distributed
-    /// NIDS simulation, where each node sees its own traffic).
+    /// NIDS simulation, where each node sees its own traffic). Thin
+    /// wrapper draining [`LabSimulator::device_chunk_source`].
     ///
     /// # Errors
     ///
     /// Propagates row-construction failures.
     pub fn generate_for_device(&self, device: &str, n: usize) -> Result<Table, DataError> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ hash_name(device));
-        let mut table = Table::empty(Self::schema());
-        while table.n_rows() < n {
-            let is_attack = rng.random::<f64>() < self.config.attack_fraction;
-            let event = if is_attack {
-                weighted_choice(ATTACK_EVENTS, &mut rng)
-            } else {
-                weighted_choice(BENIGN_EVENTS, &mut rng)
-            };
-            let row = self.record_for(event, &mut rng);
-            // keep only rows originating from this device
-            if row[1] == Value::cat(device) {
-                table.push_row(row)?;
-            }
-        }
-        Ok(table)
+        self.device_chunk_source(device, n).collect(GENERATE_CHUNK)
     }
 
     /// The knowledge graph this simulator is consistent with.
     pub fn knowledge_graph() -> NetworkKg {
         NetworkKg::lab_default()
+    }
+
+    /// Draws one event-class name from the configured benign/attack mix.
+    fn draw_event(&self, rng: &mut StdRng) -> &'static str {
+        let is_attack = rng.random::<f64>() < self.config.attack_fraction;
+        if is_attack {
+            weighted_choice(ATTACK_EVENTS, rng)
+        } else {
+            weighted_choice(BENIGN_EVENTS, rng)
+        }
+    }
+}
+
+/// Chunk size the eager wrappers drain their sources with. Any value gives
+/// identical rows (RNG state persists across chunks); this one keeps the
+/// transient allocation small.
+const GENERATE_CHUNK: usize = 4096;
+
+/// Streaming generator over the full lab record mix (see
+/// [`LabSimulator::chunk_source`]).
+#[derive(Clone, Debug)]
+pub struct LabChunkSource {
+    sim: LabSimulator,
+    schema: Schema,
+    rng: StdRng,
+    remaining: usize,
+}
+
+impl ChunkSource for LabChunkSource {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self, max_rows: usize) -> Result<Option<Table>, DataError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let take = self.remaining.min(max_rows.max(1));
+        let mut chunk = Table::empty(self.schema.clone());
+        for _ in 0..take {
+            let event = self.sim.draw_event(&mut self.rng);
+            chunk.push_row(self.sim.record_for(event, &mut self.rng))?;
+        }
+        self.remaining -= take;
+        Ok(Some(chunk))
+    }
+}
+
+/// Streaming generator over one device's traffic (see
+/// [`LabSimulator::device_chunk_source`]).
+#[derive(Clone, Debug)]
+pub struct LabDeviceChunkSource {
+    sim: LabSimulator,
+    schema: Schema,
+    rng: StdRng,
+    device: String,
+    remaining: usize,
+}
+
+impl ChunkSource for LabDeviceChunkSource {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self, max_rows: usize) -> Result<Option<Table>, DataError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let take = self.remaining.min(max_rows.max(1));
+        let mut chunk = Table::empty(self.schema.clone());
+        while chunk.n_rows() < take {
+            let event = self.sim.draw_event(&mut self.rng);
+            let row = self.sim.record_for(event, &mut self.rng);
+            // keep only rows originating from this device
+            if row[1] == Value::cat(self.device.as_str()) {
+                chunk.push_row(row)?;
+            }
+        }
+        self.remaining -= take;
+        Ok(Some(chunk))
     }
 }
 
@@ -440,6 +524,31 @@ mod tests {
         assert_eq!(t.n_rows(), 50);
         for d in t.cat_column("device").unwrap() {
             assert_eq!(d, "smart_plug");
+        }
+    }
+
+    #[test]
+    fn chunked_generation_is_bit_identical_to_eager() {
+        let sim = LabSimulator::new(LabSimConfig::small(400, 31));
+        let eager = sim.generate().unwrap();
+        for chunk_rows in [1usize, 13, 128, 400, 999] {
+            let streamed = sim.chunk_source().collect(chunk_rows).unwrap();
+            assert_eq!(streamed, eager, "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn chunked_device_stream_is_bit_identical_to_eager() {
+        let sim = LabSimulator::new(LabSimConfig::small(100, 37));
+        for device in ["blink_camera", "tag_manager"] {
+            let eager = sim.generate_for_device(device, 75).unwrap();
+            for chunk_rows in [1usize, 9, 75, 200] {
+                let streamed = sim
+                    .device_chunk_source(device, 75)
+                    .collect(chunk_rows)
+                    .unwrap();
+                assert_eq!(streamed, eager, "{device} chunk_rows={chunk_rows}");
+            }
         }
     }
 

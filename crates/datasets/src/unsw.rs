@@ -10,6 +10,7 @@
 //! Row count is scaled down by default (20k) to CPU-training budgets; pass
 //! a larger [`UnswSimConfig::n_records`] to approach the original size.
 
+use kinet_data::stream::ChunkSource;
 use kinet_data::{ColumnMeta, DataError, Schema, Table, Value};
 use kinet_kg::NetworkKg;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -237,21 +238,30 @@ impl UnswSimulator {
         NetworkKg::unsw_default()
     }
 
-    /// Generates the full 49-column table.
+    /// Generates the full 49-column table eagerly — a thin wrapper
+    /// draining [`UnswSimulator::chunk_source`], so the one-shot and
+    /// chunked paths are bit-identical by construction. Memory-bounded
+    /// callers (fleet-scale row counts) should stream the chunk source.
     ///
     /// # Errors
     ///
     /// Propagates row-construction failures.
     pub fn generate(&self) -> Result<Table, DataError> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut t = Table::empty(Self::schema());
-        let mut stime = 1_421_927_414.0; // epoch base, as in the original capture
-        for _ in 0..self.config.n_records {
-            let cat = weighted_choice(CATEGORIES, &mut rng);
-            stime += rng.random_range(0.0..2.0);
-            t.push_row(self.record_for(cat, stime, &mut rng))?;
+        self.chunk_source().collect(4096)
+    }
+
+    /// A [`ChunkSource`] over the configured flow stream: yields
+    /// `n_records` rows on demand, carrying the RNG and the flow-clock
+    /// (`stime`) state across chunks, so a multi-million-row corpus never
+    /// has to exist decoded at once.
+    pub fn chunk_source(&self) -> UnswChunkSource {
+        UnswChunkSource {
+            sim: self.clone(),
+            schema: Self::schema(),
+            rng: StdRng::seed_from_u64(self.config.seed),
+            stime: 1_421_927_414.0, // epoch base, as in the original capture
+            remaining: self.config.n_records,
         }
-        Ok(t)
     }
 
     fn record_for(&self, cat: &'static str, stime: f64, rng: &mut StdRng) -> Vec<Value> {
@@ -409,6 +419,38 @@ impl UnswSimulator {
     }
 }
 
+/// Streaming generator over the configured UNSW flow stream (see
+/// [`UnswSimulator::chunk_source`]).
+#[derive(Clone, Debug)]
+pub struct UnswChunkSource {
+    sim: UnswSimulator,
+    schema: Schema,
+    rng: StdRng,
+    stime: f64,
+    remaining: usize,
+}
+
+impl ChunkSource for UnswChunkSource {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self, max_rows: usize) -> Result<Option<Table>, DataError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let take = self.remaining.min(max_rows.max(1));
+        let mut chunk = Table::empty(self.schema.clone());
+        for _ in 0..take {
+            let cat = weighted_choice(CATEGORIES, &mut self.rng);
+            self.stime += self.rng.random_range(0.0..2.0);
+            chunk.push_row(self.sim.record_for(cat, self.stime, &mut self.rng))?;
+        }
+        self.remaining -= take;
+        Ok(Some(chunk))
+    }
+}
+
 fn pick<'a, T>(options: &'a [T], rng: &mut StdRng) -> &'a T {
     &options[rng.random_range(0..options.len())]
 }
@@ -493,6 +535,30 @@ mod tests {
             .generate()
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_generation_is_bit_identical_to_eager() {
+        let sim = UnswSimulator::new(UnswSimConfig::small(500, 21));
+        let eager = sim.generate().unwrap();
+        // Awkward chunk sizes that do not divide the row count: the RNG
+        // and flow-clock state must carry across chunk boundaries.
+        for chunk_rows in [1usize, 7, 64, 499, 500, 1000] {
+            let streamed = sim.chunk_source().collect(chunk_rows).unwrap();
+            assert_eq!(streamed, eager, "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn chunk_source_yields_bounded_chunks() {
+        let sim = UnswSimulator::new(UnswSimConfig::small(100, 3));
+        let mut src = sim.chunk_source();
+        let mut total = 0;
+        while let Some(chunk) = src.next_chunk(32).unwrap() {
+            assert!(chunk.n_rows() <= 32 && !chunk.is_empty());
+            total += chunk.n_rows();
+        }
+        assert_eq!(total, 100);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Fleet run configuration: sharing policies, scale knobs, memory bounds,
+//! and the condition-union protocol settings.
+
+use kinet_data::sampler::BalanceMode;
+
+/// Which synthesizer devices use under [`SharingPolicy::Synthetic`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The paper's knowledge-infused model.
+    KinetGan,
+    /// The CTGAN baseline.
+    CtGan,
+    /// The TVAE baseline.
+    Tvae,
+}
+
+impl ModelKind {
+    /// Display name used in policy labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::KinetGan => "KiNETGAN",
+            ModelKind::CtGan => "CTGAN",
+            ModelKind::Tvae => "TVAE",
+        }
+    }
+}
+
+/// What each device ships to the aggregator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SharingPolicy {
+    /// Raw local records (no privacy).
+    Raw,
+    /// Synthetic records from a locally trained generator.
+    Synthetic(ModelKind),
+    /// Nothing; devices train and evaluate local detectors only.
+    LocalOnly,
+}
+
+impl SharingPolicy {
+    /// Report label (`"raw"`, `"synthetic:KiNETGAN"`, `"local-only"`).
+    pub fn label(&self) -> String {
+        match self {
+            SharingPolicy::Raw => "raw".to_string(),
+            SharingPolicy::Synthetic(m) => format!("synthetic:{}", m.label()),
+            SharingPolicy::LocalOnly => "local-only".to_string(),
+        }
+    }
+}
+
+/// The condition-union protocol settings (§VI-flavored fleet extension):
+/// devices exchange their observed event-class vocabularies, the fleet
+/// computes the union, and devices missing a class receive knowledge-graph
+/// synthesized seed rows for it so their generator — and its sampling-time
+/// condition drawer — can emit the class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnionConfig {
+    /// Master switch. Off reproduces the pre-fleet behavior: a device
+    /// whose shard misses a class can never emit it.
+    pub enabled: bool,
+    /// KG-synthesized seed rows appended per missing class.
+    pub seeds_per_class: usize,
+    /// Device indices that decline union requests (privacy or capability
+    /// policy); they train on their own shard only.
+    pub opt_out: Vec<usize>,
+    /// Sampling-time condition balance applied to devices that received
+    /// union seeds, so a class backed by a handful of seed rows is
+    /// actually drawn at release time. Devices with full local coverage
+    /// keep the model default.
+    pub sample_balance: BalanceMode,
+}
+
+impl Default for UnionConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            seeds_per_class: 16,
+            opt_out: Vec::new(),
+            sample_balance: BalanceMode::LogFreq,
+        }
+    }
+}
+
+impl UnionConfig {
+    /// The protocol switched on with default seeding.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// `true` when device `d` participates in union seeding.
+    pub fn participates(&self, device_index: usize) -> bool {
+        self.enabled && !self.opt_out.contains(&device_index)
+    }
+}
+
+/// Configuration of one fleet run over the lab IoT deployment.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of device nodes (device identities cycle through the lab's
+    /// four traffic-originating devices).
+    pub n_devices: usize,
+    /// Local records observed per device.
+    pub rows_per_device: usize,
+    /// Rows in the held-out global test stream.
+    pub test_records: usize,
+    /// Sharing policy under test.
+    pub policy: SharingPolicy,
+    /// Generator training epochs for synthetic sharing.
+    pub model_epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Rows per generation chunk: the unit of decoded-rows residency on
+    /// the streaming path.
+    pub chunk_rows: usize,
+    /// Decoded-rows bound for the per-device working set (training table
+    /// for synthetic sharing, local detector data for local-only, shipped
+    /// rows for raw sharing). `None` keeps the whole shard decoded — the
+    /// pre-fleet behavior, appropriate for small shards.
+    pub device_window: Option<usize>,
+    /// Synthetic release size per device. `None` matches the shard size
+    /// (the pre-fleet behavior).
+    pub release_rows: Option<usize>,
+    /// Fraction of records that are attacks (default 0.08, the lab mix).
+    pub attack_fraction: f64,
+    /// Per-device attack-fraction overrides, for crafted class-skewed
+    /// splits (`(device_index, fraction)`).
+    pub device_attack_fraction: Vec<(usize, f64)>,
+    /// Condition-union protocol settings.
+    pub union: UnionConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            n_devices: 4,
+            rows_per_device: 800,
+            test_records: 1200,
+            policy: SharingPolicy::Synthetic(ModelKind::KinetGan),
+            // The small-shard budget the Table-1 quality floors were
+            // measured at (DESIGN.md §2.4).
+            model_epochs: 60,
+            seed: 42,
+            chunk_rows: 1024,
+            device_window: None,
+            release_rows: None,
+            attack_fraction: 0.08,
+            device_attack_fraction: Vec::new(),
+            union: UnionConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A fast configuration for tests.
+    pub fn fast(policy: SharingPolicy) -> Self {
+        Self {
+            n_devices: 2,
+            rows_per_device: 250,
+            test_records: 400,
+            model_epochs: 2,
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// The attack fraction device `d` observes.
+    pub fn attack_fraction_for(&self, device_index: usize) -> f64 {
+        self.device_attack_fraction
+            .iter()
+            .find(|(d, _)| *d == device_index)
+            .map(|(_, f)| *f)
+            .unwrap_or(self.attack_fraction)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_devices == 0 {
+            return Err("n_devices must be positive".into());
+        }
+        if self.rows_per_device == 0 {
+            return Err("rows_per_device must be positive".into());
+        }
+        if self.test_records == 0 {
+            return Err("test_records must be positive".into());
+        }
+        if self.chunk_rows == 0 {
+            return Err("chunk_rows must be positive".into());
+        }
+        if self.device_window == Some(0) {
+            return Err("device_window must be positive when set".into());
+        }
+        if self.release_rows == Some(0) {
+            return Err("release_rows must be positive when set".into());
+        }
+        if !(0.0..=1.0).contains(&self.attack_fraction) {
+            return Err("attack_fraction must be in [0, 1]".into());
+        }
+        for (d, f) in &self.device_attack_fraction {
+            if *d >= self.n_devices {
+                return Err(format!("attack-fraction override for unknown device {d}"));
+            }
+            if !(0.0..=1.0).contains(f) {
+                return Err(format!("device {d} attack fraction {f} out of [0, 1]"));
+            }
+        }
+        if self.union.enabled && self.union.seeds_per_class == 0 {
+            return Err("union.seeds_per_class must be positive when enabled".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SharingPolicy::Raw.label(), "raw");
+        assert_eq!(
+            SharingPolicy::Synthetic(ModelKind::KinetGan).label(),
+            "synthetic:KiNETGAN"
+        );
+        assert_eq!(SharingPolicy::LocalOnly.label(), "local-only");
+        assert_eq!(ModelKind::CtGan.label(), "CTGAN");
+        assert_eq!(ModelKind::Tvae.label(), "TVAE");
+    }
+
+    #[test]
+    fn defaults_validate() {
+        assert!(FleetConfig::default().validate().is_ok());
+        assert!(FleetConfig::fast(SharingPolicy::Raw).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let bad = |f: fn(&mut FleetConfig)| {
+            let mut c = FleetConfig::default();
+            f(&mut c);
+            c.validate()
+        };
+        assert!(bad(|c| c.n_devices = 0).is_err());
+        assert!(bad(|c| c.rows_per_device = 0).is_err());
+        assert!(bad(|c| c.chunk_rows = 0).is_err());
+        assert!(bad(|c| c.device_window = Some(0)).is_err());
+        assert!(bad(|c| c.attack_fraction = 1.5).is_err());
+        assert!(bad(|c| c.device_attack_fraction = vec![(9, 0.5)]).is_err());
+        assert!(bad(|c| {
+            c.union = UnionConfig::enabled();
+            c.union.seeds_per_class = 0;
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn per_device_attack_fraction_overrides() {
+        let cfg = FleetConfig {
+            device_attack_fraction: vec![(1, 0.0), (2, 0.5)],
+            ..FleetConfig::default()
+        };
+        assert_eq!(cfg.attack_fraction_for(0), 0.08);
+        assert_eq!(cfg.attack_fraction_for(1), 0.0);
+        assert_eq!(cfg.attack_fraction_for(2), 0.5);
+    }
+
+    #[test]
+    fn union_participation_respects_opt_out() {
+        let mut u = UnionConfig::enabled();
+        u.opt_out = vec![1];
+        assert!(u.participates(0));
+        assert!(!u.participates(1));
+        assert!(!UnionConfig::default().participates(0), "off by default");
+    }
+}

@@ -1,0 +1,37 @@
+//! Fleet-scale distributed training orchestration for the KiNETGAN
+//! reproduction.
+//!
+//! The paper's deployment story (§I, §VI) is a *fleet*: many devices, each
+//! observing only its own traffic, collaborating on a global NIDS by
+//! sharing synthetic — never raw — records. The pre-fleet simulation in
+//! `kinet_nids` topped out at a hand-rolled 4-device loop that decoded
+//! every shard eagerly and could not emit a class a device had never seen.
+//! This crate is the orchestration subsystem that removes both ceilings:
+//!
+//! * **Streaming shards** — device traffic arrives as fixed-size chunks
+//!   ([`kinet_data::stream::ChunkSource`]); a device's decoded working set
+//!   is bounded by `chunk + window`, not by the shard, so 32 devices × 5k
+//!   rows (and beyond) run in bounded memory.
+//! * **Pool-worker scheduling** ([`schedule`]) — device fits run across
+//!   the `KINET_THREADS` worker pool, with results merged in device-index
+//!   order so reports are bit-identical for every thread count.
+//! * **The condition-union protocol** ([`union`]) — devices exchange class
+//!   vocabularies (names only), the fleet computes the union, and devices
+//!   missing a class receive knowledge-graph-synthesized seed rows so
+//!   their generator and its sampling-time condition drawer can emit it;
+//!   per-device opt-out and coverage accounting included.
+//! * **Reloadable run snapshots** — [`FleetReport`] round-trips through
+//!   the vendored serde JSON deserializer, so gates diff fresh runs
+//!   against persisted baselines.
+//!
+//! `kinet_nids` re-hosts its public `DistributedSim` API on this crate.
+
+pub mod config;
+pub mod report;
+pub mod schedule;
+pub mod sim;
+pub mod union;
+
+pub use config::{FleetConfig, ModelKind, SharingPolicy, UnionConfig};
+pub use report::{DeviceReport, DeviceTrainingDiag, FleetReport, UnionReport};
+pub use sim::FleetSim;

@@ -1,0 +1,325 @@
+//! Measurement output of a fleet run, JSON round-trippable through the
+//! vendored serde deserializer so gates can diff a fresh run against a
+//! reloaded snapshot.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-device generator-training diagnostics shipped alongside the
+/// synthetic table — what a fleet operator needs to tell "this device's
+/// generator diverged" from "the aggregate pool is weak".
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceTrainingDiag {
+    /// Index of the device node in the fleet (device identities cycle, so
+    /// the name alone is not unique; this also fixes the report order).
+    pub device_index: usize,
+    /// Device identity.
+    pub device: String,
+    /// Final-epoch mean discriminator loss.
+    pub final_d_loss: f64,
+    /// Final-epoch mean generator loss.
+    pub final_g_loss: f64,
+    /// Train-on-synthetic/test-on-real probe accuracy of the device's own
+    /// release (see `kinetgan::TrainingReport::probe_accuracy`).
+    pub probe_accuracy: Option<f64>,
+    /// KG-validity rate of the device's post-fit probe sample.
+    pub final_validity: f64,
+    /// Epochs actually trained.
+    pub epochs: usize,
+}
+
+/// One device's contribution to a fleet run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Index of the device node.
+    pub device_index: usize,
+    /// Device identity.
+    pub device: String,
+    /// Rows the device's shard stream yielded.
+    pub shard_rows: usize,
+    /// Event classes observed in the shard (sorted).
+    pub shard_classes: Vec<String>,
+    /// Union classes this device was seeded with (empty when the union
+    /// protocol is off, the device opted out, or local coverage was
+    /// already complete).
+    pub seeded_classes: Vec<String>,
+    /// Rows the device shipped to the aggregator.
+    pub share_rows: usize,
+    /// Preparation time (generator training for synthetic sharing) in
+    /// milliseconds.
+    pub prep_ms: f64,
+    /// Local detector accuracy (local-only policy).
+    pub local_accuracy: Option<f64>,
+    /// Local detector attack recall (local-only policy).
+    pub local_attack_recall: Option<f64>,
+    /// Generator-training diagnostics (synthetic sharing only).
+    pub diag: Option<DeviceTrainingDiag>,
+}
+
+/// Condition-union protocol outcome.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UnionReport {
+    /// Whether the protocol ran.
+    pub enabled: bool,
+    /// The fleet-wide class union (sorted).
+    pub classes: Vec<String>,
+    /// Devices that participated (did not opt out).
+    pub devices_opted_in: usize,
+    /// `(device, class)` seedings performed.
+    pub seeded_pairs: usize,
+    /// Mean per-device fraction of union classes observed locally —
+    /// what coverage the fleet had *before* the protocol.
+    pub coverage_before: f64,
+    /// Mean per-device fraction of union classes emittable after seeding
+    /// (local ∪ seeded) — the coverage the protocol bought.
+    pub coverage_after: f64,
+    /// Mean per-device fraction of union classes actually present in the
+    /// shipped release (synthetic sharing; 0 otherwise).
+    pub release_coverage: f64,
+}
+
+/// Metrics from one end-to-end fleet run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Sharing policy label (`"raw"`, `"synthetic:KiNETGAN"`, …).
+    pub policy: String,
+    /// Number of simulated devices.
+    pub n_devices: usize,
+    /// Shard rows per device.
+    pub rows_per_device: usize,
+    /// Streaming chunk size the run used.
+    pub chunk_rows: usize,
+    /// Accuracy of the global (or averaged local) NIDS on the held-out
+    /// global test stream.
+    pub global_accuracy: f64,
+    /// Recall on attack classes (fraction of attack records flagged as
+    /// *some* attack).
+    pub attack_recall: f64,
+    /// Total bytes shipped from devices to the aggregator (CSV wire
+    /// format).
+    pub bytes_shared: usize,
+    /// Mean per-device preparation time in milliseconds.
+    pub mean_device_prep_ms: f64,
+    /// Knowledge-graph validity rate of the pooled shared data, scored
+    /// chunk-by-chunk through the compiled reasoner (1.0 when no data is
+    /// shared).
+    pub pool_kg_validity: f64,
+    /// Rows in the pooled table the global detector trained on.
+    pub pool_rows: usize,
+    /// Label-class histogram of the pooled shared table (empty for
+    /// local-only runs). A rare attack class at zero here is class
+    /// collapse: the aggregator never even saw a training example for it.
+    pub pool_class_counts: Vec<(String, usize)>,
+    /// Largest number of decoded shard/window rows resident at once on any
+    /// device stream — the number the streaming layer exists to bound
+    /// (compare against `rows_per_device`).
+    pub peak_decoded_rows: usize,
+    /// Condition-union protocol outcome.
+    pub union: UnionReport,
+    /// Per-device outcomes, in device-index order.
+    pub devices: Vec<DeviceReport>,
+    /// End-to-end wall-clock time in milliseconds.
+    pub total_wall_ms: f64,
+}
+
+impl FleetReport {
+    /// Mean per-device probe accuracy, when any device reported one.
+    pub fn mean_probe_accuracy(&self) -> Option<f64> {
+        let probes: Vec<f64> = self
+            .devices
+            .iter()
+            .filter_map(|d| d.diag.as_ref().and_then(|g| g.probe_accuracy))
+            .collect();
+        if probes.is_empty() {
+            None
+        } else {
+            Some(probes.iter().sum::<f64>() / probes.len() as f64)
+        }
+    }
+
+    /// Pooled count of rows whose label is one of `attack_events`.
+    pub fn pool_attack_count(&self, attack_events: &[&str]) -> usize {
+        self.pool_class_counts
+            .iter()
+            .filter(|(name, _)| attack_events.contains(&name.as_str()))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// A canonical rendering of every **deterministic** field — everything
+    /// except wall-clock timings. Two runs of the same config and seed must
+    /// produce identical fingerprints for every `KINET_THREADS` value;
+    /// tests and the determinism gate compare exactly this.
+    pub fn deterministic_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "policy={} devices={} rows={} chunk={} acc={:.12} recall={:.12} bytes={} \
+             validity={:.12} pool_rows={} peak={}",
+            self.policy,
+            self.n_devices,
+            self.rows_per_device,
+            self.chunk_rows,
+            self.global_accuracy,
+            self.attack_recall,
+            self.bytes_shared,
+            self.pool_kg_validity,
+            self.pool_rows,
+            self.peak_decoded_rows,
+        );
+        let _ = writeln!(out, "classes={:?}", self.pool_class_counts);
+        let _ = writeln!(
+            out,
+            "union enabled={} classes={:?} opted={} pairs={} cov={:.12}/{:.12}/{:.12}",
+            self.union.enabled,
+            self.union.classes,
+            self.union.devices_opted_in,
+            self.union.seeded_pairs,
+            self.union.coverage_before,
+            self.union.coverage_after,
+            self.union.release_coverage,
+        );
+        for d in &self.devices {
+            let _ = writeln!(
+                out,
+                "device {} {} shard={} classes={:?} seeded={:?} share={} local={:?}/{:?} \
+                 probe={:?}",
+                d.device_index,
+                d.device,
+                d.shard_rows,
+                d.shard_classes,
+                d.seeded_classes,
+                d.share_rows,
+                d.local_accuracy,
+                d.local_attack_recall,
+                d.diag.as_ref().and_then(|g| g.probe_accuracy),
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} devices={:<3} rows/dev={:<6} acc={:.3} attack-recall={:.3} kg-valid={:.3} \
+             shared={:>9}B peak-rows={:>6} prep={:>7.1}ms wall={:>7.1}ms",
+            self.policy,
+            self.n_devices,
+            self.rows_per_device,
+            self.global_accuracy,
+            self.attack_recall,
+            self.pool_kg_validity,
+            self.bytes_shared,
+            self.peak_decoded_rows,
+            self.mean_device_prep_ms,
+            self.total_wall_ms
+        )?;
+        if self.union.enabled {
+            write!(
+                f,
+                " union[{} classes, {} seeded, cov {:.2}→{:.2}]",
+                self.union.classes.len(),
+                self.union.seeded_pairs,
+                self.union.coverage_before,
+                self.union.coverage_after
+            )?;
+        }
+        if let Some(probe) = self.mean_probe_accuracy() {
+            write!(f, " probe={probe:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> FleetReport {
+        FleetReport {
+            policy: "synthetic:KiNETGAN".into(),
+            n_devices: 2,
+            rows_per_device: 500,
+            chunk_rows: 128,
+            global_accuracy: 0.8,
+            attack_recall: 0.7,
+            bytes_shared: 2048,
+            mean_device_prep_ms: 12.0,
+            pool_kg_validity: 0.9,
+            pool_rows: 1000,
+            pool_class_counts: vec![("heartbeat".into(), 700), ("port_scan".into(), 30)],
+            peak_decoded_rows: 628,
+            union: UnionReport {
+                enabled: true,
+                classes: vec!["heartbeat".into(), "port_scan".into()],
+                devices_opted_in: 2,
+                seeded_pairs: 1,
+                coverage_before: 0.75,
+                coverage_after: 1.0,
+                release_coverage: 1.0,
+            },
+            devices: vec![DeviceReport {
+                device_index: 0,
+                device: "blink_camera".into(),
+                shard_rows: 500,
+                shard_classes: vec!["heartbeat".into()],
+                seeded_classes: vec!["port_scan".into()],
+                share_rows: 500,
+                prep_ms: 12.0,
+                local_accuracy: None,
+                local_attack_recall: None,
+                diag: Some(DeviceTrainingDiag {
+                    device_index: 0,
+                    device: "blink_camera".into(),
+                    final_d_loss: 1.0,
+                    final_g_loss: 2.0,
+                    probe_accuracy: Some(0.8),
+                    final_validity: 0.95,
+                    epochs: 60,
+                }),
+            }],
+            total_wall_ms: 100.0,
+        }
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let r = sample_report();
+        assert_eq!(r.mean_probe_accuracy(), Some(0.8));
+        assert_eq!(r.pool_attack_count(&["port_scan"]), 30);
+        let s = r.to_string();
+        assert!(s.contains("synthetic:KiNETGAN"));
+        assert!(s.contains("union["));
+        assert!(s.contains("probe=0.800"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_timing() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.total_wall_ms = 9999.0;
+        b.mean_device_prep_ms = 0.1;
+        b.devices[0].prep_ms = 77.7;
+        assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        let mut c = sample_report();
+        c.attack_recall = 0.5;
+        assert_ne!(a.deterministic_fingerprint(), c.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn json_roundtrip_through_the_shim_deserializer() {
+        let r = sample_report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.deterministic_fingerprint(),
+            r.deterministic_fingerprint()
+        );
+        assert_eq!(back.total_wall_ms, r.total_wall_ms);
+        assert_eq!(back.devices.len(), 1);
+        assert_eq!(back.devices[0].diag.as_ref().unwrap().epochs, 60);
+    }
+}

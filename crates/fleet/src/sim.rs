@@ -1,0 +1,574 @@
+//! The fleet orchestrator: streaming shard acquisition, pool-worker device
+//! scheduling, the condition-union exchange, and aggregation.
+//!
+//! A run has three phases:
+//!
+//! 1. **Acquire** (parallel): every device streams its shard chunk-by-chunk
+//!    ([`kinet_data::stream`]) into a bounded working window, publishing
+//!    its observed class vocabulary. No device ever holds more decoded
+//!    rows than `chunk + window`.
+//! 2. **Union** (aggregator): class vocabularies fold into their union;
+//!    participating devices missing a class receive KG-synthesized seed
+//!    rows for it ([`crate::union`]).
+//! 3. **Prepare & pool** (parallel, then aggregator): devices train/sample
+//!    (or ship raw windows), results are merged **in device-index order**
+//!    (completion order is scheduling noise), the pooled table is scored
+//!    and evaluated against a held-out global stream.
+//!
+//! Every random draw derives from `seed` and the device index, so the full
+//! [`FleetReport`] fingerprint is bit-identical for every `KINET_THREADS`
+//! value.
+
+use crate::config::{FleetConfig, ModelKind, SharingPolicy};
+use crate::report::{DeviceReport, DeviceTrainingDiag, FleetReport, UnionReport};
+use crate::{schedule, union};
+use kinet_baselines::{common::BaselineConfig, CtGan, Tvae};
+use kinet_data::encoded::KgTableChecker;
+use kinet_data::stream::{PeakRows, Reservoir, StreamValidity, StreamingShard, TableChunks};
+use kinet_data::synth::TabularSynthesizer;
+use kinet_data::{DataError, Table};
+use kinet_datasets::lab::{LabSimConfig, LabSimulator};
+use kinet_eval::utility::evaluate_nids;
+use kinetgan::{KinetGan, KinetGanConfig};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+const DEVICE_CYCLE: [&str; 4] = ["blink_camera", "smart_plug", "motion_sensor", "tag_manager"];
+
+/// Everything phase 1 learns about a device before any training happens.
+struct DeviceStage {
+    device: String,
+    local: Table,
+    vocab: BTreeSet<String>,
+    shard_rows: usize,
+}
+
+/// A device's phase-3 product.
+struct DeviceOutcome {
+    share: Option<Table>,
+    prep_ms: f64,
+    local_eval: Option<(f64, f64)>,
+    seeded_classes: Vec<String>,
+    diag: Option<DeviceTrainingDiag>,
+}
+
+/// The fleet simulator over the lab IoT deployment.
+#[derive(Clone, Debug)]
+pub struct FleetSim {
+    config: FleetConfig,
+}
+
+impl FleetSim {
+    /// Creates a simulator.
+    pub fn new(config: FleetConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs the fleet end to end and reports metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on configuration or device failures
+    /// (model training error, schema mismatch).
+    pub fn run(&self) -> Result<FleetReport, String> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let start = Instant::now();
+        let peak = PeakRows::new();
+
+        // Global held-out stream for evaluation (what the deployed NIDS
+        // will face). Bounded by `test_records`, so generated eagerly.
+        let test = LabSimulator::new(LabSimConfig {
+            n_records: cfg.test_records,
+            seed: cfg.seed ^ 0xfeed,
+            ..LabSimConfig::default()
+        })
+        .generate()
+        .map_err(|e| format!("test stream generation failed: {e}"))?;
+
+        // ---- phase 1: acquire shards (streaming, parallel) ----
+        let stages = schedule::run_indexed(cfg.n_devices, |d| self.acquire_device(d, &peak))?;
+
+        // ---- phase 2: condition-union exchange ----
+        let union_classes = if cfg.union.enabled {
+            union::merge_vocabs(stages.iter().map(|s| &s.vocab))
+        } else {
+            BTreeSet::new()
+        };
+        let missing: Vec<Vec<String>> = stages
+            .iter()
+            .enumerate()
+            .map(|(d, s)| {
+                if cfg.union.participates(d) {
+                    union::missing_classes(&s.vocab, &union_classes)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+
+        // ---- phase 3: prepare shares (parallel) ----
+        let outcomes = schedule::run_indexed(cfg.n_devices, |d| {
+            self.prepare_device(d, &stages[d], &missing[d], &test)
+        })?;
+
+        // ---- aggregation, in device-index order ----
+        self.aggregate(stages, outcomes, union_classes, &test, &peak, start)
+    }
+
+    /// Phase 1 for one device: stream the shard into a bounded window and
+    /// record the observed class vocabulary.
+    fn acquire_device(&self, d: usize, peak: &PeakRows) -> Result<DeviceStage, String> {
+        let cfg = &self.config;
+        let device = DEVICE_CYCLE[d % DEVICE_CYCLE.len()].to_string();
+        let seed = cfg.seed.wrapping_add(d as u64 * 101);
+        let sim = LabSimulator::new(LabSimConfig {
+            n_records: cfg.rows_per_device,
+            seed,
+            attack_fraction: cfg.attack_fraction_for(d),
+        });
+        let source = sim.device_chunk_source(&device, cfg.rows_per_device);
+        let mut shard = StreamingShard::new(source, cfg.chunk_rows, peak.clone());
+        let scope = LabSimulator::label_column();
+        let mut vocab = BTreeSet::new();
+        // The decoded working set a device retains while streaming.
+        enum Window {
+            /// Bounded working set: a deterministic uniform sample.
+            Bounded(Reservoir),
+            /// Pre-fleet behavior: the whole shard decoded at once.
+            Eager(Table),
+        }
+        let mut window = match cfg.device_window {
+            Some(cap) => {
+                Window::Bounded(Reservoir::new(LabSimulator::schema(), cap, seed ^ 0x5a3d))
+            }
+            None => Window::Eager(Table::empty(LabSimulator::schema())),
+        };
+        shard
+            .for_each_chunk(|chunk| -> Result<usize, DataError> {
+                for v in chunk.cat_column(scope)? {
+                    if !vocab.contains(v) {
+                        vocab.insert(v.clone());
+                    }
+                }
+                match &mut window {
+                    Window::Bounded(reservoir) => {
+                        reservoir.offer(chunk)?;
+                        Ok(reservoir.len())
+                    }
+                    Window::Eager(full) => {
+                        full.append(chunk)?;
+                        Ok(full.n_rows())
+                    }
+                }
+            })
+            .map_err(|e| format!("device {device}: {e}"))?;
+        let local = match window {
+            Window::Bounded(reservoir) => reservoir.into_table(),
+            Window::Eager(full) => full,
+        };
+        Ok(DeviceStage {
+            device,
+            local,
+            vocab,
+            shard_rows: shard.rows_seen(),
+        })
+    }
+
+    /// Phase 3 for one device: union seeding, training (for synthetic
+    /// sharing), and share production.
+    fn prepare_device(
+        &self,
+        d: usize,
+        stage: &DeviceStage,
+        missing: &[String],
+        test: &Table,
+    ) -> Result<DeviceOutcome, String> {
+        let cfg = &self.config;
+        let device = &stage.device;
+        let seed = cfg.seed.wrapping_add(d as u64 * 101);
+        let t0 = Instant::now();
+        match &cfg.policy {
+            SharingPolicy::Raw => Ok(DeviceOutcome {
+                share: Some(stage.local.clone()),
+                prep_ms: t0.elapsed().as_secs_f64() * 1e3,
+                local_eval: None,
+                seeded_classes: Vec::new(),
+                diag: None,
+            }),
+            SharingPolicy::LocalOnly => {
+                let eval = evaluate_nids(
+                    &stage.local,
+                    test,
+                    &stage.local,
+                    LabSimulator::label_column(),
+                    &LabSimulator::attack_events(),
+                )
+                .map_err(|e| format!("device {device}: {e}"))?;
+                Ok(DeviceOutcome {
+                    share: None,
+                    prep_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    local_eval: Some((eval.accuracy, eval.attack_recall)),
+                    seeded_classes: Vec::new(),
+                    diag: None,
+                })
+            }
+            SharingPolicy::Synthetic(kind) => {
+                // Union seeding: append KG-valid exemplars of the classes
+                // this shard is missing, so the generator's condition
+                // dictionary covers the fleet union.
+                let kg = LabSimulator::knowledge_graph();
+                let mut train_table = stage.local.clone();
+                let mut seeded_classes = Vec::new();
+                if !missing.is_empty() {
+                    let seeds = union::synthesize_seeds(
+                        &kg,
+                        &stage.local,
+                        missing,
+                        cfg.union.seeds_per_class,
+                        seed ^ 0xc0de,
+                    )
+                    .map_err(|e| format!("device {device}: union seeding: {e}"))?;
+                    seeded_classes = seeds
+                        .category_counts(LabSimulator::label_column())
+                        .map_err(|e| e.to_string())?
+                        .into_keys()
+                        .collect();
+                    train_table
+                        .append(&seeds)
+                        .map_err(|e| format!("device {device}: {e}"))?;
+                }
+                let n_release = cfg.release_rows.unwrap_or(stage.shard_rows);
+                let mut diag = None;
+                let synth = match kind {
+                    ModelKind::KinetGan => {
+                        // The small-shard schedule (DESIGN.md §2.4);
+                        // `model_epochs` still controls the budget. Seeded
+                        // devices additionally draw sampling-time
+                        // conditions with the union balance mode so their
+                        // handful of seed rows is actually emitted.
+                        let mut mcfg = KinetGanConfig::small_shard()
+                            .with_epochs(cfg.model_epochs)
+                            .with_seed(seed);
+                        if !seeded_classes.is_empty() {
+                            mcfg = mcfg.with_sample_balance(cfg.union.sample_balance);
+                        }
+                        let mut model = KinetGan::new(mcfg, kg);
+                        model.fit(&train_table).map_err(|e| e.to_string())?;
+                        diag = model.report().map(|r| DeviceTrainingDiag {
+                            device_index: d,
+                            device: device.clone(),
+                            final_d_loss: r.d_loss.last().copied().unwrap_or(0.0) as f64,
+                            final_g_loss: r.g_loss.last().copied().unwrap_or(0.0) as f64,
+                            probe_accuracy: r.probe_accuracy,
+                            final_validity: r.final_validity,
+                            epochs: r.d_loss.len(),
+                        });
+                        model
+                            .sample(n_release, seed ^ 1)
+                            .map_err(|e| e.to_string())?
+                    }
+                    ModelKind::CtGan => {
+                        let mcfg = BaselineConfig::fast_demo()
+                            .with_epochs(cfg.model_epochs)
+                            .with_seed(seed);
+                        let mut model = CtGan::new(mcfg);
+                        model.fit(&train_table).map_err(|e| e.to_string())?;
+                        model
+                            .sample(n_release, seed ^ 1)
+                            .map_err(|e| e.to_string())?
+                    }
+                    ModelKind::Tvae => {
+                        let mcfg = BaselineConfig::fast_demo()
+                            .with_epochs(cfg.model_epochs)
+                            .with_seed(seed);
+                        let mut model = Tvae::new(mcfg);
+                        model.fit(&train_table).map_err(|e| e.to_string())?;
+                        model
+                            .sample(n_release, seed ^ 1)
+                            .map_err(|e| e.to_string())?
+                    }
+                };
+                Ok(DeviceOutcome {
+                    share: Some(synth),
+                    prep_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    local_eval: None,
+                    seeded_classes,
+                    diag,
+                })
+            }
+        }
+    }
+
+    /// Pools shares in device order, scores them, and assembles the report.
+    fn aggregate(
+        &self,
+        stages: Vec<DeviceStage>,
+        mut outcomes: Vec<DeviceOutcome>,
+        union_classes: BTreeSet<String>,
+        test: &Table,
+        peak: &PeakRows,
+        start: Instant,
+    ) -> Result<FleetReport, String> {
+        let cfg = &self.config;
+        let kg = LabSimulator::knowledge_graph();
+        let scope = LabSimulator::label_column();
+
+        let mut pool: Option<Table> = None;
+        let mut bytes_shared = 0usize;
+        let mut validity = StreamValidity::new();
+        let checker =
+            KgTableChecker::new(kg.compiled(), kg.base_interner(), &LabSimulator::schema());
+        let mut devices = Vec::with_capacity(cfg.n_devices);
+        let mut local_accs = Vec::new();
+        let mut local_recalls = Vec::new();
+        let mut release_cov_sum = 0.0;
+
+        for (d, (stage, outcome)) in stages.iter().zip(outcomes.iter_mut()).enumerate() {
+            let mut share_rows = 0;
+            // Take the share out of the outcome: the table moves into the
+            // pool instead of being cloned (the unwindowed path would
+            // otherwise hold every release twice during aggregation).
+            if let Some(share) = outcome.share.take() {
+                share_rows = share.n_rows();
+                let mut wire = Vec::new();
+                share
+                    .write_csv(&mut wire)
+                    .map_err(|e| format!("wire encoding failed: {e}"))?;
+                bytes_shared += wire.len();
+                // Score what actually crossed the wire chunk-by-chunk —
+                // the same out-of-core path a real aggregator would use.
+                let mut chunks = TableChunks::new(&share);
+                use kinet_data::stream::ChunkSource;
+                while let Some(chunk) = chunks
+                    .next_chunk(cfg.chunk_rows)
+                    .map_err(|e| e.to_string())?
+                {
+                    validity
+                        .observe(&checker, &chunk)
+                        .map_err(|e| e.to_string())?;
+                }
+                if !union_classes.is_empty() {
+                    let present = share
+                        .category_counts(scope)
+                        .map_err(|e| e.to_string())?
+                        .into_keys()
+                        .filter(|c| union_classes.contains(c))
+                        .count();
+                    release_cov_sum += present as f64 / union_classes.len() as f64;
+                }
+                match &mut pool {
+                    Some(p) => p
+                        .append(&share)
+                        .map_err(|e| format!("pooling failed: {e}"))?,
+                    None => pool = Some(share),
+                }
+            }
+            if let Some((acc, recall)) = outcome.local_eval {
+                local_accs.push(acc);
+                local_recalls.push(recall);
+            }
+            devices.push(DeviceReport {
+                device_index: d,
+                device: stage.device.clone(),
+                shard_rows: stage.shard_rows,
+                shard_classes: stage.vocab.iter().cloned().collect(),
+                seeded_classes: outcome.seeded_classes.clone(),
+                share_rows,
+                prep_ms: outcome.prep_ms,
+                local_accuracy: outcome.local_eval.map(|(a, _)| a),
+                local_attack_recall: outcome.local_eval.map(|(_, r)| r),
+                diag: outcome.diag.clone(),
+            });
+        }
+
+        let (global_accuracy, attack_recall, pool_kg_validity, pool_rows, pool_class_counts) =
+            match (&cfg.policy, &pool) {
+                (SharingPolicy::LocalOnly, _) => {
+                    let n = local_accs.len().max(1) as f64;
+                    (
+                        local_accs.iter().sum::<f64>() / n,
+                        local_recalls.iter().sum::<f64>() / n,
+                        1.0,
+                        0,
+                        Vec::new(),
+                    )
+                }
+                (_, Some(pool)) => {
+                    let eval = evaluate_nids(
+                        pool,
+                        test,
+                        test,
+                        LabSimulator::label_column(),
+                        &LabSimulator::attack_events(),
+                    )
+                    .map_err(|e| format!("global evaluation failed: {e}"))?;
+                    let counts = pool
+                        .category_counts(scope)
+                        .map_err(|e| format!("pool label histogram failed: {e}"))?
+                        .into_iter()
+                        .collect();
+                    (
+                        eval.accuracy,
+                        eval.attack_recall,
+                        validity.rate(),
+                        pool.n_rows(),
+                        counts,
+                    )
+                }
+                (_, None) => return Err("no device shared any data".to_string()),
+            };
+
+        let union_report = if cfg.union.enabled {
+            let n = cfg.n_devices as f64;
+            let denom = union_classes.len().max(1) as f64;
+            let coverage_before = stages
+                .iter()
+                .map(|s| {
+                    s.vocab
+                        .iter()
+                        .filter(|c| union_classes.contains(*c))
+                        .count() as f64
+                })
+                .sum::<f64>()
+                / (n * denom);
+            let coverage_after = stages
+                .iter()
+                .zip(&outcomes)
+                .map(|(s, o)| {
+                    let covered: BTreeSet<&String> = s
+                        .vocab
+                        .iter()
+                        .chain(&o.seeded_classes)
+                        .filter(|c| union_classes.contains(*c))
+                        .collect();
+                    covered.len() as f64
+                })
+                .sum::<f64>()
+                / (n * denom);
+            UnionReport {
+                enabled: true,
+                classes: union_classes.iter().cloned().collect(),
+                devices_opted_in: (0..cfg.n_devices)
+                    .filter(|&d| cfg.union.participates(d))
+                    .count(),
+                seeded_pairs: outcomes.iter().map(|o| o.seeded_classes.len()).sum(),
+                coverage_before,
+                coverage_after,
+                release_coverage: release_cov_sum / n,
+            }
+        } else {
+            UnionReport::default()
+        };
+
+        let prep_sum: f64 = outcomes.iter().map(|o| o.prep_ms).sum();
+        Ok(FleetReport {
+            policy: cfg.policy.label(),
+            n_devices: cfg.n_devices,
+            rows_per_device: cfg.rows_per_device,
+            chunk_rows: cfg.chunk_rows,
+            global_accuracy,
+            attack_recall,
+            bytes_shared,
+            mean_device_prep_ms: prep_sum / outcomes.len().max(1) as f64,
+            pool_kg_validity,
+            pool_rows,
+            pool_class_counts,
+            peak_decoded_rows: peak.peak(),
+            union: union_report,
+            devices,
+            total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UnionConfig;
+
+    #[test]
+    fn raw_fleet_end_to_end() {
+        let report = FleetSim::new(FleetConfig::fast(SharingPolicy::Raw))
+            .run()
+            .unwrap();
+        assert_eq!(report.n_devices, 2);
+        assert!(report.global_accuracy > 0.5, "{report}");
+        assert!(report.bytes_shared > 1000);
+        assert_eq!(report.policy, "raw");
+        assert!(
+            (report.pool_kg_validity - 1.0).abs() < 1e-9,
+            "simulator output satisfies its own KG: {report}"
+        );
+        assert_eq!(report.devices.len(), 2);
+        assert!(report.devices.iter().all(|d| d.shard_rows == 250));
+    }
+
+    #[test]
+    fn local_only_shares_nothing() {
+        let report = FleetSim::new(FleetConfig::fast(SharingPolicy::LocalOnly))
+            .run()
+            .unwrap();
+        assert_eq!(report.bytes_shared, 0);
+        assert_eq!(report.pool_rows, 0);
+        assert!(report.global_accuracy > 0.0);
+        assert!(report.devices.iter().all(|d| d.local_accuracy.is_some()));
+    }
+
+    #[test]
+    fn bounded_window_bounds_peak_decoded_rows() {
+        let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
+        cfg.rows_per_device = 2000;
+        cfg.chunk_rows = 128;
+        cfg.device_window = Some(64);
+        let report = FleetSim::new(cfg).run().unwrap();
+        // Residency = one chunk in flight + the reservoir window; the 2000
+        // decoded rows of the eager path must never exist at once.
+        assert!(
+            report.peak_decoded_rows <= 128 + 64,
+            "peak {} exceeds chunk + window",
+            report.peak_decoded_rows
+        );
+        assert_eq!(report.devices[0].share_rows, 64);
+        assert_eq!(report.devices[0].shard_rows, 2000);
+    }
+
+    #[test]
+    fn eager_window_matches_shard() {
+        let report = FleetSim::new(FleetConfig::fast(SharingPolicy::Raw))
+            .run()
+            .unwrap();
+        // No window cap: the share is the whole shard, peak reflects it.
+        assert_eq!(report.devices[0].share_rows, 250);
+        assert!(report.peak_decoded_rows >= 250);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
+        cfg.chunk_rows = 0;
+        assert!(FleetSim::new(cfg).run().is_err());
+    }
+
+    #[test]
+    fn union_vocabs_surface_in_report() {
+        // Raw policy skips training, so this exercises the vocabulary
+        // exchange and the report plumbing cheaply. Device 1 is benign-only.
+        let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
+        cfg.device_attack_fraction = vec![(1, 0.0)];
+        cfg.union = UnionConfig::enabled();
+        let report = FleetSim::new(cfg).run().unwrap();
+        assert!(report.union.enabled);
+        assert!(!report.union.classes.is_empty());
+        assert!(report.union.coverage_before <= 1.0);
+        assert!(report.union.devices_opted_in == 2);
+        // Raw sharing performs no seeding.
+        assert_eq!(report.union.seeded_pairs, 0);
+        assert_eq!(report.union.coverage_before, report.union.coverage_after);
+    }
+}

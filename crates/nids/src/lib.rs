@@ -8,14 +8,18 @@
 //! share *synthetic* traffic that preserves utility without exposing raw
 //! records.
 //!
-//! The simulation runs one OS thread per device (models are deliberately
-//! not `Send`; each thread owns its own), connected to an aggregator by
-//! crossbeam channels. It measures global detection accuracy, attack
-//! recall, bytes placed on the wire and wall-clock costs for each
-//! [`SharingPolicy`].
+//! Since PR 5 the simulation is hosted on the [`kinet_fleet`]
+//! orchestration subsystem: shards stream in bounded chunks, device fits
+//! are scheduled across the `KINET_THREADS` worker pool, and results merge
+//! in device-index order — with identical seeds and aggregation to the
+//! original hand-rolled loop, so the Table-1 numbers are unchanged. It
+//! measures global detection accuracy, attack recall, bytes placed on the
+//! wire and wall-clock costs for each [`SharingPolicy`]. Fleet-scale knobs
+//! (bounded windows, the condition-union protocol) live on
+//! [`kinet_fleet::FleetConfig`].
 
 pub mod report;
 pub mod sim;
 
-pub use report::DistributedReport;
+pub use report::{DeviceTrainingDiag, DistributedReport};
 pub use sim::{DistributedConfig, DistributedSim, ModelKind, SharingPolicy};

@@ -3,28 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Per-device generator-training diagnostics shipped alongside the
-/// synthetic table — what a fleet operator needs to tell "this device's
-/// generator diverged" from "the aggregate pool is weak".
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct DeviceTrainingDiag {
-    /// Index of the device node in the fleet (device identities cycle, so
-    /// the name alone is not unique; this also fixes the report order).
-    pub device_index: usize,
-    /// Device identity.
-    pub device: String,
-    /// Final-epoch mean discriminator loss.
-    pub final_d_loss: f64,
-    /// Final-epoch mean generator loss.
-    pub final_g_loss: f64,
-    /// Train-on-synthetic/test-on-real probe accuracy of the device's own
-    /// release (see `kinetgan::TrainingReport::probe_accuracy`).
-    pub probe_accuracy: Option<f64>,
-    /// KG-validity rate of the device's post-fit probe sample.
-    pub final_validity: f64,
-    /// Epochs actually trained.
-    pub epochs: usize,
-}
+pub use kinet_fleet::report::DeviceTrainingDiag;
 
 /// Metrics from one end-to-end distributed NIDS run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -60,6 +39,28 @@ pub struct DistributedReport {
 }
 
 impl DistributedReport {
+    /// Projects a fleet report onto the stable Table-1 report shape
+    /// (dropping the fleet-only fields: streaming peaks, union coverage,
+    /// per-device vocabularies).
+    pub fn from_fleet(fleet: &kinet_fleet::FleetReport) -> Self {
+        Self {
+            policy: fleet.policy.clone(),
+            n_devices: fleet.n_devices,
+            global_accuracy: fleet.global_accuracy,
+            attack_recall: fleet.attack_recall,
+            bytes_shared: fleet.bytes_shared,
+            mean_device_prep_ms: fleet.mean_device_prep_ms,
+            pool_kg_validity: fleet.pool_kg_validity,
+            pool_class_counts: fleet.pool_class_counts.clone(),
+            device_diags: fleet
+                .devices
+                .iter()
+                .filter_map(|d| d.diag.clone())
+                .collect(),
+            total_wall_ms: fleet.total_wall_ms,
+        }
+    }
+
     /// Mean per-device probe accuracy, when any device reported one.
     pub fn mean_probe_accuracy(&self) -> Option<f64> {
         let probes: Vec<f64> = self

@@ -1,57 +1,17 @@
-//! The device/aggregator simulation itself.
+//! The device/aggregator simulation, hosted on [`kinet_fleet`].
+//!
+//! `DistributedSim` is the stable Table-1 API: the 4-device × 500-record
+//! deployment scenario with its quality floors. Since PR 5 it is a thin
+//! shell over [`kinet_fleet::FleetSim`] — the same seeds, schedules, and
+//! aggregation order, so the reported numbers are unchanged — while the
+//! fleet crate owns streaming shard acquisition, worker scheduling, and
+//! the condition-union protocol. Callers that want the fleet-scale knobs
+//! (chunked streaming, bounded windows, union sharing) should use
+//! [`kinet_fleet::FleetConfig`] directly.
 
-use crate::report::{DeviceTrainingDiag, DistributedReport};
-use crossbeam::channel;
-use kinet_baselines::{common::BaselineConfig, CtGan, Tvae};
-use kinet_data::synth::TabularSynthesizer;
-use kinet_data::Table;
-use kinet_datasets::lab::{LabSimConfig, LabSimulator};
-use kinet_eval::utility::evaluate_nids;
-use kinetgan::{KinetGan, KinetGanConfig};
-use std::thread;
-use std::time::Instant;
-
-/// Which synthesizer devices use under [`SharingPolicy::Synthetic`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ModelKind {
-    /// The paper's knowledge-infused model.
-    KinetGan,
-    /// The CTGAN baseline.
-    CtGan,
-    /// The TVAE baseline.
-    Tvae,
-}
-
-impl ModelKind {
-    fn label(&self) -> &'static str {
-        match self {
-            ModelKind::KinetGan => "KiNETGAN",
-            ModelKind::CtGan => "CTGAN",
-            ModelKind::Tvae => "TVAE",
-        }
-    }
-}
-
-/// What each device ships to the aggregator.
-#[derive(Clone, Debug, PartialEq)]
-pub enum SharingPolicy {
-    /// Raw local records (no privacy).
-    Raw,
-    /// Synthetic records from a locally trained generator.
-    Synthetic(ModelKind),
-    /// Nothing; devices train and evaluate local detectors only.
-    LocalOnly,
-}
-
-impl SharingPolicy {
-    fn label(&self) -> String {
-        match self {
-            SharingPolicy::Raw => "raw".to_string(),
-            SharingPolicy::Synthetic(m) => format!("synthetic:{}", m.label()),
-            SharingPolicy::LocalOnly => "local-only".to_string(),
-        }
-    }
-}
+use crate::report::DistributedReport;
+use kinet_fleet::{FleetConfig, FleetSim};
+pub use kinet_fleet::{ModelKind, SharingPolicy};
 
 /// Configuration of one distributed run.
 #[derive(Clone, Debug)]
@@ -99,20 +59,21 @@ impl DistributedConfig {
             ..Self::default()
         }
     }
-}
 
-enum DeviceMessage {
-    Share {
-        device_index: usize,
-        table: Table,
-        prep_ms: f64,
-        diag: Option<DeviceTrainingDiag>,
-    },
-    LocalResult {
-        accuracy: f64,
-        attack_recall: f64,
-        prep_ms: f64,
-    },
+    /// The equivalent fleet configuration: identical seeds and schedules,
+    /// eager per-device windows (shards are a few hundred rows), union
+    /// protocol off — the exact pre-fleet behavior.
+    pub fn to_fleet(&self) -> FleetConfig {
+        FleetConfig {
+            n_devices: self.n_devices,
+            rows_per_device: self.records_per_device,
+            test_records: self.test_records,
+            policy: self.policy.clone(),
+            model_epochs: self.model_epochs,
+            seed: self.seed,
+            ..FleetConfig::default()
+        }
+    }
 }
 
 /// The distributed NIDS simulator.
@@ -120,8 +81,6 @@ enum DeviceMessage {
 pub struct DistributedSim {
     config: DistributedConfig,
 }
-
-const DEVICE_CYCLE: [&str; 4] = ["blink_camera", "smart_plug", "motion_sensor", "tag_manager"];
 
 impl DistributedSim {
     /// Creates a simulator.
@@ -133,231 +92,18 @@ impl DistributedSim {
     ///
     /// # Errors
     ///
-    /// Returns a descriptive string when a device thread fails (model
-    /// training error, channel loss).
+    /// Returns a descriptive string when a device task fails (model
+    /// training error, schema mismatch).
     pub fn run(&self) -> Result<DistributedReport, String> {
-        let cfg = &self.config;
-        let start = Instant::now();
-        let (tx, rx) = channel::unbounded::<DeviceMessage>();
-
-        // Global held-out stream for evaluation (what the deployed NIDS
-        // will face), plus a reference table for the shared feature space.
-        let test = LabSimulator::new(LabSimConfig {
-            n_records: cfg.test_records,
-            seed: cfg.seed ^ 0xfeed,
-            ..LabSimConfig::default()
-        })
-        .generate()
-        .map_err(|e| format!("test stream generation failed: {e}"))?;
-
-        let mut handles = Vec::new();
-        for d in 0..cfg.n_devices {
-            let tx = tx.clone();
-            let policy = cfg.policy.clone();
-            let device = DEVICE_CYCLE[d % DEVICE_CYCLE.len()].to_string();
-            let records = cfg.records_per_device;
-            let epochs = cfg.model_epochs;
-            let seed = cfg.seed.wrapping_add(d as u64 * 101);
-            let test_local = test.clone();
-            handles.push(thread::spawn(move || -> Result<(), String> {
-                let sim = LabSimulator::new(LabSimConfig {
-                    n_records: records,
-                    seed,
-                    ..LabSimConfig::default()
-                });
-                let local = sim
-                    .generate_for_device(&device, records)
-                    .map_err(|e| format!("device {device}: {e}"))?;
-                let t0 = Instant::now();
-                let message = match policy {
-                    SharingPolicy::Raw => DeviceMessage::Share {
-                        device_index: d,
-                        table: local,
-                        prep_ms: t0.elapsed().as_secs_f64() * 1e3,
-                        diag: None,
-                    },
-                    SharingPolicy::Synthetic(kind) => {
-                        let n = local.n_rows();
-                        let mut diag = None;
-                        let synth = match kind {
-                            ModelKind::KinetGan => {
-                                // The small-shard schedule: a few hundred
-                                // local rows need smaller batches, a higher
-                                // learning rate and KG rejection resampling
-                                // to release label-bearing data (DESIGN.md
-                                // §2.4). `model_epochs` still controls the
-                                // training budget.
-                                let mcfg = KinetGanConfig::small_shard()
-                                    .with_epochs(epochs)
-                                    .with_seed(seed);
-                                let mut model =
-                                    KinetGan::new(mcfg, LabSimulator::knowledge_graph());
-                                model.fit(&local).map_err(|e| e.to_string())?;
-                                diag = model.report().map(|r| DeviceTrainingDiag {
-                                    device_index: d,
-                                    device: device.clone(),
-                                    final_d_loss: r.d_loss.last().copied().unwrap_or(0.0) as f64,
-                                    final_g_loss: r.g_loss.last().copied().unwrap_or(0.0) as f64,
-                                    probe_accuracy: r.probe_accuracy,
-                                    final_validity: r.final_validity,
-                                    epochs: r.d_loss.len(),
-                                });
-                                model.sample(n, seed ^ 1).map_err(|e| e.to_string())?
-                            }
-                            ModelKind::CtGan => {
-                                let mcfg = BaselineConfig::fast_demo()
-                                    .with_epochs(epochs)
-                                    .with_seed(seed);
-                                let mut model = CtGan::new(mcfg);
-                                model.fit(&local).map_err(|e| e.to_string())?;
-                                model.sample(n, seed ^ 1).map_err(|e| e.to_string())?
-                            }
-                            ModelKind::Tvae => {
-                                let mcfg = BaselineConfig::fast_demo()
-                                    .with_epochs(epochs)
-                                    .with_seed(seed);
-                                let mut model = Tvae::new(mcfg);
-                                model.fit(&local).map_err(|e| e.to_string())?;
-                                model.sample(n, seed ^ 1).map_err(|e| e.to_string())?
-                            }
-                        };
-                        DeviceMessage::Share {
-                            device_index: d,
-                            table: synth,
-                            prep_ms: t0.elapsed().as_secs_f64() * 1e3,
-                            diag,
-                        }
-                    }
-                    SharingPolicy::LocalOnly => {
-                        let eval = evaluate_nids(
-                            &local,
-                            &test_local,
-                            &local,
-                            LabSimulator::label_column(),
-                            &LabSimulator::attack_events(),
-                        )
-                        .map_err(|e| format!("device {device}: {e}"))?;
-                        DeviceMessage::LocalResult {
-                            accuracy: eval.accuracy,
-                            attack_recall: eval.attack_recall,
-                            prep_ms: t0.elapsed().as_secs_f64() * 1e3,
-                        }
-                    }
-                };
-                tx.send(message)
-                    .map_err(|_| "aggregator hung up".to_string())
-            }));
-        }
-        drop(tx);
-
-        // ---- aggregator ----
-        // Shares are collected as they arrive but pooled in device order:
-        // thread completion order is nondeterministic, and the pooled row
-        // order feeds classifier bootstrap sampling, so pooling in arrival
-        // order would make the reported Table-1 numbers run-dependent.
-        let mut shares: Vec<(usize, Table)> = Vec::new();
-        let mut bytes_shared = 0usize;
-        let mut prep_times = Vec::new();
-        let mut local_accs = Vec::new();
-        let mut local_recalls = Vec::new();
-        let mut device_diags = Vec::new();
-        for message in rx.iter() {
-            match message {
-                DeviceMessage::Share {
-                    device_index,
-                    table,
-                    prep_ms,
-                    diag,
-                } => {
-                    prep_times.push(prep_ms);
-                    device_diags.extend(diag);
-                    let mut wire = Vec::new();
-                    table
-                        .write_csv(&mut wire)
-                        .map_err(|e| format!("wire encoding failed: {e}"))?;
-                    bytes_shared += wire.len();
-                    shares.push((device_index, table));
-                }
-                DeviceMessage::LocalResult {
-                    accuracy,
-                    attack_recall,
-                    prep_ms,
-                } => {
-                    prep_times.push(prep_ms);
-                    local_accs.push(accuracy);
-                    local_recalls.push(attack_recall);
-                }
-            }
-        }
-        for h in handles {
-            h.join()
-                .map_err(|_| "device thread panicked".to_string())??;
-        }
-
-        device_diags.sort_by_key(|diag: &DeviceTrainingDiag| diag.device_index);
-        shares.sort_by_key(|(device_index, _)| *device_index);
-        let mut shared: Option<Table> = None;
-        for (_, table) in shares {
-            match &mut shared {
-                Some(pool) => pool
-                    .append(&table)
-                    .map_err(|e| format!("pooling failed: {e}"))?,
-                None => shared = Some(table),
-            }
-        }
-
-        let (global_accuracy, attack_recall, pool_kg_validity, pool_class_counts) =
-            match (&self.config.policy, shared) {
-                (SharingPolicy::LocalOnly, _) => {
-                    let n = local_accs.len().max(1) as f64;
-                    (
-                        local_accs.iter().sum::<f64>() / n,
-                        local_recalls.iter().sum::<f64>() / n,
-                        1.0,
-                        Vec::new(),
-                    )
-                }
-                (_, Some(pool)) => {
-                    let eval = evaluate_nids(
-                        &pool,
-                        &test,
-                        &test,
-                        LabSimulator::label_column(),
-                        &LabSimulator::attack_events(),
-                    )
-                    .map_err(|e| format!("global evaluation failed: {e}"))?;
-                    // Compiled KG validity of what actually crossed the wire —
-                    // the semantic-quality counterpart of the accuracy number.
-                    let validity =
-                        kinet_eval::metrics::kg_validity(&LabSimulator::knowledge_graph(), &pool);
-                    let counts = pool
-                        .category_counts(LabSimulator::label_column())
-                        .map_err(|e| format!("pool label histogram failed: {e}"))?
-                        .into_iter()
-                        .collect();
-                    (eval.accuracy, eval.attack_recall, validity, counts)
-                }
-                (_, None) => return Err("no device shared any data".to_string()),
-            };
-
-        Ok(DistributedReport {
-            policy: cfg.policy.label(),
-            n_devices: cfg.n_devices,
-            global_accuracy,
-            attack_recall,
-            bytes_shared,
-            mean_device_prep_ms: prep_times.iter().sum::<f64>() / prep_times.len().max(1) as f64,
-            pool_kg_validity,
-            pool_class_counts,
-            device_diags,
-            total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        })
+        let fleet = FleetSim::new(self.config.to_fleet()).run()?;
+        Ok(DistributedReport::from_fleet(&fleet))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kinet_datasets::lab::LabSimulator;
 
     #[test]
     fn raw_sharing_end_to_end() {
@@ -443,5 +189,18 @@ mod tests {
         cfg.n_devices = 5; // cycles device identities
         let report = DistributedSim::new(cfg).run().unwrap();
         assert_eq!(report.n_devices, 5);
+    }
+
+    #[test]
+    fn report_json_roundtrips_through_the_deserializer() {
+        let report = DistributedSim::new(DistributedConfig::fast(SharingPolicy::Raw))
+            .run()
+            .unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: DistributedReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.policy, report.policy);
+        assert_eq!(back.global_accuracy, report.global_accuracy);
+        assert_eq!(back.pool_class_counts, report.pool_class_counts);
+        assert_eq!(back.bytes_shared, report.bytes_shared);
     }
 }

@@ -9,6 +9,7 @@ pub use kinet_baselines as baselines;
 pub use kinet_data as data;
 pub use kinet_datasets as datasets;
 pub use kinet_eval as eval;
+pub use kinet_fleet as fleet;
 pub use kinet_kg as kg;
 pub use kinet_nids as nids;
 pub use kinet_nn as nn;

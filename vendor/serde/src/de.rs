@@ -1,0 +1,150 @@
+//! Deserialization support: the error type and the lookup helpers the
+//! derive macro's generated code calls.
+//!
+//! The shim deserializes in two stages: `serde_json` parses text into a
+//! [`Value`] tree, then [`crate::Deserialize::from_json_value`] walks the
+//! tree into the target type. Helpers here keep the generated code small
+//! and give errors a breadcrumb trail (`field "epochs": expected integer,
+//! found string`).
+
+use crate::value::Value;
+use crate::Deserialize;
+use std::fmt;
+
+/// A deserialization failure with a human-readable path description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// `expected X, found Y` for a value of the wrong shape.
+    pub fn invalid_type(expected: &str, found: &Value) -> Self {
+        Error(format!("expected {expected}, found {}", kind_name(found)))
+    }
+
+    /// An enum tag that names no variant of the target type.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        Error(format!("unknown variant {tag:?} of enum {ty}"))
+    }
+
+    /// Wraps an error with the field it occurred under.
+    pub fn in_field(name: &str, inner: Error) -> Self {
+        Error(format!("field {name:?}: {}", inner.0))
+    }
+
+    /// Wraps an error with the enum variant it occurred under.
+    pub fn in_variant(variant: &str, inner: Error) -> Self {
+        Error(format!("variant {variant:?}: {}", inner.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The JSON kind of a value, for error messages.
+pub fn kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+/// Looks up `name` in an object value and deserializes it. A missing key
+/// takes the type's [`Deserialize::from_missing_field`] path: `Option`
+/// fields tolerate absence, every other type fails with an error naming
+/// the field (an explicit `null` is different — it still flows through
+/// `from_json_value`, so nullable representations like non-finite floats
+/// keep round-tripping).
+///
+/// # Errors
+///
+/// Returns an error when `v` is not an object or the field is missing or
+/// fails to deserialize.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    let Value::Object(entries) = v else {
+        return Err(Error::invalid_type("object", v));
+    };
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, fv)| T::from_json_value(fv))
+        .unwrap_or_else(T::from_missing_field)
+        .map_err(|e| Error::in_field(name, e))
+}
+
+/// Views `v` as an array of exactly `len` elements (a serialized tuple or
+/// tuple struct).
+///
+/// # Errors
+///
+/// Returns an error on any other shape or length.
+pub fn tuple(v: &Value, len: usize) -> Result<&[Value], Error> {
+    match v {
+        Value::Array(items) if items.len() == len => Ok(items),
+        Value::Array(items) => Err(Error::custom(format!(
+            "expected array of {len} elements, found {}",
+            items.len()
+        ))),
+        other => Err(Error::invalid_type("array", other)),
+    }
+}
+
+/// Deserializes element `idx` of a tuple slice produced by [`tuple`].
+///
+/// # Errors
+///
+/// Propagates element failures, tagged with the index.
+pub fn element<T: Deserialize>(items: &[Value], idx: usize) -> Result<T, Error> {
+    T::from_json_value(&items[idx]).map_err(|e| Error::custom(format!("element {idx}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_and_missing_key() {
+        let v = Value::Object(vec![("a".into(), Value::Number(3.0))]);
+        let a: u32 = field(&v, "a").unwrap();
+        assert_eq!(a, 3);
+        let missing: Option<u32> = field(&v, "b").unwrap();
+        assert_eq!(missing, None);
+        let err = field::<u32>(&v, "b").unwrap_err();
+        assert!(err.to_string().contains("\"b\""), "{err}");
+    }
+
+    #[test]
+    fn missing_float_field_errors_but_explicit_null_reads_nan() {
+        // A truncated/older-schema snapshot must fail loudly, not fill
+        // required floats with NaN; explicit null (the printer's rendering
+        // of non-finite floats) still round-trips.
+        let v = Value::Object(vec![("present".into(), Value::Null)]);
+        let nan: f64 = field(&v, "present").unwrap();
+        assert!(nan.is_nan());
+        let err = field::<f64>(&v, "absent").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+        let opt: Option<f64> = field(&v, "absent").unwrap();
+        assert!(opt.is_none());
+    }
+
+    #[test]
+    fn tuple_checks_shape() {
+        let v = Value::Array(vec![Value::Number(1.0), Value::Bool(true)]);
+        assert!(tuple(&v, 2).is_ok());
+        assert!(tuple(&v, 3).is_err());
+        assert!(tuple(&Value::Null, 2).is_err());
+    }
+}

@@ -2,10 +2,15 @@
 //!
 //! Instead of serde's visitor-based data model, [`Serialize`] converts
 //! directly into an owned JSON [`value::Value`]; `serde_json` pretty-prints
-//! that. [`Deserialize`] is a marker trait — nothing in the workspace
-//! deserializes yet — kept so `#[derive(Deserialize)]` stays meaningful
-//! and the signature matches upstream call sites.
+//! that. [`Deserialize`] is the inverse: it reconstructs a type from a
+//! parsed [`value::Value`] tree (see [`de`] for the error type and the
+//! helpers the derive macro emits calls to). Both directions round-trip
+//! every derived type in the workspace, with two documented losses mirrored
+//! from the printer: non-finite floats serialize as `null` (and `null`
+//! deserializes back to `NaN` for bare floats, `None` for `Option`s), and
+//! integers survive only up to `f64` precision (2^53).
 
+pub mod de;
 pub mod value;
 
 #[cfg(feature = "derive")]
@@ -19,9 +24,28 @@ pub trait Serialize {
     fn to_json_value(&self) -> Value;
 }
 
-/// Marker for types reconstructible from serialized form (derive target
-/// only; no deserializer exists in the workspace yet).
-pub trait Deserialize {}
+/// Types reconstructible from a JSON value tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] describing the first shape or type mismatch.
+    fn from_json_value(v: &Value) -> Result<Self, de::Error>;
+
+    /// The value for an object field that is **absent** (as opposed to an
+    /// explicit `null`). Errors for every type except `Option`, so a
+    /// truncated or older-schema snapshot fails loudly instead of filling
+    /// required fields with defaults (floats would otherwise read as NaN
+    /// through the explicit-null path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a "missing field" [`de::Error`] by default.
+    fn from_missing_field() -> Result<Self, de::Error> {
+        Err(de::Error::custom("missing field"))
+    }
+}
 
 impl Serialize for bool {
     fn to_json_value(&self) -> Value {
@@ -29,24 +53,74 @@ impl Serialize for bool {
     }
 }
 
-macro_rules! serialize_num {
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::invalid_type("bool", other)),
+        }
+    }
+}
+
+macro_rules! serialize_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_json_value(&self) -> Value {
                 Value::Number(*self as f64)
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(n)
+                        if n.fract() == 0.0
+                            && *n >= <$t>::MIN as f64
+                            && *n <= <$t>::MAX as f64 =>
+                    {
+                        Ok(*n as $t)
+                    }
+                    other => Err(de::Error::invalid_type("integer", other)),
+                }
+            }
+        }
     )*};
 }
-serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-impl Deserialize for bool {}
-impl Deserialize for String {}
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    // The printer renders non-finite floats as null; read
+                    // them back as NaN so reports round-trip structurally.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(de::Error::invalid_type("number", other)),
+                }
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64);
 
 impl Serialize for String {
     fn to_json_value(&self) -> Value {
         Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::invalid_type("string", other)),
+        }
     }
 }
 
@@ -68,6 +142,12 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_json_value(&self) -> Value {
         match self {
@@ -77,9 +157,38 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field() -> Result<Self, de::Error> {
+        Ok(None)
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_json_value(&self) -> Value {
         self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    T::from_json_value(item)
+                        .map_err(|e| de::Error::custom(format!("element {i}: {e}")))
+                })
+                .collect(),
+            other => Err(de::Error::invalid_type("array", other)),
+        }
     }
 }
 
@@ -95,11 +204,29 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        let items = de::tuple(v, N)?;
+        let vec: Vec<T> = (0..N)
+            .map(|i| de::element(items, i))
+            .collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| de::Error::custom("array length changed"))
+    }
+}
+
 macro_rules! serialize_tuple {
     ($(($($n:tt $t:ident),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_json_value(&self) -> Value {
                 Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+                const LEN: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                let items = de::tuple(v, LEN)?;
+                Ok(($(de::element::<$t>(items, $n)?,)+))
             }
         }
     )*};
@@ -121,6 +248,24 @@ impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMa
     }
 }
 
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize,
+{
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        map_entries(v)?
+            .map(|(k, fv)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| de::Error::custom(format!("unparsable map key {k:?}")))?;
+                let value = V::from_json_value(fv).map_err(|e| de::Error::in_field(k, e))?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+}
+
 impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::HashMap<K, V> {
     fn to_json_value(&self) -> Value {
         // Sorted for deterministic output.
@@ -133,14 +278,61 @@ impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::HashMap
     }
 }
 
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: std::str::FromStr + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        map_entries(v)?
+            .map(|(k, fv)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| de::Error::custom(format!("unparsable map key {k:?}")))?;
+                let value = V::from_json_value(fv).map_err(|e| de::Error::in_field(k, e))?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+}
+
+fn map_entries(v: &Value) -> Result<std::slice::Iter<'_, (String, Value)>, de::Error> {
+    match v {
+        Value::Object(entries) => Ok(entries.iter()),
+        other => Err(de::Error::invalid_type("object", other)),
+    }
+}
+
 impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
     fn to_json_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_json_value).collect())
     }
 }
 
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    T::from_json_value(item)
+                        .map_err(|e| de::Error::custom(format!("element {i}: {e}")))
+                })
+                .collect(),
+            other => Err(de::Error::invalid_type("array", other)),
+        }
+    }
+}
+
 impl Serialize for Value {
     fn to_json_value(&self) -> Value {
         self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
     }
 }

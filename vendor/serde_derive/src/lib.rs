@@ -31,13 +31,32 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde_derive generated invalid Rust")
 }
 
-/// Derives the shim `Deserialize` marker trait.
+/// Derives the shim `Deserialize` trait: reconstruction from a parsed
+/// JSON [`serde::value::Value`], mirroring the representation the
+/// `Serialize` derive emits (field objects, tuple arrays, externally
+/// tagged enums).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!("impl ::serde::Deserialize for {} {{}}", item.name)
-        .parse()
-        .expect("serde_derive generated invalid Rust")
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => de_named_struct(fields),
+        Shape::TupleStruct(1) => {
+            "::core::result::Result::Ok(Self(::serde::Deserialize::from_json_value(__v)?))"
+                .to_string()
+        }
+        Shape::TupleStruct(n) => de_tuple_struct(*n),
+        Shape::UnitStruct => "::core::result::Result::Ok(Self)".to_string(),
+        Shape::Enum(variants) => de_enum(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+             fn from_json_value(__v: &::serde::value::Value) \
+                 -> ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive generated invalid Rust")
 }
 
 struct Item {
@@ -128,6 +147,95 @@ fn enum_match(name: &str, variants: &[Variant]) -> String {
 
 fn json_name(ident: &str) -> &str {
     ident.strip_prefix("r#").unwrap_or(ident)
+}
+
+// ---- deserialize codegen ----
+
+fn de_named_struct(fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field(__v, {:?})?", json_name(f)))
+        .collect();
+    format!(
+        "::core::result::Result::Ok(Self {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn de_tuple_struct(n: usize) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("::serde::de::element(__items, {i})?"))
+        .collect();
+    format!(
+        "let __items = ::serde::de::tuple(__v, {n})?;\n\
+         ::core::result::Result::Ok(Self({}))",
+        elems.join(", ")
+    )
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    // Unit variants deserialize from a bare tag string; payload variants
+    // from a single-entry `{tag: payload}` object — serde's externally
+    // tagged representation, matching the Serialize derive above.
+    let mut unit_arms = Vec::new();
+    let mut payload_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let tag = json_name(vname);
+        match &v.fields {
+            VariantFields::Unit => unit_arms.push(format!(
+                "{tag:?} => ::core::result::Result::Ok({name}::{vname})"
+            )),
+            VariantFields::Tuple(1) => payload_arms.push(format!(
+                "{tag:?} => ::core::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_json_value(__inner)\
+                         .map_err(|e| ::serde::de::Error::in_variant({tag:?}, e))?))"
+            )),
+            VariantFields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::de::element(__items, {i})?"))
+                    .collect();
+                payload_arms.push(format!(
+                    "{tag:?} => {{\n\
+                         let __items = ::serde::de::tuple(__inner, {n})?;\n\
+                         ::core::result::Result::Ok({name}::{vname}({}))\n\
+                     }}",
+                    elems.join(", ")
+                ));
+            }
+            VariantFields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(__inner, {:?})?", json_name(f)))
+                    .collect();
+                payload_arms.push(format!(
+                    "{tag:?} => ::core::result::Result::Ok({name}::{vname} {{ {} }})",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    unit_arms.push(format!(
+        "__other => ::core::result::Result::Err(\
+             ::serde::de::Error::unknown_variant({name:?}, __other))"
+    ));
+    payload_arms.push(format!(
+        "__other => ::core::result::Result::Err(\
+             ::serde::de::Error::unknown_variant({name:?}, __other))"
+    ));
+    format!(
+        "match __v {{\n\
+             ::serde::value::Value::String(__tag) => match __tag.as_str() {{\n{}\n}},\n\
+             ::serde::value::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{}\n}}\n\
+             }}\n\
+             __other => ::core::result::Result::Err(::serde::de::Error::invalid_type(\
+                 \"externally tagged enum\", __other)),\n\
+         }}",
+        unit_arms.join(",\n"),
+        payload_arms.join(",\n")
+    )
 }
 
 // ---- parsing ----

@@ -1,17 +1,17 @@
 //! Offline substitute for the `serde_json` surface this workspace uses:
-//! rendering any [`serde::Serialize`] type to a JSON string.
+//! rendering any [`serde::Serialize`] type to a JSON string, and parsing
+//! JSON text back into [`serde::Deserialize`] types (reloading persisted
+//! reports and configs).
 
 pub use serde::value::Value;
 
-/// Serialization error. The shim's value model is total (every
-/// `Serialize` impl produces a value), so this currently never occurs,
-/// but the `Result` shape matches upstream call sites.
+/// Serialization / deserialization error.
 #[derive(Debug)]
 pub struct Error(String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON serialization failed: {}", self.0)
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
@@ -20,6 +20,12 @@ impl std::error::Error for Error {}
 impl From<Error> for std::io::Error {
     fn from(e: Error) -> Self {
         std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error(e.to_string())
     }
 }
 
@@ -41,4 +47,307 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
 /// compatibility.
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(value.to_json_value().to_json_string_pretty())
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the byte offset of a syntax error or the
+/// field path of a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_json_value(&value)?)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the byte offset of the first syntax error.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(v)
+}
+
+/// Nesting depth cap: a malformed or adversarial input cannot blow the
+/// parser's stack (our own reports nest a handful of levels deep).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits and sign characters are ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("invalid number {text:?} at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a following \uXXXX low half.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character verbatim.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse_value("-3.5e2").unwrap(), Value::Number(-350.0));
+        assert_eq!(parse_value(r#""hi""#).unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures_with_whitespace() {
+        let v = parse_value(" {\n  \"a\": [1, 2, {\"b\": null}],\n  \"c\": \"x\"\n} ").unwrap();
+        let Value::Object(entries) = v else {
+            panic!("expected object");
+        };
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "a");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        for s in ["a\"b\\c\n\r\t", "unicode: \u{1F980} é", "ctrl \u{0001} end"] {
+            let printed = Value::String(s.to_string()).to_json_string();
+            assert_eq!(
+                parse_value(&printed).unwrap(),
+                Value::String(s.to_string()),
+                "{printed}"
+            );
+        }
+        assert_eq!(
+            parse_value(r#""🦀""#).unwrap(),
+            Value::String("\u{1F980}".to_string())
+        );
+    }
+
+    #[test]
+    fn value_roundtrip_compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::Number(1.25)),
+            (
+                "arr".into(),
+                Value::Array(vec![Value::Bool(false), Value::Null]),
+            ),
+            ("s".into(), Value::String("line\nbreak".into())),
+            ("empty".into(), Value::Array(vec![])),
+            ("obj".into(), Value::Object(vec![])),
+        ]);
+        assert_eq!(parse_value(&v.to_json_string()).unwrap(), v);
+        assert_eq!(parse_value(&v.to_json_string_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn syntax_errors_name_the_position() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated", "1 2"] {
+            let err = parse_value(bad).unwrap_err().to_string();
+            assert!(
+                err.contains("byte") || err.contains("number"),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_str_typed() {
+        let xs: Vec<f64> = from_str("[1, 2.5, -3]").unwrap();
+        assert_eq!(xs, vec![1.0, 2.5, -3.0]);
+        let pair: (String, usize) = from_str(r#"["port_scan", 30]"#).unwrap();
+        assert_eq!(pair, ("port_scan".to_string(), 30));
+        let opt: Option<bool> = from_str("null").unwrap();
+        assert_eq!(opt, None);
+        assert!(from_str::<usize>("3.5").is_err());
+        assert!(from_str::<Vec<f64>>("{}").is_err());
+    }
 }
