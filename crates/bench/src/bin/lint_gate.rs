@@ -1,0 +1,97 @@
+//! Workspace invariant-lint gate: runs `kinet_lint` over every workspace
+//! and `vendor/` source file, persists the full [`LintReport`] as
+//! `target/experiments/lint_report.json` (uploaded by CI whether the gate
+//! passes or not), prints every finding, and exits 1 when any finding
+//! lacks a reasoned `// kinet-lint: allow(...)` suppression.
+//!
+//! ```text
+//! lint_gate [--root DIR] [--out NAME]
+//! ```
+//!
+//! `--root` defaults to the workspace root (resolved relative to this
+//! crate's manifest, so the gate works from any working directory).
+
+use kinet_bench::write_json;
+use kinet_lint::LintReport;
+use std::path::PathBuf;
+
+struct Args {
+    root: PathBuf,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut args = Args {
+            root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+            out: "lint_report".to_string(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+            match flag.as_str() {
+                "--root" => args.root = PathBuf::from(value("--root")?),
+                "--out" => args.out = value("--out")?,
+                "--help" | "-h" => {
+                    println!("usage: lint_gate [--root DIR] [--out NAME]");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn run(args: &Args) -> Result<LintReport, String> {
+    let root = args
+        .root
+        .canonicalize()
+        .map_err(|e| format!("resolve {}: {e}", args.root.display()))?;
+    kinet_lint::run_workspace(&root)
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lint_gate: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match run(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint_gate: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Persist before deciding pass/fail so CI can always upload the report.
+    match write_json(&args.out, &report) {
+        Ok(path) => println!("lint report -> {}", path.display()),
+        Err(e) => {
+            eprintln!("lint_gate: write report: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "scanned {} files; {} findings ({} suppressed, {} unsuppressed)",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed,
+        report.unsuppressed
+    );
+    for f in &report.findings {
+        println!("  {f}");
+    }
+    if !report.gate_passes() {
+        eprintln!(
+            "lint_gate: FAIL — {} unsuppressed finding(s); fix the code or add a reasoned \
+             `// kinet-lint: allow(<rule>) — <why>`",
+            report.unsuppressed
+        );
+        std::process::exit(1);
+    }
+    println!("lint_gate: PASS");
+}

@@ -1,0 +1,48 @@
+//! Exit-code contract of the `lint_gate` binary: non-zero (with the
+//! report artifact still written) on a tree with unsuppressed findings,
+//! zero on the committed workspace.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn exits_nonzero_on_injected_violations_and_still_writes_the_report() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../lint/tests/fixtures/tree");
+    let out = Command::new(env!("CARGO_BIN_EXE_lint_gate"))
+        .current_dir(workspace_root())
+        .args([
+            "--root",
+            fixture.to_str().unwrap(),
+            "--out",
+            "lint_fixture_report",
+        ])
+        .output()
+        .expect("lint_gate runs");
+    assert!(!out.status.success(), "violations must fail the gate");
+    let artifact = workspace_root().join("target/experiments/lint_fixture_report.json");
+    let text = std::fs::read_to_string(&artifact).expect("report written even on failure");
+    let report: kinet_lint::LintReport = serde_json::from_str(&text).expect("report parses");
+    assert!(report.unsuppressed > 0);
+    assert!(
+        report.suppressed > 0,
+        "the fixture's reasoned allow is recorded"
+    );
+}
+
+#[test]
+fn exits_zero_on_the_committed_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lint_gate"))
+        .current_dir(workspace_root())
+        .args(["--out", "lint_report_selftest"])
+        .output()
+        .expect("lint_gate runs");
+    assert!(
+        out.status.success(),
+        "committed tree must be lint-clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -150,7 +150,30 @@ impl FleetReport {
     /// except wall-clock timings. Two runs of the same config and seed must
     /// produce identical fingerprints for every `KINET_THREADS` value;
     /// tests and the determinism gate compare exactly this.
+    ///
+    /// Debug builds re-render with every timing field perturbed and assert
+    /// the result is unchanged, so a timing value can never silently leak
+    /// into the fingerprint as fields are added.
     pub fn deterministic_fingerprint(&self) -> String {
+        let rendered = self.render_fingerprint();
+        #[cfg(debug_assertions)]
+        {
+            let mut perturbed = self.clone();
+            perturbed.total_wall_ms += 1234.5;
+            perturbed.mean_device_prep_ms += 67.8;
+            for d in &mut perturbed.devices {
+                d.prep_ms += 9.1;
+            }
+            debug_assert_eq!(
+                perturbed.render_fingerprint(),
+                rendered,
+                "wall-clock timing leaked into deterministic_fingerprint()"
+            );
+        }
+        rendered
+    }
+
+    fn render_fingerprint(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(

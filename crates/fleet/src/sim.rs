@@ -78,6 +78,7 @@ impl FleetSim {
     pub fn run(&self) -> Result<FleetReport, String> {
         let cfg = &self.config;
         cfg.validate()?;
+        // kinet-lint: allow(wall-clock) — feeds only timing fields that deterministic_fingerprint() excludes
         let start = Instant::now();
         let peak = PeakRows::new();
 
@@ -192,6 +193,7 @@ impl FleetSim {
         let cfg = &self.config;
         let device = &stage.device;
         let seed = cfg.seed.wrapping_add(d as u64 * 101);
+        // kinet-lint: allow(wall-clock) — per-device prep timing, report metadata the fingerprint excludes
         let t0 = Instant::now();
         match &cfg.policy {
             SharingPolicy::Raw => Ok(DeviceOutcome {

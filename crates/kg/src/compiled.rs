@@ -24,7 +24,7 @@
 use crate::intern::{Interner, Sym};
 use crate::ontology::vocab;
 use crate::rules::{RuleKind, RuleSet};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One cell of an encoded row: the interned counterpart of
 /// [`crate::AttrValue`], with an explicit missing state so partial
@@ -81,7 +81,10 @@ pub struct CompiledRuleSet {
     /// makes field-id iteration order match the reference reasoner's
     /// sorted `constrained_fields` lists.
     fields: Vec<String>,
-    field_index: HashMap<String, usize>,
+    // BTreeMap, not HashMap, so the compiled set carries no
+    // nondeterministic iteration order anywhere — lookups are on the cold
+    // compile/relink path, so tree-lookup cost is irrelevant.
+    field_index: BTreeMap<String, usize>,
     scope_fid: usize,
     /// Known (non-wildcard) event names in sorted order, as symbols.
     events: Vec<Sym>,
@@ -106,7 +109,7 @@ impl CompiledRuleSet {
         fields.push(scope_field.clone());
         fields.sort();
         fields.dedup();
-        let field_index: HashMap<String, usize> = fields
+        let field_index: BTreeMap<String, usize> = fields
             .iter()
             .enumerate()
             .map(|(i, f)| (f.clone(), i))

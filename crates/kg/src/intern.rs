@@ -26,6 +26,7 @@ pub type Sym = u32;
 #[derive(Clone, Debug, Default)]
 pub struct Interner {
     names: Vec<String>,
+    // kinet-lint: allow(nondeterministic-iteration) — lookup-only map, never iterated; ordered iteration goes through `names`
     index: HashMap<String, Sym>,
 }
 

@@ -56,6 +56,7 @@ pub struct Reasoner {
     rules: RuleSet,
     /// Per-event, per-field categorical domains observed from the rules;
     /// used by [`Reasoner::sample_valid`].
+    // kinet-lint: allow(nondeterministic-iteration) — memo cache, get/insert by key only, never iterated
     cache: RwLock<HashMap<String, bool>>,
 }
 
@@ -70,6 +71,7 @@ impl Reasoner {
     pub fn new(rules: RuleSet) -> Self {
         Self {
             rules,
+            // kinet-lint: allow(nondeterministic-iteration) — same lookup-only memo cache as the field above
             cache: RwLock::new(HashMap::new()),
         }
     }

@@ -1,0 +1,160 @@
+//! The hot-path manifest: `crates/lint/hotlist.toml` names the functions
+//! whose bodies the allocation lint patrols (the PR 2–3 allocation-free
+//! contracts: tape backward, the GEMM kernel, the `KgTrainPipeline` batch
+//! loop, the in-place optimizers).
+//!
+//! The file is a tiny TOML subset parsed by hand (no TOML crate in the
+//! offline build): `[[hot]]` array-of-tables entries with a `file` string
+//! and a `functions` string array. Unknown keys or malformed lines are
+//! hard errors — a silently ignored manifest line would silently drop
+//! lint coverage.
+
+/// One manifest entry: a file and the hot functions inside it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotFile {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// `fn` names whose bodies must stay allocation-free.
+    pub functions: Vec<String>,
+}
+
+/// Parses the manifest. See the module docs for the accepted grammar.
+///
+/// # Errors
+///
+/// Returns a `line: message` string on any line that is not a comment,
+/// blank, `[[hot]]` header, `file = "…"`, or `functions = ["…", …]`.
+pub fn parse_hotlist(text: &str) -> Result<Vec<HotFile>, String> {
+    let mut out: Vec<HotFile> = Vec::new();
+    let mut open = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[hot]]" {
+            if open {
+                validate_entry(out.last().unwrap(), lineno)?;
+            }
+            out.push(HotFile {
+                file: String::new(),
+                functions: Vec::new(),
+            });
+            open = true;
+            continue;
+        }
+        let entry = out
+            .last_mut()
+            .ok_or_else(|| format!("{lineno}: key outside a [[hot]] entry"))?;
+        if let Some(v) = strip_key(line, "file") {
+            entry.file = parse_string(v).ok_or_else(|| format!("{lineno}: file wants a string"))?;
+        } else if let Some(v) = strip_key(line, "functions") {
+            entry.functions = parse_string_array(v)
+                .ok_or_else(|| format!("{lineno}: functions wants [\"…\"]"))?;
+        } else {
+            return Err(format!("{lineno}: unrecognized manifest line {line:?}"));
+        }
+    }
+    if let Some(last) = out.last() {
+        validate_entry(last, text.lines().count())?;
+    }
+    Ok(out)
+}
+
+fn validate_entry(e: &HotFile, lineno: usize) -> Result<(), String> {
+    if e.file.is_empty() {
+        return Err(format!("{lineno}: [[hot]] entry missing file"));
+    }
+    if e.functions.is_empty() {
+        return Err(format!(
+            "{lineno}: [[hot]] entry for {} lists no functions",
+            e.file
+        ));
+    }
+    Ok(())
+}
+
+fn strip_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(key)?.trim_start();
+    rest.strip_prefix('=').map(str::trim)
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    (!inner.contains('"')).then(|| inner.to_string())
+}
+
+fn parse_string_array(v: &str) -> Option<Vec<String>> {
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| parse_string(item.trim()))
+        .collect()
+}
+
+/// Parses the unsafe allowlist: one workspace-relative path per line, one
+/// line per permitted `unsafe` site (a file with two sites appears twice);
+/// `#` comments and blank lines are ignored.
+pub fn parse_unsafe_allowlist(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_comments_and_blanks() {
+        let text = r#"
+# hot functions
+[[hot]]
+file = "crates/nn/src/tape.rs"
+functions = ["backward"]
+
+[[hot]]
+file = "crates/tensor/src/kernel.rs"
+functions = ["gemm", "gemm_rows"]
+"#;
+        let hot = parse_hotlist(text).unwrap();
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].file, "crates/nn/src/tape.rs");
+        assert_eq!(hot[1].functions, ["gemm", "gemm_rows"]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_hotlist("file = \"x\"\n").is_err(), "key before entry");
+        assert!(
+            parse_hotlist("[[hot]]\nfile = \"x\"\n").is_err(),
+            "no functions"
+        );
+        assert!(
+            parse_hotlist("[[hot]]\nfunctions = [\"f\"]\n").is_err(),
+            "no file"
+        );
+        assert!(
+            parse_hotlist("[[hot]]\nfile = \"x\"\nfunctions = [\"f\"]\nbogus : 3\n").is_err(),
+            "unknown key"
+        );
+        assert!(
+            parse_hotlist("[[hot]]\n[[hot]]\nfile = \"x\"\nfunctions = [\"f\"]\n").is_err(),
+            "first entry empty"
+        );
+    }
+
+    #[test]
+    fn unsafe_allowlist_counts_lines() {
+        let text = "# none yet\n\ncrates/x/src/a.rs\ncrates/x/src/a.rs\n";
+        let list = parse_unsafe_allowlist(text);
+        assert_eq!(list.len(), 2);
+        assert!(parse_unsafe_allowlist("# empty\n").is_empty());
+    }
+}

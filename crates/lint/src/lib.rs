@@ -1,0 +1,108 @@
+//! # kinet_lint — workspace invariant linting
+//!
+//! A comment- and string-aware source scanner (hand-rolled [`lexer`], no
+//! rustc plugin) that walks every workspace and `vendor/` `.rs` file and
+//! enforces the contracts the earlier PRs established in prose:
+//!
+//! * [`rules::RULE_NONDET_ITER`] — no hash-container iteration in the
+//!   deterministic crates (the bit-for-bit fingerprint holders),
+//! * [`rules::RULE_WALL_CLOCK`] — wall-clock reads only in timing modules,
+//! * [`rules::RULE_NO_UNSAFE`] — every `unsafe` needs a `SAFETY:` comment
+//!   and a committed allowlist entry,
+//! * [`rules::RULE_HOT_ALLOC`] — the `hotlist.toml` functions stay
+//!   allocation-free,
+//! * [`rules::RULE_THREAD_KNOB`] — `KINET_THREADS` stays contained in the
+//!   pool/schedule modules.
+//!
+//! Findings can be excused inline with
+//! `// kinet-lint: allow(<rule>) — <reason>` ([`suppress`]); the reason is
+//! mandatory and stale or malformed directives are violations themselves.
+//! The `lint_gate` bin (in `kinet_bench`) renders a [`LintReport`] to
+//! `lint_report.json` and fails CI on any unsuppressed finding.
+
+pub mod hotlist;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+pub use hotlist::{parse_hotlist, parse_unsafe_allowlist, HotFile};
+pub use report::{Finding, LintReport};
+pub use rules::{scan_source, LintConfig};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Every `.rs` file the lint patrols, as sorted
+/// `(workspace-relative path, absolute path)` pairs. Skips `target/`,
+/// `.git/`, and the lint fixture corpus (deliberate violations used by
+/// the engine's own tests).
+pub fn workspace_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = relpath(&path, root);
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" || rel.ends_with("tests/fixtures") {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+fn relpath(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Loads the repository's standing policy: `crates/lint/hotlist.toml` and
+/// `crates/lint/unsafe_allowlist.txt` under `root`, wrapped in
+/// [`LintConfig::repo_policy`].
+pub fn load_workspace_config(root: &Path) -> Result<LintConfig, String> {
+    let hot_path = root.join("crates/lint/hotlist.toml");
+    let hot_text =
+        fs::read_to_string(&hot_path).map_err(|e| format!("read {}: {e}", hot_path.display()))?;
+    let hotlist = parse_hotlist(&hot_text).map_err(|e| format!("{}: {e}", hot_path.display()))?;
+    let allow_path = root.join("crates/lint/unsafe_allowlist.txt");
+    let allow_text = fs::read_to_string(&allow_path)
+        .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
+    Ok(LintConfig::repo_policy(
+        hotlist,
+        parse_unsafe_allowlist(&allow_text),
+    ))
+}
+
+/// Lints the whole workspace under `root` with an explicit config.
+pub fn run_with_config(root: &Path, cfg: &LintConfig) -> Result<LintReport, String> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    for (rel, path) in &files {
+        let src = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        findings.extend(rules::scan_source(rel, &src, cfg));
+    }
+    Ok(LintReport::from_findings(files.len(), findings))
+}
+
+/// Lints the whole workspace under `root` with the committed policy —
+/// what `lint_gate` and the smoke test run.
+pub fn run_workspace(root: &Path) -> Result<LintReport, String> {
+    let cfg = load_workspace_config(root)?;
+    run_with_config(root, &cfg)
+}

@@ -1,0 +1,132 @@
+//! Machine-readable lint output: `lint_report.json`, round-trippable
+//! through the vendored serde deserializer exactly like the bench/sim/fleet
+//! reports, so CI can upload it and later runs can reload it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One finding, suppressed or not.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Finding {
+    /// Rule identifier (see [`crate::rules`]).
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `true` when an inline `kinet-lint: allow` covers this finding.
+    pub suppressed: bool,
+    /// The suppression's written reason (empty when unsuppressed).
+    pub reason: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = if self.suppressed { "allowed" } else { "FAIL" };
+        write!(
+            f,
+            "[{mark}] {}:{} {}: {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        if self.suppressed {
+            write!(f, " ({})", self.reason)?;
+        }
+        Ok(())
+    }
+}
+
+/// The full outcome of one lint run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LintReport {
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every finding, suppressed ones included, sorted by
+    /// (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings with no covering suppression — the gate fails when > 0.
+    pub unsuppressed: usize,
+    /// Findings carried by a reasoned inline allow.
+    pub suppressed: usize,
+    /// The rule catalog this engine version enforces.
+    pub rules: Vec<String>,
+}
+
+impl LintReport {
+    /// Assembles a report from raw findings (sorts and counts).
+    pub fn from_findings(files_scanned: usize, mut findings: Vec<Finding>) -> Self {
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule.as_str(),
+            ))
+        });
+        let suppressed = findings.iter().filter(|f| f.suppressed).count();
+        let unsuppressed = findings.len() - suppressed;
+        LintReport {
+            files_scanned,
+            findings,
+            unsuppressed,
+            suppressed,
+            rules: crate::rules::rule_catalog(),
+        }
+    }
+
+    /// `true` when the tree is clean: zero unsuppressed findings.
+    pub fn gate_passes(&self) -> bool {
+        self.unsuppressed == 0
+    }
+
+    /// The unsuppressed findings, for printing on failure.
+    pub fn failures(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize, suppressed: bool) -> Finding {
+        Finding {
+            rule: "wall-clock".into(),
+            file: file.into(),
+            line,
+            message: "Instant::now".into(),
+            suppressed,
+            reason: if suppressed {
+                "timing report".into()
+            } else {
+                String::new()
+            },
+        }
+    }
+
+    #[test]
+    fn counts_and_ordering() {
+        let r =
+            LintReport::from_findings(3, vec![finding("b.rs", 2, false), finding("a.rs", 9, true)]);
+        assert_eq!(r.findings[0].file, "a.rs", "sorted by file");
+        assert_eq!((r.unsuppressed, r.suppressed), (1, 1));
+        assert!(!r.gate_passes());
+        assert_eq!(r.failures().count(), 1);
+        assert!(LintReport::from_findings(0, vec![]).gate_passes());
+    }
+
+    #[test]
+    fn json_roundtrip_through_the_shim_deserializer() {
+        let r =
+            LintReport::from_findings(5, vec![finding("a.rs", 1, true), finding("a.rs", 4, false)]);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: LintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.files_scanned, 5);
+        assert_eq!(back.findings.len(), 2);
+        assert_eq!(back.unsuppressed, 1);
+        assert_eq!(back.findings[0].reason, "timing report");
+        assert_eq!(back.rules, r.rules);
+        let display = back.findings[1].to_string();
+        assert!(display.contains("[FAIL]") && display.contains("a.rs:4"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Inline suppression comments.
+//!
+//! Syntax (one per comment):
+//!
+//! ```text
+//! // kinet-lint: allow(<rule>) — <reason>
+//! ```
+//!
+//! The separator may be an em-dash, `--`, `-`, or `:`; the reason is
+//! mandatory — a suppression without one is itself a violation
+//! ([`crate::rules::RULE_SUPPRESSION`]), as is naming a rule the engine
+//! does not know. A directive on its own line covers the next line holding
+//! code (the annotate-above-the-declaration idiom — the comment may wrap
+//! over several lines); a directive trailing code covers only its own
+//! line. Either way, the named rule only.
+
+use crate::lexer::Token;
+use crate::rules::known_rule;
+
+/// One parsed `kinet-lint: allow(...)` directive.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// The rule the directive names (not necessarily a known one).
+    pub rule: String,
+    /// The written justification; empty when missing.
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The code line this directive excuses: its own line for a directive
+    /// trailing code, otherwise the next line holding any code (comment
+    /// continuation lines in between are skipped).
+    pub target: usize,
+}
+
+impl Suppression {
+    /// `true` when this directive excuses a finding at `line`.
+    pub fn covers(&self, line: usize) -> bool {
+        line == self.line || line == self.target
+    }
+}
+
+/// A malformed directive, surfaced as a finding by the engine.
+#[derive(Clone, Debug)]
+pub enum SuppressError {
+    /// `allow(rule)` had no ` — reason` tail.
+    MissingReason { rule: String, line: usize },
+    /// The rule name is not in the engine's catalog.
+    UnknownRule { rule: String, line: usize },
+    /// `kinet-lint:` marker without a parsable `allow(...)`.
+    Malformed { line: usize },
+}
+
+/// Extracts every suppression directive (and every malformed one) from a
+/// token stream's comments.
+pub fn parse_suppressions(tokens: &[Token]) -> (Vec<Suppression>, Vec<SuppressError>) {
+    let mut ok = Vec::new();
+    let mut errs = Vec::new();
+    let code_lines: std::collections::BTreeSet<usize> = tokens
+        .iter()
+        .filter(|t| t.is_code())
+        .map(|t| t.line)
+        .collect();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        // The directive must open the comment (after the `//`/`/*`/doc
+        // markers) — prose or doc examples *mentioning* the syntax
+        // mid-comment are not directives.
+        let mut body = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        if let Some(stripped) = body.strip_suffix("*/") {
+            body = stripped.trim_end();
+        }
+        let Some(rest) = body.strip_prefix("kinet-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            errs.push(SuppressError::Malformed { line: t.line });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            errs.push(SuppressError::Malformed { line: t.line });
+            continue;
+        };
+        let rule = args[..close].trim().to_string();
+        if !known_rule(&rule) {
+            errs.push(SuppressError::UnknownRule { rule, line: t.line });
+            continue;
+        }
+        let tail = args[close + 1..].trim_start();
+        let reason = ["—", "--", "-", ":"]
+            .iter()
+            .find_map(|sep| tail.strip_prefix(sep))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            errs.push(SuppressError::MissingReason { rule, line: t.line });
+            continue;
+        }
+        let target = if code_lines.contains(&t.line) {
+            t.line // trailing a statement: covers that statement only
+        } else {
+            // Annotate-above: the first code line below the comment block.
+            code_lines
+                .range(t.line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(t.line)
+        };
+        ok.push(Suppression {
+            rule,
+            reason: reason.to_string(),
+            line: t.line,
+            target,
+        });
+    }
+    (ok, errs)
+}
+
+/// The suppression covering `rule` at `line`, if any (see
+/// [`Suppression::covers`]).
+pub fn covering<'a>(
+    suppressions: &'a [Suppression],
+    rule: &str,
+    line: usize,
+) -> Option<&'a Suppression> {
+    suppressions
+        .iter()
+        .find(|s| s.rule == rule && s.covers(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::RULE_WALL_CLOCK;
+
+    #[test]
+    fn parses_reasoned_allow_with_every_separator() {
+        for sep in ["—", "--", "-", ":"] {
+            let src = format!("// kinet-lint: allow(wall-clock) {sep} report-only timing\nx();");
+            let (ok, errs) = parse_suppressions(&lex(&src));
+            assert!(errs.is_empty(), "sep {sep}");
+            assert_eq!(ok.len(), 1);
+            assert_eq!(ok[0].rule, RULE_WALL_CLOCK);
+            assert_eq!(ok[0].reason, "report-only timing");
+            assert!(
+                covering(&ok, RULE_WALL_CLOCK, 2).is_some(),
+                "covers next line"
+            );
+            assert!(
+                covering(&ok, RULE_WALL_CLOCK, 3).is_none(),
+                "two lines down"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_errors() {
+        let src = "// kinet-lint: allow(wall-clock)\n// kinet-lint: allow(made-up) — why\n";
+        let (ok, errs) = parse_suppressions(&lex(src));
+        assert!(ok.is_empty());
+        assert_eq!(errs.len(), 2);
+        assert!(
+            matches!(&errs[0], SuppressError::MissingReason { rule, line: 1 } if rule == "wall-clock")
+        );
+        assert!(
+            matches!(&errs[1], SuppressError::UnknownRule { rule, line: 2 } if rule == "made-up")
+        );
+    }
+
+    #[test]
+    fn directives_inside_strings_are_ignored() {
+        let src = "let s = \"// kinet-lint: allow(wall-clock) — nope\";";
+        let (ok, errs) = parse_suppressions(&lex(src));
+        assert!(ok.is_empty() && errs.is_empty());
+    }
+
+    #[test]
+    fn marker_without_allow_is_malformed() {
+        let (ok, errs) = parse_suppressions(&lex("// kinet-lint: disable everything\n"));
+        assert!(ok.is_empty());
+        assert!(matches!(errs[0], SuppressError::Malformed { line: 1 }));
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: identical wall-clock reads, but `crates/bench/` is an
+// allowlisted timing harness — no findings.
+use std::time::Instant;
+
+pub fn stamp_ms() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

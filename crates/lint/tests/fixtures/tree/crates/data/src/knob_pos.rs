@@ -1,0 +1,11 @@
+// Fixture: thread-knob references outside the pool/schedule modules.
+pub fn worker_count() -> usize {
+    std::env::var("KINET_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn ambient() -> usize {
+    num_threads()
+}

@@ -1,0 +1,10 @@
+// Fixture: three broken directives — reason-less, unknown rule, and a
+// stale allow that excuses nothing. Each is its own finding.
+pub fn broken() -> u32 {
+    // kinet-lint: allow(wall-clock)
+    let a = 1;
+    // kinet-lint: allow(imaginary-rule) — not a rule the engine knows
+    let b = 2;
+    // kinet-lint: allow(wall-clock) — stale: nothing here reads a clock
+    a + b
+}

@@ -1,0 +1,9 @@
+// Fixture: a reasoned inline suppression — the finding must surface as
+// suppressed, carrying the reason, and not fail the gate.
+use std::time::Instant;
+
+pub fn timed() -> f64 {
+    // kinet-lint: allow(wall-clock) — fixture: report-only timing
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads outside an allowlisted timing module.
+use std::time::Instant;
+
+pub fn elapsed_ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+pub fn stamp_ms() -> f64 {
+    let t0 = Instant::now();
+    elapsed_ms(t0)
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

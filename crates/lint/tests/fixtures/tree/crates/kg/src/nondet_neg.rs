@@ -1,0 +1,11 @@
+// Fixture: the deterministic alternative — ordered containers iterate
+// freely and must produce no findings.
+use std::collections::BTreeMap;
+
+pub fn histogram(events: &[String]) -> Vec<(String, usize)> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for e in events {
+        *counts.entry(e.clone()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,15 @@
+// Fixture: hash-container declaration and iteration in a deterministic
+// crate — every HashMap mention below must be flagged.
+use std::collections::HashMap;
+
+pub fn histogram(events: &[String]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for e in events {
+        *counts.entry(e.clone()).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (k, v) in &counts {
+        out.push((k.clone(), *v));
+    }
+    out
+}

@@ -1,0 +1,6 @@
+// Fixture: a hotlisted function that honors the allocation-free contract.
+pub fn hot_clean(acc: &mut [f32], xs: &[f32]) {
+    for (a, x) in acc.iter_mut().zip(xs) {
+        *a += x;
+    }
+}

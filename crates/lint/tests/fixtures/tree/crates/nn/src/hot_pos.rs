@@ -1,0 +1,13 @@
+// Fixture: allocations inside a hotlisted function body. `cold_setup`
+// allocates too but is not on the hotlist, so only `hot_loop` is flagged.
+pub fn hot_loop(xs: &[f32]) -> f32 {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(xs);
+    let label = format!("n={}", buf.len());
+    let doubled: Vec<f32> = buf.iter().map(|v| v * 2.0).collect();
+    doubled.len() as f32 + label.len() as f32
+}
+
+pub fn cold_setup() -> Vec<f32> {
+    vec![0.0; 16]
+}

@@ -1,0 +1,16 @@
+// Fixture: the pool module owns the thread knob — identical references
+// are allowed here.
+pub fn worker_count() -> usize {
+    std::env::var("KINET_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn ambient() -> usize {
+    num_threads()
+}
+
+fn num_threads() -> usize {
+    1
+}

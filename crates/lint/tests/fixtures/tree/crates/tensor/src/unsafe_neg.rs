@@ -1,0 +1,6 @@
+// Fixture: `unsafe` with both a SAFETY comment and an allowlist entry
+// (see ../../../lint/unsafe_allowlist.txt in this fixture tree) — clean.
+pub fn zeroed() -> u32 {
+    // SAFETY: u32 has no invalid bit patterns, so zeroed is always valid.
+    unsafe { std::mem::zeroed() }
+}

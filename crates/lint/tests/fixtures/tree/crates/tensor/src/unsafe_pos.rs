@@ -1,0 +1,4 @@
+// Fixture: bare `unsafe` — no SAFETY comment, no allowlist entry.
+pub fn transmuted(v: u32) -> f32 {
+    unsafe { std::mem::transmute(v) }
+}

@@ -1,0 +1,52 @@
+//! Property test: feeding the lexer any chunking of any source produces
+//! the exact token stream of a whole-file lex — a finding can never be
+//! split, lost, or invented at a chunk boundary. The fragment pool leans
+//! into the hard cases: raw-string fences, nested comments, chars vs
+//! lifetimes, multi-byte UTF-8, and bare `r`/`b`/`#` tails.
+
+use kinet_lint::lexer::{lex, lex_chunked};
+use proptest::prelude::*;
+
+fn arb_source() -> impl Strategy<Value = String> {
+    let fragment = prop::sample::select(vec![
+        "fn main() {",
+        "}",
+        "// line comment with HashMap\n",
+        "/* block /* nested */ done */",
+        "let s = \"str with // not a comment\";",
+        "let r = r#\"raw \" body\"#;",
+        "let r2 = r\"no fence\";",
+        "let by = b\"bytes\";",
+        "let c = 'x';",
+        "let nl = '\\n';",
+        "fn f<'a>(v: &'a str) {}",
+        "1.5e3_f32",
+        "0xff_u8",
+        "// ünïcode — em-dash\n",
+        "let u = \"∀x\";",
+        "Instant::now()",
+        "vec![1, 2]",
+        "unsafe {}",
+        "\n",
+        " ",
+        "#",
+        "#[derive(Debug)]",
+        "r",
+        "b",
+        "br",
+        "\"open",
+    ]);
+    prop::collection::vec(fragment, 0..24).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunking_never_changes_the_token_stream(
+        src in arb_source(),
+        chunk_chars in 1usize..12,
+    ) {
+        prop_assert_eq!(lex_chunked(&src, chunk_chars), lex(&src));
+    }
+}

@@ -1,0 +1,36 @@
+//! Pins the workspace's `unsafe` budget to the committed allowlist:
+//! the total number of `unsafe` tokens across every workspace and vendor
+//! source must equal the number of allowlist entries — currently zero.
+//! Adding an unsafe block without an allowlist entry (plus its SAFETY
+//! comment) breaks this test *and* the lint gate.
+
+use std::path::PathBuf;
+
+#[test]
+fn unsafe_token_count_equals_allowlist_entries() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let cfg = kinet_lint::load_workspace_config(&root).expect("committed policy");
+    let files = kinet_lint::workspace_files(&root).expect("workspace walk");
+    let mut sites = Vec::new();
+    for (rel, path) in &files {
+        let src = std::fs::read_to_string(path).expect("readable source");
+        for tok in kinet_lint::lexer::lex(&src) {
+            if tok.is_ident("unsafe") {
+                sites.push(format!("{rel}:{}", tok.line));
+            }
+        }
+    }
+    assert_eq!(
+        sites.len(),
+        cfg.unsafe_allow.len(),
+        "unsafe tokens vs allowlist entries — sites: {sites:?}"
+    );
+    assert_eq!(
+        cfg.unsafe_allow.len(),
+        0,
+        "the workspace is expected to stay unsafe-free"
+    );
+}

@@ -125,8 +125,7 @@ pub(crate) fn gemm(
         // Honor a scoped `with_threads` override exactly (tests compare
         // thread counts on small shapes); otherwise cap the ambient worker
         // count so each worker owns enough flops to amortize its spawn.
-        let threads = pool::thread_override()
-            .unwrap_or_else(|| pool::num_threads().min((n * m * k / MIN_FLOPS_PER_THREAD).max(1)));
+        let threads = pool::workers_for(n * m * k, MIN_FLOPS_PER_THREAD);
         pool::parallel_rows(out, n, m, MR, threads, &|row0, chunk| {
             gemm_rows(chunk, row0, m, k, a, ta, packed_b, accumulate);
         });

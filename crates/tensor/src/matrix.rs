@@ -363,9 +363,7 @@ impl Matrix {
         // Copy-bound work: only fan out when each worker moves enough bytes
         // to amortize its spawn.
         const MIN_ELEMS_PER_THREAD: usize = 64 * 1024;
-        let threads = crate::pool::num_threads()
-            .min((out.data.len() / MIN_ELEMS_PER_THREAD).max(1))
-            .max(1);
+        let threads = crate::pool::workers_for(out.data.len(), MIN_ELEMS_PER_THREAD);
         let cols = self.cols;
         crate::pool::parallel_rows(
             &mut out.data,

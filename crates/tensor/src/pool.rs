@@ -50,6 +50,18 @@ pub(crate) fn thread_override() -> Option<usize> {
     THREAD_OVERRIDE.with(Cell::get).map(|n| n.max(1))
 }
 
+/// The worker count for a job of `work_items` units where spawning a
+/// worker is only worth it per `min_per_worker` units: a scoped
+/// [`with_threads`] override verbatim, otherwise the ambient count capped
+/// by the work-size threshold. This is the single knob-consuming entry
+/// point for callers outside this module (the thread-knob lint confines
+/// `num_threads`/`KINET_THREADS` here and to the fleet scheduler).
+pub fn workers_for(work_items: usize, min_per_worker: usize) -> usize {
+    thread_override()
+        .unwrap_or_else(|| num_threads().min((work_items / min_per_worker.max(1)).max(1)))
+        .max(1)
+}
+
 /// Runs `f` with the kernel worker count pinned to `n` on this thread,
 /// restoring the previous setting afterwards (also on panic).
 ///

@@ -103,6 +103,28 @@ fn kernel_thread_count_does_not_change_released_bytes() {
     }
 }
 
+#[test]
+fn workspace_is_lint_clean() {
+    // The same scan CI's lint_gate runs: every invariant-lint finding in
+    // the committed tree must carry a reasoned suppression.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = kinet_lint::run_workspace(root).expect("lint scan succeeds");
+    let failures: Vec<String> = report.failures().map(|f| f.to_string()).collect();
+    assert!(
+        failures.is_empty(),
+        "unsuppressed lint findings:\n{}",
+        failures.join("\n")
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.suppressed)
+            .all(|f| !f.reason.is_empty()),
+        "every suppression must carry its written reason"
+    );
+}
+
 fn small_shard_release_csv(interned: bool) -> Vec<u8> {
     // The condition-balanced trainer introduced for the Table-1 fix:
     // log-frequency train-by-sampling, sampling-time balancing, and
