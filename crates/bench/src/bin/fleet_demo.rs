@@ -18,10 +18,35 @@
 //! ```
 //!
 //! `--quick` shrinks both acts to CI-smoke scale. Exit code 1 on any
-//! violated assertion.
+//! violated assertion; a failed fleet run instead exits with the typed
+//! [`kinet_fleet::FleetError`] code (2 config-invalid, 3 quorum-lost,
+//! 4 internal).
 
 use kinet_bench::write_json;
 use kinet_fleet::{FleetConfig, FleetReport, FleetSim, ModelKind, SharingPolicy, UnionConfig};
+
+/// Collected assertion failures plus the process exit code to use: floor
+/// breaks keep 1, a typed fleet-run error escalates to its own code.
+#[derive(Default)]
+struct Failures {
+    msgs: Vec<String>,
+    run_error_code: Option<i32>,
+}
+
+impl Failures {
+    fn push(&mut self, msg: String) {
+        self.msgs.push(msg);
+    }
+
+    fn push_run_error(&mut self, context: &str, e: &kinet_fleet::FleetError) {
+        self.msgs.push(format!("{context}: {e}"));
+        self.run_error_code.get_or_insert(e.exit_code());
+    }
+
+    fn exit_code(&self) -> i32 {
+        self.run_error_code.unwrap_or(1)
+    }
+}
 
 struct Args {
     quick: bool,
@@ -77,7 +102,7 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 }
 
 /// Act 1: the streaming scale run.
-fn scale_run(args: &Args, failures: &mut Vec<String>) -> Option<FleetReport> {
+fn scale_run(args: &Args, failures: &mut Failures) -> Option<FleetReport> {
     println!(
         "[1/2] streaming scale run: {} devices x {} rows (chunk {}, window {})",
         args.devices, args.rows, args.chunk, args.window
@@ -95,7 +120,7 @@ fn scale_run(args: &Args, failures: &mut Vec<String>) -> Option<FleetReport> {
     let report = match FleetSim::new(cfg).run() {
         Ok(r) => r,
         Err(e) => {
-            failures.push(format!("scale run failed: {e}"));
+            failures.push_run_error("scale run failed", &e);
             return None;
         }
     };
@@ -132,7 +157,7 @@ fn scale_run(args: &Args, failures: &mut Vec<String>) -> Option<FleetReport> {
 }
 
 /// Act 2: the condition-union A/B on a class-skewed split.
-fn union_ab(args: &Args, failures: &mut Vec<String>) -> Vec<FleetReport> {
+fn union_ab(args: &Args, failures: &mut Failures) -> Vec<FleetReport> {
     let (devices, rows, epochs) = if args.quick {
         (3, 220, 2)
     } else {
@@ -161,7 +186,7 @@ fn union_ab(args: &Args, failures: &mut Vec<String>) -> Vec<FleetReport> {
                 println!("      {label}: {r}");
                 out.push(r);
             }
-            Err(e) => failures.push(format!("{label} run failed: {e}")),
+            Err(e) => failures.push_run_error(&format!("{label} run failed"), &e),
         }
     }
     if let [off, on] = out.as_slice() {
@@ -243,7 +268,7 @@ fn main() {
         if args.quick { " (quick mode)" } else { "" }
     );
     let previous = previous_reports();
-    let mut failures = Vec::new();
+    let mut failures = Failures::default();
     let mut reports = Vec::new();
     reports.extend(scale_run(&args, &mut failures));
     reports.extend(union_ab(&args, &mut failures));
@@ -275,12 +300,12 @@ fn main() {
         Err(e) => failures.push(format!("could not write fleet_report.json: {e}")),
     }
 
-    if failures.is_empty() {
+    if failures.msgs.is_empty() {
         println!("fleet_demo: all assertions hold");
     } else {
-        for f in &failures {
+        for f in &failures.msgs {
             eprintln!("fleet_demo FAIL: {f}");
         }
-        std::process::exit(1);
+        std::process::exit(failures.exit_code());
     }
 }

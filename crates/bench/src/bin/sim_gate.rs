@@ -14,7 +14,10 @@
 //! ```
 //!
 //! Defaults reproduce the CI floor configuration exactly. Exit code 1
-//! when any floor is violated or an argument is malformed.
+//! when any floor is violated or an argument is malformed; a failed
+//! simulation run instead exits with the typed
+//! [`kinet_nids::FleetError`] code (2 config-invalid, 3 quorum-lost,
+//! 4 internal).
 
 use kinet_bench::write_json;
 use kinet_datasets::lab::LabSimulator;
@@ -122,6 +125,7 @@ fn main() {
     let previous = previous_reports(&args.out).unwrap_or_default();
     let mut reports = Vec::new();
     let mut failures: Vec<String> = Vec::new();
+    let mut run_error_code: Option<i32> = None;
     for policy in [
         SharingPolicy::Raw,
         SharingPolicy::Synthetic(ModelKind::KinetGan),
@@ -141,7 +145,10 @@ fn main() {
                 print_delta(&previous, &report);
                 reports.push((policy, report));
             }
-            Err(e) => failures.push(format!("{policy:?}: simulation failed: {e}")),
+            Err(e) => {
+                failures.push(format!("{policy:?}: simulation failed: {e}"));
+                run_error_code.get_or_insert(e.exit_code());
+            }
         }
     }
 
@@ -201,6 +208,6 @@ fn main() {
         for f in &failures {
             eprintln!("sim_gate FAIL: {f}");
         }
-        std::process::exit(1);
+        std::process::exit(run_error_code.unwrap_or(1));
     }
 }

@@ -223,6 +223,13 @@ impl StreamValidity {
         Ok(())
     }
 
+    /// Folds another tally into this one (e.g. a per-share tally into a
+    /// pool-wide aggregate). Pure addition, so folding order never matters.
+    pub fn absorb(&mut self, other: &StreamValidity) {
+        self.valid += other.valid;
+        self.total += other.total;
+    }
+
     /// Valid fraction of every row observed (1.0 before any row).
     pub fn rate(&self) -> f64 {
         if self.total == 0 {
@@ -293,6 +300,109 @@ impl<S: ChunkSource> StreamingShard<S> {
             self.peak.observe(chunk.n_rows() + retained);
         }
         Ok(())
+    }
+}
+
+/// Stream-level fault shape for a [`FaultedSource`] wrapper. Offsets are
+/// row counts from the start of the stream; `None` disables that fault.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChunkFaultSpec {
+    /// Stream ends (cleanly) after this many rows: a truncated shard.
+    pub truncate_after: Option<usize>,
+    /// Numeric cells of rows at stream offset ≥ this arrive as NaN: a
+    /// corrupt wire.
+    pub poison_from: Option<usize>,
+    /// The source returns an error once this many rows were yielded: a
+    /// mid-stream crash.
+    pub fail_after: Option<usize>,
+}
+
+impl ChunkFaultSpec {
+    /// `true` when no fault is configured.
+    pub fn is_clean(&self) -> bool {
+        self.truncate_after.is_none() && self.poison_from.is_none() && self.fail_after.is_none()
+    }
+}
+
+/// A [`ChunkSource`] wrapper that injects stream-level faults —
+/// truncation, NaN corruption, or a mid-stream failure — at deterministic
+/// row offsets. With a clean spec it is a transparent pass-through, so
+/// fault-aware callers can wrap unconditionally.
+#[derive(Debug)]
+pub struct FaultedSource<S> {
+    inner: S,
+    spec: ChunkFaultSpec,
+    yielded: usize,
+}
+
+impl<S: ChunkSource> FaultedSource<S> {
+    /// Wraps `inner` with the given fault shape.
+    pub fn new(inner: S, spec: ChunkFaultSpec) -> Self {
+        Self {
+            inner,
+            spec,
+            yielded: 0,
+        }
+    }
+
+    /// Rows yielded so far (post-fault view).
+    pub fn yielded(&self) -> usize {
+        self.yielded
+    }
+}
+
+impl<S: ChunkSource> ChunkSource for FaultedSource<S> {
+    fn schema(&self) -> &crate::Schema {
+        self.inner.schema()
+    }
+
+    fn next_chunk(&mut self, max_rows: usize) -> Result<Option<Table>, DataError> {
+        if let Some(fail_at) = self.spec.fail_after {
+            if self.yielded >= fail_at {
+                return Err(DataError::Parse(format!(
+                    "injected stream fault after {} row(s)",
+                    self.yielded
+                )));
+            }
+        }
+        if let Some(cut) = self.spec.truncate_after {
+            if self.yielded >= cut {
+                return Ok(None);
+            }
+        }
+        // Clamp the request so fault offsets land on chunk boundaries:
+        // the wrapper never yields a row past a configured horizon.
+        let mut want = max_rows.max(1);
+        for horizon in [self.spec.fail_after, self.spec.truncate_after]
+            .into_iter()
+            .flatten()
+        {
+            want = want.min(horizon.saturating_sub(self.yielded).max(1));
+        }
+        let Some(mut chunk) = self.inner.next_chunk(want)? else {
+            return Ok(None);
+        };
+        if let Some(poison_from) = self.spec.poison_from {
+            let start = self.yielded;
+            let numeric: Vec<usize> = chunk
+                .schema()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.kind() == crate::ColumnKind::Continuous)
+                .map(|(i, _)| i)
+                .collect();
+            for r in 0..chunk.n_rows() {
+                if start + r >= poison_from {
+                    let mut row = chunk.row(r);
+                    for &c in &numeric {
+                        row[c] = crate::Value::num(f64::NAN);
+                    }
+                    chunk.set_row(r, row)?;
+                }
+            }
+        }
+        self.yielded += chunk.n_rows();
+        Ok(Some(chunk))
     }
 }
 
@@ -417,5 +527,79 @@ mod tests {
         // final chunk: 2 rows + 9 retained rows residency
         assert!(peak.peak() >= 11, "peak {}", peak.peak());
         assert!(peak.peak() < 20, "peak must not reach eager size");
+    }
+
+    #[test]
+    fn stream_validity_rate_is_one_before_any_row() {
+        // Regression: a device that shared zero rows must not poison
+        // aggregate validity with NaN.
+        let v = StreamValidity::new();
+        assert_eq!(v.total(), 0);
+        assert_eq!(v.rate(), 1.0);
+        assert!(v.rate().is_finite());
+    }
+
+    #[test]
+    fn clean_faulted_source_is_transparent() {
+        let t = numbered(17);
+        let collected = FaultedSource::new(TableChunks::new(&t), ChunkFaultSpec::default())
+            .collect(5)
+            .unwrap();
+        assert_eq!(collected, t);
+        assert!(ChunkFaultSpec::default().is_clean());
+    }
+
+    #[test]
+    fn truncation_ends_the_stream_early() {
+        let t = numbered(20);
+        let spec = ChunkFaultSpec {
+            truncate_after: Some(7),
+            ..ChunkFaultSpec::default()
+        };
+        let mut src = FaultedSource::new(TableChunks::new(&t), spec);
+        let collected = src.collect(4).unwrap();
+        assert_eq!(
+            collected.n_rows(),
+            7,
+            "cut mid-chunk, exactly at the horizon"
+        );
+        assert_eq!(src.yielded(), 7);
+    }
+
+    #[test]
+    fn poisoning_nans_numeric_cells_from_the_offset() {
+        let t = numbered(10);
+        let spec = ChunkFaultSpec {
+            poison_from: Some(4),
+            ..ChunkFaultSpec::default()
+        };
+        let collected = FaultedSource::new(TableChunks::new(&t), spec)
+            .collect(3)
+            .unwrap();
+        let xs = collected.num_column("x").unwrap();
+        assert!(xs[..4].iter().all(|v| v.is_finite()), "clean prefix");
+        assert!(xs[4..].iter().all(|v| v.is_nan()), "poisoned suffix");
+        // Categorical cells are untouched.
+        assert_eq!(collected.cat_column("c").unwrap()[9], "r9");
+    }
+
+    #[test]
+    fn mid_stream_failure_surfaces_as_a_data_error() {
+        let t = numbered(12);
+        let spec = ChunkFaultSpec {
+            fail_after: Some(5),
+            ..ChunkFaultSpec::default()
+        };
+        let mut src = FaultedSource::new(TableChunks::new(&t), spec);
+        let mut rows = 0;
+        let err = loop {
+            match src.next_chunk(4) {
+                Ok(Some(chunk)) => rows += chunk.n_rows(),
+                Ok(None) => panic!("stream must fail, not end"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(rows, 5, "exactly the pre-fault rows arrive");
+        assert!(err.to_string().contains("injected stream fault"), "{err}");
     }
 }

@@ -1,6 +1,9 @@
 //! Fleet run configuration: sharing policies, scale knobs, memory bounds,
-//! and the condition-union protocol settings.
+//! the condition-union protocol settings, and the fault/recovery policies.
 
+use crate::error::FleetError;
+use crate::fault::FaultConfig;
+use crate::resilience::ResilienceConfig;
 use kinet_data::sampler::BalanceMode;
 
 /// Which synthesizer devices use under [`SharingPolicy::Synthetic`].
@@ -129,6 +132,11 @@ pub struct FleetConfig {
     pub device_attack_fraction: Vec<(usize, f64)>,
     /// Condition-union protocol settings.
     pub union: UnionConfig,
+    /// Fault-injection plan settings (off by default).
+    pub fault: FaultConfig,
+    /// Recovery policy: retry, quarantine, and quorum knobs. Defaults
+    /// reproduce the pre-recovery behavior (full quorum, no floor).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for FleetConfig {
@@ -148,6 +156,8 @@ impl Default for FleetConfig {
             attack_fraction: 0.08,
             device_attack_fraction: Vec::new(),
             union: UnionConfig::default(),
+            fault: FaultConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -178,40 +188,47 @@ impl FleetConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`FleetError::Config`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        let bad = |m: &str| Err(FleetError::Config(m.to_string()));
         if self.n_devices == 0 {
-            return Err("n_devices must be positive".into());
+            return bad("n_devices must be positive");
         }
         if self.rows_per_device == 0 {
-            return Err("rows_per_device must be positive".into());
+            return bad("rows_per_device must be positive");
         }
         if self.test_records == 0 {
-            return Err("test_records must be positive".into());
+            return bad("test_records must be positive");
         }
         if self.chunk_rows == 0 {
-            return Err("chunk_rows must be positive".into());
+            return bad("chunk_rows must be positive");
         }
         if self.device_window == Some(0) {
-            return Err("device_window must be positive when set".into());
+            return bad("device_window must be positive when set");
         }
         if self.release_rows == Some(0) {
-            return Err("release_rows must be positive when set".into());
+            return bad("release_rows must be positive when set");
         }
         if !(0.0..=1.0).contains(&self.attack_fraction) {
-            return Err("attack_fraction must be in [0, 1]".into());
+            return bad("attack_fraction must be in [0, 1]");
         }
         for (d, f) in &self.device_attack_fraction {
             if *d >= self.n_devices {
-                return Err(format!("attack-fraction override for unknown device {d}"));
+                return Err(FleetError::Config(format!(
+                    "attack-fraction override for unknown device {d}"
+                )));
             }
             if !(0.0..=1.0).contains(f) {
-                return Err(format!("device {d} attack fraction {f} out of [0, 1]"));
+                return Err(FleetError::Config(format!(
+                    "device {d} attack fraction {f} out of [0, 1]"
+                )));
             }
         }
         if self.union.enabled && self.union.seeds_per_class == 0 {
-            return Err("union.seeds_per_class must be positive when enabled".into());
+            return bad("union.seeds_per_class must be positive when enabled");
         }
+        self.fault.validate(self.n_devices)?;
+        self.resilience.validate()?;
         Ok(())
     }
 }
@@ -256,6 +273,23 @@ mod tests {
             c.union.seeds_per_class = 0;
         })
         .is_err());
+        assert!(bad(|c| c.resilience.quorum_frac = 2.0).is_err());
+        assert!(bad(|c| {
+            c.fault.enabled = true;
+            c.fault.rates.crash = -0.5;
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn config_errors_are_typed_and_exit_as_config_invalid() {
+        let c = FleetConfig {
+            n_devices: 0,
+            ..FleetConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_CONFIG_INVALID);
+        assert!(err.to_string().contains("n_devices"));
     }
 
     #[test]

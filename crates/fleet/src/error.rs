@@ -1,0 +1,248 @@
+//! Typed fleet errors.
+//!
+//! PR 5 left every fleet/nids failure as a bare `String`, which made the
+//! orchestrator fail-fast by construction: a caller could not tell "the
+//! config is invalid" from "device 7 diverged" from "the round lost
+//! quorum", so the only safe reaction was to abort the whole round. The
+//! recovery layer ([`crate::resilience`]) needs those distinctions — a
+//! device fault is retryable, a quorum loss is a loud round failure, a
+//! config error is a caller bug — and the process gates need them as
+//! distinct exit codes.
+
+use kinet_data::DataError;
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong inside one device's round contribution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceFaultKind {
+    /// The device died while streaming its shard.
+    CrashAcquire,
+    /// The device died while fitting its generator.
+    CrashMidFit,
+    /// The device exceeded the straggler tick budget.
+    Straggler,
+    /// The device's chunk stream failed (truncated/corrupt source error).
+    Stream,
+    /// Generator training or sampling failed.
+    Training,
+    /// Anything else (schema mismatch, seeding failure).
+    Other,
+}
+
+impl DeviceFaultKind {
+    /// Stable label used in reports and fault logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceFaultKind::CrashAcquire => "crash-acquire",
+            DeviceFaultKind::CrashMidFit => "crash-mid-fit",
+            DeviceFaultKind::Straggler => "straggler",
+            DeviceFaultKind::Stream => "stream",
+            DeviceFaultKind::Training => "training",
+            DeviceFaultKind::Other => "other",
+        }
+    }
+}
+
+/// Any failure a fleet run can surface. `Display` renders a one-line
+/// human message; [`Error::source`] exposes the underlying cause where one
+/// exists; [`FleetError::exit_code`] maps the variant onto the process
+/// exit-code contract shared by `fleet_demo`/`sim_gate`/`chaos_gate`.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The configuration is internally inconsistent (caller bug; never
+    /// retryable).
+    Config(String),
+    /// A data-layer failure outside any one device (test-stream
+    /// generation, wire encoding, pooling).
+    Data {
+        /// What the fleet was doing when the data layer failed.
+        context: String,
+        /// The underlying error.
+        source: DataError,
+    },
+    /// One device's contribution failed. Recorded per attempt by the
+    /// recovery layer; only surfaces as a round error when quorum is lost.
+    Device {
+        /// Fleet index of the failing device.
+        device_index: usize,
+        /// Device identity.
+        device: String,
+        /// Failure class (drives retry policy and fault accounting).
+        kind: DeviceFaultKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Fewer devices reported than the quorum fraction requires; the
+    /// round refuses to commit.
+    QuorumLost {
+        /// Devices whose contribution was accepted.
+        reported: usize,
+        /// Devices the quorum fraction requires.
+        required: usize,
+        /// Fleet size.
+        n_devices: usize,
+        /// `(device_index, last failure)` for every degraded device.
+        degraded: Vec<(usize, String)>,
+    },
+    /// A checkpoint file could not be read, parsed, or written.
+    Checkpoint(String),
+    /// An invariant the orchestrator relies on was violated.
+    Internal(String),
+}
+
+/// Process exit codes shared by the fleet gates (`fleet_demo`, `sim_gate`,
+/// `chaos_gate`): `1` stays reserved for violated gate assertions/floors.
+pub const EXIT_CONFIG_INVALID: i32 = 2;
+/// Exit code for a round that lost quorum.
+pub const EXIT_QUORUM_LOST: i32 = 3;
+/// Exit code for internal/device/data failures.
+pub const EXIT_INTERNAL: i32 = 4;
+
+impl FleetError {
+    /// Convenience constructor for device faults.
+    pub fn device(
+        device_index: usize,
+        device: impl Into<String>,
+        kind: DeviceFaultKind,
+        message: impl Into<String>,
+    ) -> Self {
+        FleetError::Device {
+            device_index,
+            device: device.into(),
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// The process exit code a gate should die with when this error
+    /// escapes: config-invalid, quorum-lost, and internal failures are
+    /// distinguishable from shell scripts and CI alike.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            FleetError::Config(_) => EXIT_CONFIG_INVALID,
+            FleetError::QuorumLost { .. } => EXIT_QUORUM_LOST,
+            _ => EXIT_INTERNAL,
+        }
+    }
+
+    /// `true` when the recovery layer may retry the failed attempt
+    /// (device-local faults are retryable; config/quorum failures are
+    /// not).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, FleetError::Device { .. } | FleetError::Data { .. })
+    }
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config(m) => write!(f, "invalid fleet config: {m}"),
+            FleetError::Data { context, source } => write!(f, "{context}: {source}"),
+            FleetError::Device {
+                device_index,
+                device,
+                kind,
+                message,
+            } => write!(
+                f,
+                "device {device_index} ({device}) {}: {message}",
+                kind.label()
+            ),
+            FleetError::QuorumLost {
+                reported,
+                required,
+                n_devices,
+                degraded,
+            } => {
+                write!(
+                    f,
+                    "quorum lost: {reported}/{n_devices} devices reported, {required} required"
+                )?;
+                for (d, why) in degraded {
+                    write!(f, "; device {d}: {why}")?;
+                }
+                Ok(())
+            }
+            FleetError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+            FleetError::Internal(m) => write!(f, "internal fleet error: {m}"),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FleetError::Data { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for FleetError {
+    fn from(e: DataError) -> Self {
+        FleetError::Data {
+            context: "data layer".to_string(),
+            source: e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = FleetError::device(3, "smart_plug", DeviceFaultKind::CrashMidFit, "injected");
+        assert_eq!(
+            e.to_string(),
+            "device 3 (smart_plug) crash-mid-fit: injected"
+        );
+        let q = FleetError::QuorumLost {
+            reported: 2,
+            required: 3,
+            n_devices: 4,
+            degraded: vec![(1, "crash".into()), (2, "straggler".into())],
+        };
+        let s = q.to_string();
+        assert!(s.contains("2/4 devices reported, 3 required"), "{s}");
+        assert!(s.contains("device 1: crash"), "{s}");
+    }
+
+    #[test]
+    fn source_chain_reaches_the_data_error() {
+        let e = FleetError::Data {
+            context: "pooling failed".into(),
+            source: DataError::UnknownColumn("event".into()),
+        };
+        let src = e.source().expect("data errors carry a source");
+        assert!(src.to_string().contains("event"));
+        assert!(FleetError::Config("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        let config = FleetError::Config("bad".into());
+        let quorum = FleetError::QuorumLost {
+            reported: 0,
+            required: 1,
+            n_devices: 1,
+            degraded: Vec::new(),
+        };
+        let internal = FleetError::Internal("bug".into());
+        let codes = [config.exit_code(), quorum.exit_code(), internal.exit_code()];
+        assert_eq!(
+            codes,
+            [EXIT_CONFIG_INVALID, EXIT_QUORUM_LOST, EXIT_INTERNAL]
+        );
+        assert!(codes.iter().all(|&c| c != 0 && c != 1));
+    }
+
+    #[test]
+    fn retryability_follows_the_variant() {
+        assert!(FleetError::device(0, "d", DeviceFaultKind::Straggler, "slow").is_retryable());
+        assert!(!FleetError::Config("bad".into()).is_retryable());
+        assert!(!FleetError::Internal("bug".into()).is_retryable());
+    }
+}

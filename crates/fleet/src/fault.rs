@@ -1,0 +1,651 @@
+//! Seeded, deterministic fault injection for fleet rounds.
+//!
+//! Real edge fleets drop out, straggle, and emit garbage as the *normal*
+//! case (FLVision-style deployments; NE-GM-GAN's non-exhaustive classes).
+//! This module makes those behaviors first-class and — crucially —
+//! **reproducible**: a [`FaultPlan`] is a pure function of the fleet seed
+//! and a [`FaultConfig`], so a chaotic run is exactly as bit-reproducible
+//! across `KINET_THREADS` values as a healthy one. Time never comes from
+//! the wall clock: stragglers and retry backoff spend ticks on a
+//! [`VirtualClock`], keeping the `wall-clock` lint rule green and the
+//! fingerprint stable.
+//!
+//! Fault taxonomy (DESIGN.md §2.7):
+//!
+//! | kind | phase | effect |
+//! |---|---|---|
+//! | `CrashAcquire` | acquire | shard stream dies mid-chunk |
+//! | `CrashMidFit` | prepare | generator fit aborts |
+//! | `TruncateChunks` | acquire | stream ends early (short shard) |
+//! | `CorruptChunks` | acquire | NaN-poisoned numeric cells mid-stream |
+//! | `PoisonShareNan` | share | non-finite cells in the released table |
+//! | `PoisonShareKg` | share | KG-invalid values in the released table |
+//! | `DropVocab` | union | vocab message never arrives |
+//! | `DelayVocab` | union | vocab message late by `magnitude` ticks |
+//! | `Straggle` | acquire | device stalls `magnitude` virtual ticks |
+
+use crate::error::FleetError;
+use kinet_data::stream::ChunkFaultSpec;
+use kinet_data::Table;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fault persisting for this many attempts never heals.
+pub const PERMANENT: usize = usize::MAX;
+
+/// The injectable fault classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Shard stream dies partway through acquisition.
+    CrashAcquire,
+    /// Generator fit aborts partway through training.
+    CrashMidFit,
+    /// Chunk stream ends early: the device observes a short shard.
+    TruncateChunks,
+    /// Numeric cells streamed after a cut-off point arrive as NaN.
+    CorruptChunks,
+    /// The released share carries non-finite numeric cells.
+    PoisonShareNan,
+    /// The released share carries KG-invalid field values.
+    PoisonShareKg,
+    /// The condition-union vocabulary message is lost.
+    DropVocab,
+    /// The vocabulary message arrives `magnitude` virtual ticks late.
+    DelayVocab,
+    /// The device stalls for `magnitude` virtual ticks per attempt.
+    Straggle,
+}
+
+impl FaultKind {
+    /// Stable label for plans, logs, and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::CrashAcquire => "crash-acquire",
+            FaultKind::CrashMidFit => "crash-mid-fit",
+            FaultKind::TruncateChunks => "truncate-chunks",
+            FaultKind::CorruptChunks => "corrupt-chunks",
+            FaultKind::PoisonShareNan => "poison-share-nan",
+            FaultKind::PoisonShareKg => "poison-share-kg",
+            FaultKind::DropVocab => "drop-vocab",
+            FaultKind::DelayVocab => "delay-vocab",
+            FaultKind::Straggle => "straggle",
+        }
+    }
+
+    /// Every kind, in declaration order (random-rate derivation walks this
+    /// so the RNG consumption order is fixed).
+    pub fn all() -> [FaultKind; 9] {
+        [
+            FaultKind::CrashAcquire,
+            FaultKind::CrashMidFit,
+            FaultKind::TruncateChunks,
+            FaultKind::CorruptChunks,
+            FaultKind::PoisonShareNan,
+            FaultKind::PoisonShareKg,
+            FaultKind::DropVocab,
+            FaultKind::DelayVocab,
+            FaultKind::Straggle,
+        ]
+    }
+}
+
+/// One explicitly scripted fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceFaultSpec {
+    /// Target device index.
+    pub device_index: usize,
+    /// What breaks.
+    pub kind: FaultKind,
+    /// How many consecutive attempts the fault fires on before healing
+    /// ([`PERMANENT`] never heals). Ignored by phase-free faults
+    /// (`PoisonShare*`, `DropVocab`, `DelayVocab`), which fire on the
+    /// attempt that succeeds.
+    pub attempts: usize,
+    /// Kind-specific intensity: ticks for `Straggle`/`DelayVocab`, percent
+    /// of the shard surviving for `TruncateChunks`, percent streamed clean
+    /// before corruption for `CorruptChunks`/`CrashAcquire`. `None` lets
+    /// the plan draw one from the seeded RNG.
+    pub magnitude: Option<u64>,
+}
+
+impl DeviceFaultSpec {
+    /// A permanent fault on `device_index`.
+    pub fn permanent(device_index: usize, kind: FaultKind) -> Self {
+        Self {
+            device_index,
+            kind,
+            attempts: PERMANENT,
+            magnitude: None,
+        }
+    }
+
+    /// A fault that fires on the first `attempts` attempts, then heals —
+    /// the transient-fault shape retry exists for.
+    pub fn transient(device_index: usize, kind: FaultKind, attempts: usize) -> Self {
+        Self {
+            device_index,
+            kind,
+            attempts,
+            magnitude: None,
+        }
+    }
+
+    /// Sets the kind-specific magnitude.
+    pub fn with_magnitude(mut self, magnitude: u64) -> Self {
+        self.magnitude = Some(magnitude);
+        self
+    }
+}
+
+/// Per-kind probabilities for devices without an explicit spec. Each
+/// device/kind pair is resolved once from the plan seed, so the same
+/// config and seed always breaks the same devices the same way.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultRates {
+    /// Probability of a mid-stream acquisition crash.
+    pub crash: f64,
+    /// Probability of NaN-corrupted chunks.
+    pub corrupt_chunks: f64,
+    /// Probability of a NaN-poisoned share.
+    pub poison_share: f64,
+    /// Probability of a lost vocabulary message.
+    pub drop_vocab: f64,
+    /// Probability of straggling.
+    pub straggle: f64,
+}
+
+impl FaultRates {
+    fn rate_for(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::CrashAcquire => self.crash,
+            FaultKind::CorruptChunks => self.corrupt_chunks,
+            FaultKind::PoisonShareNan => self.poison_share,
+            FaultKind::DropVocab => self.drop_vocab,
+            FaultKind::Straggle => self.straggle,
+            // Only spec-addressable: scripted scenarios own these shapes.
+            FaultKind::CrashMidFit
+            | FaultKind::TruncateChunks
+            | FaultKind::PoisonShareKg
+            | FaultKind::DelayVocab => 0.0,
+        }
+    }
+}
+
+/// Fault-injection settings for one fleet run. Disabled by default: a
+/// default-configured fleet is bit-identical to the pre-fault code path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Explicitly scripted faults (chaos-matrix scenarios).
+    pub specs: Vec<DeviceFaultSpec>,
+    /// Random per-device fault rates for everything not scripted.
+    pub rates: FaultRates,
+    /// Attempts a randomly drawn fault persists before healing.
+    pub transient_attempts: usize,
+}
+
+impl FaultConfig {
+    /// Scripted faults only.
+    pub fn scripted(specs: Vec<DeviceFaultSpec>) -> Self {
+        Self {
+            enabled: true,
+            specs,
+            rates: FaultRates::default(),
+            transient_attempts: 1,
+        }
+    }
+
+    /// Validates rates and spec targets against the fleet size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Config`] naming the first invalid field.
+    pub fn validate(&self, n_devices: usize) -> Result<(), FleetError> {
+        let rates = [
+            ("crash", self.rates.crash),
+            ("corrupt_chunks", self.rates.corrupt_chunks),
+            ("poison_share", self.rates.poison_share),
+            ("drop_vocab", self.rates.drop_vocab),
+            ("straggle", self.rates.straggle),
+        ];
+        for (name, r) in rates {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(FleetError::Config(format!(
+                    "fault rate {name}={r} out of [0, 1]"
+                )));
+            }
+        }
+        for spec in &self.specs {
+            if spec.device_index >= n_devices {
+                return Err(FleetError::Config(format!(
+                    "fault spec targets unknown device {}",
+                    spec.device_index
+                )));
+            }
+            if spec.attempts == 0 {
+                return Err(FleetError::Config(format!(
+                    "fault spec for device {} fires on zero attempts",
+                    spec.device_index
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One fault the plan will inject.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedFault {
+    /// What breaks.
+    pub kind: FaultKind,
+    /// Attempts the fault fires on before healing.
+    pub attempts: usize,
+    /// Kind-specific intensity (see [`DeviceFaultSpec::magnitude`]).
+    pub magnitude: u64,
+}
+
+/// Everything that will go wrong on one device.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DevicePlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl DevicePlan {
+    /// `true` when `kind` fires on (zero-based) `attempt`.
+    pub fn fires(&self, kind: FaultKind, attempt: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.kind == kind && attempt < f.attempts)
+    }
+
+    /// The magnitude of `kind`, when planned (regardless of attempt).
+    pub fn magnitude(&self, kind: FaultKind) -> Option<u64> {
+        self.faults
+            .iter()
+            .find(|f| f.kind == kind)
+            .map(|f| f.magnitude)
+    }
+
+    /// The planned faults.
+    pub fn faults(&self) -> &[PlannedFault] {
+        &self.faults
+    }
+
+    /// The chunk-stream fault wrapper spec for one acquisition `attempt`
+    /// over a shard of `rows` rows. Magnitudes are percentages of the
+    /// shard: `CrashAcquire`/`CorruptChunks` magnitude is the share
+    /// streamed clean before the fault strikes, `TruncateChunks` magnitude
+    /// is the share that survives. A healthy attempt yields a clean
+    /// (pass-through) spec.
+    pub fn fault_spec_for(&self, attempt: usize, rows: usize) -> ChunkFaultSpec {
+        let offset = |magnitude: Option<u64>| {
+            // At least one clean row so the failure is observably
+            // mid-stream, never a trivially empty source.
+            (rows * magnitude.unwrap_or(50).min(100) as usize / 100).max(1)
+        };
+        let mut spec = ChunkFaultSpec::default();
+        if self.fires(FaultKind::CrashAcquire, attempt) {
+            spec.fail_after = Some(offset(self.magnitude(FaultKind::CrashAcquire)));
+        }
+        if self.fires(FaultKind::TruncateChunks, attempt) {
+            spec.truncate_after = Some(offset(self.magnitude(FaultKind::TruncateChunks)));
+        }
+        if self.fires(FaultKind::CorruptChunks, attempt) {
+            spec.poison_from = Some(offset(self.magnitude(FaultKind::CorruptChunks)));
+        }
+        spec
+    }
+
+    /// `true` when nothing is planned for this device.
+    pub fn is_healthy(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// The deterministic fault schedule of one run: which device breaks, how,
+/// on which attempts, and how hard. Derived once from
+/// `(seed, n_devices, FaultConfig)` before any device task starts, so the
+/// plan is identical for every thread count and every re-run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    devices: Vec<DevicePlan>,
+}
+
+/// Domain-separation salt for fault randomness (fault draws must never
+/// perturb the data/model RNG streams, or a fault-free run with
+/// `enabled = true` would diverge from one with `enabled = false`).
+const FAULT_SALT: u64 = 0x0fa1_7000;
+
+impl FaultPlan {
+    /// Derives the plan. Deterministic: same inputs, same plan.
+    pub fn derive(seed: u64, n_devices: usize, cfg: &FaultConfig) -> Self {
+        let mut devices = vec![DevicePlan::default(); n_devices];
+        if !cfg.enabled {
+            return Self { devices };
+        }
+        for (d, plan) in devices.iter_mut().enumerate() {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ FAULT_SALT ^ (d as u64).wrapping_mul(0x9e37_79b9));
+            // Scripted faults first, in spec order.
+            for spec in cfg.specs.iter().filter(|s| s.device_index == d) {
+                let magnitude = spec
+                    .magnitude
+                    .unwrap_or_else(|| default_magnitude(spec.kind, &mut rng));
+                plan.faults.push(PlannedFault {
+                    kind: spec.kind,
+                    attempts: spec.attempts,
+                    magnitude,
+                });
+            }
+            // Random-rate faults for kinds not already scripted. Every
+            // device consumes the RNG identically (one draw per kind, a
+            // magnitude draw only when it fires), so adding a spec for one
+            // device never reshuffles another device's draws.
+            for kind in FaultKind::all() {
+                let rate = cfg.rates.rate_for(kind);
+                let roll = rng.random_range(0.0..1.0f64);
+                if plan.faults.iter().any(|f| f.kind == kind) {
+                    continue;
+                }
+                if rate > 0.0 && roll < rate {
+                    let magnitude = default_magnitude(kind, &mut rng);
+                    plan.faults.push(PlannedFault {
+                        kind,
+                        attempts: cfg.transient_attempts.max(1),
+                        magnitude,
+                    });
+                }
+            }
+        }
+        Self { devices }
+    }
+
+    /// The plan for device `d`.
+    pub fn device(&self, d: usize) -> &DevicePlan {
+        &self.devices[d]
+    }
+
+    /// `true` when no device has any fault planned.
+    pub fn is_trivial(&self) -> bool {
+        self.devices.iter().all(DevicePlan::is_healthy)
+    }
+
+    /// Canonical one-line-per-fault rendering for the report's injected
+    /// list (sorted by device, then plan order).
+    pub fn describe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (d, plan) in self.devices.iter().enumerate() {
+            for f in &plan.faults {
+                let persistence = if f.attempts == PERMANENT {
+                    "permanent".to_string()
+                } else {
+                    format!("{} attempt(s)", f.attempts)
+                };
+                out.push(format!(
+                    "device {d}: {} ({persistence}, magnitude {})",
+                    f.kind.label(),
+                    f.magnitude
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Seeded default magnitudes: straggles draw around the default straggler
+/// budget (some absorb, some trip), truncation keeps 30–80% of the shard,
+/// corruption/crash strike after 20–70% streamed clean.
+fn default_magnitude(kind: FaultKind, rng: &mut StdRng) -> u64 {
+    match kind {
+        FaultKind::Straggle | FaultKind::DelayVocab => rng.random_range(500..4000u64),
+        FaultKind::TruncateChunks => rng.random_range(30..80u64),
+        FaultKind::CorruptChunks | FaultKind::CrashAcquire => rng.random_range(20..70u64),
+        _ => 0,
+    }
+}
+
+/// How a share gets poisoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoisonKind {
+    /// Non-finite numeric cells (NaN), the classic diverged-generator
+    /// signature.
+    NonFinite,
+    /// Finite but wildly out-of-range numeric values that violate the
+    /// knowledge graph's field constraints.
+    KgInvalid,
+}
+
+/// Poisons roughly half of `share`'s rows in place, deterministically from
+/// `seed`: every numeric cell of an afflicted row becomes NaN
+/// ([`PoisonKind::NonFinite`]) or an absurd out-of-range constant
+/// ([`PoisonKind::KgInvalid`]). No-op on tables without numeric columns.
+pub fn poison_share(share: &mut Table, kind: PoisonKind, seed: u64) {
+    let numeric: Vec<usize> = share
+        .schema()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.kind() == kinet_data::ColumnKind::Continuous)
+        .map(|(i, _)| i)
+        .collect();
+    if numeric.is_empty() || share.is_empty() {
+        return;
+    }
+    let poison = match kind {
+        PoisonKind::NonFinite => f64::NAN,
+        PoisonKind::KgInvalid => -31337.0,
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bad_cafe);
+    for r in 0..share.n_rows() {
+        if rng.random_range(0.0..1.0f64) < 0.5 {
+            let mut row = share.row(r);
+            for &c in &numeric {
+                row[c] = kinet_data::Value::num(poison);
+            }
+            share
+                .set_row(r, row)
+                .expect("rewriting a row with its own schema cannot fail");
+        }
+    }
+}
+
+/// A deterministic, shareable tick counter — the run's only notion of
+/// time. Devices add their fault/backoff ticks; the total is a sum of
+/// per-device deterministic contributions, hence independent of worker
+/// interleaving and safe to fingerprint.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock(Arc<AtomicU64>);
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spends `ticks` of simulated time.
+    pub fn advance(&self, ticks: u64) {
+        self.0.fetch_add(ticks, Ordering::Relaxed);
+    }
+
+    /// Total ticks spent so far.
+    pub fn total(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinet_data::{ColumnKind, ColumnMeta, Schema, Value};
+
+    fn cfg_with_rates(rates: FaultRates) -> FaultConfig {
+        FaultConfig {
+            enabled: true,
+            specs: Vec::new(),
+            rates,
+            transient_attempts: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_config_plans_nothing() {
+        let plan = FaultPlan::derive(42, 8, &FaultConfig::default());
+        assert!(plan.is_trivial());
+        assert!(plan.describe().is_empty());
+    }
+
+    #[test]
+    fn plan_is_deterministic_in_seed_and_config() {
+        let cfg = cfg_with_rates(FaultRates {
+            crash: 0.5,
+            corrupt_chunks: 0.3,
+            poison_share: 0.3,
+            drop_vocab: 0.2,
+            straggle: 0.4,
+        });
+        let a = FaultPlan::derive(7, 16, &cfg);
+        let b = FaultPlan::derive(7, 16, &cfg);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::derive(8, 16, &cfg);
+        assert_ne!(a, c, "different seed, different plan");
+        assert!(!a.is_trivial(), "these rates break someone in 16 devices");
+    }
+
+    #[test]
+    fn scripted_specs_override_rates_per_kind() {
+        let mut cfg = cfg_with_rates(FaultRates {
+            crash: 1.0,
+            ..FaultRates::default()
+        });
+        cfg.specs =
+            vec![DeviceFaultSpec::transient(2, FaultKind::CrashAcquire, 2).with_magnitude(40)];
+        let plan = FaultPlan::derive(1, 4, &cfg);
+        // Device 2 keeps the scripted shape, not a second random crash.
+        let crashes: Vec<&PlannedFault> = plan
+            .device(2)
+            .faults()
+            .iter()
+            .filter(|f| f.kind == FaultKind::CrashAcquire)
+            .collect();
+        assert_eq!(crashes.len(), 1);
+        assert_eq!(crashes[0].attempts, 2);
+        assert_eq!(crashes[0].magnitude, 40);
+        // Rate 1.0 crashes every other device too.
+        for d in [0, 1, 3] {
+            assert!(
+                plan.device(d).fires(FaultKind::CrashAcquire, 0),
+                "device {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_faults_heal_after_their_attempts() {
+        let cfg =
+            FaultConfig::scripted(vec![DeviceFaultSpec::transient(0, FaultKind::Straggle, 2)]);
+        let plan = FaultPlan::derive(3, 1, &cfg);
+        let dp = plan.device(0);
+        assert!(dp.fires(FaultKind::Straggle, 0));
+        assert!(dp.fires(FaultKind::Straggle, 1));
+        assert!(!dp.fires(FaultKind::Straggle, 2), "healed on attempt 2");
+        assert!(!dp.fires(FaultKind::CrashMidFit, 0), "unplanned kind");
+        let permanent = FaultPlan::derive(
+            3,
+            1,
+            &FaultConfig::scripted(vec![DeviceFaultSpec::permanent(0, FaultKind::CrashMidFit)]),
+        );
+        assert!(permanent.device(0).fires(FaultKind::CrashMidFit, 999));
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates_and_targets() {
+        let mut cfg = cfg_with_rates(FaultRates {
+            crash: 1.5,
+            ..FaultRates::default()
+        });
+        assert!(cfg.validate(4).is_err());
+        cfg.rates.crash = 0.5;
+        assert!(cfg.validate(4).is_ok());
+        cfg.specs = vec![DeviceFaultSpec::permanent(9, FaultKind::DropVocab)];
+        assert!(cfg.validate(4).is_err(), "unknown device");
+        cfg.specs = vec![DeviceFaultSpec::transient(1, FaultKind::DropVocab, 0)];
+        assert!(cfg.validate(4).is_err(), "zero attempts");
+    }
+
+    fn share() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::categorical("event"),
+            ColumnMeta::continuous("dst_port"),
+            ColumnMeta::continuous("bytes"),
+        ]);
+        Table::from_rows(
+            schema,
+            (0..40)
+                .map(|i| {
+                    vec![
+                        Value::cat("heartbeat"),
+                        Value::num(8080.0),
+                        Value::num(i as f64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn poison_nan_hits_numeric_cells_deterministically() {
+        let mut a = share();
+        let mut b = share();
+        poison_share(&mut a, PoisonKind::NonFinite, 5);
+        poison_share(&mut b, PoisonKind::NonFinite, 5);
+        let nan_rows = |t: &Table| {
+            t.num_column("dst_port")
+                .unwrap()
+                .iter()
+                .filter(|v| v.is_nan())
+                .count()
+        };
+        assert_eq!(nan_rows(&a), nan_rows(&b), "deterministic poisoning");
+        let hit = nan_rows(&a);
+        assert!(hit > 5 && hit < 40, "roughly half the rows: {hit}");
+        // The categorical column is untouched.
+        assert!(a
+            .cat_column("event")
+            .unwrap()
+            .iter()
+            .all(|e| e == "heartbeat"));
+        let mut c = share();
+        poison_share(&mut c, PoisonKind::KgInvalid, 5);
+        assert!(c
+            .num_column("dst_port")
+            .unwrap()
+            .iter()
+            .all(|v| v.is_finite()));
+        assert!(c
+            .num_column("dst_port")
+            .unwrap()
+            .iter()
+            .any(|&v| v == -31337.0));
+    }
+
+    #[test]
+    fn virtual_clock_sums_across_clones() {
+        let clock = VirtualClock::new();
+        let other = clock.clone();
+        clock.advance(100);
+        other.advance(23);
+        assert_eq!(clock.total(), 123);
+        assert_eq!(other.total(), 123);
+    }
+
+    #[test]
+    fn schema_kinds_used_by_poisoning_exist() {
+        // Guard the ColumnKind contract poison_share relies on.
+        let t = share();
+        let kinds: Vec<ColumnKind> = t.schema().iter().map(|c| c.kind()).collect();
+        assert_eq!(kinds[0], ColumnKind::Categorical);
+        assert_eq!(kinds[1], ColumnKind::Continuous);
+    }
+}

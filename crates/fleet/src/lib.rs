@@ -23,15 +23,29 @@
 //! * **Reloadable run snapshots** — [`FleetReport`] round-trips through
 //!   the vendored serde JSON deserializer, so gates diff fresh runs
 //!   against persisted baselines.
+//! * **Fault injection and recovery** ([`fault`], [`resilience`]) —
+//!   seeded deterministic fault plans (crashes, corrupt streams, poisoned
+//!   shares, vocab drops, stragglers on a virtual clock), typed
+//!   [`FleetError`]s, bounded retry with capped backoff, share
+//!   validation + quarantine, and quorum aggregation so a round degrades
+//!   instead of dying with the first bad device.
 //!
 //! `kinet_nids` re-hosts its public `DistributedSim` API on this crate.
 
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod report;
+pub mod resilience;
 pub mod schedule;
 pub mod sim;
 pub mod union;
 
 pub use config::{FleetConfig, ModelKind, SharingPolicy, UnionConfig};
-pub use report::{DeviceReport, DeviceTrainingDiag, FleetReport, UnionReport};
+pub use error::{
+    DeviceFaultKind, FleetError, EXIT_CONFIG_INVALID, EXIT_INTERNAL, EXIT_QUORUM_LOST,
+};
+pub use fault::{DeviceFaultSpec, FaultConfig, FaultKind, FaultPlan, FaultRates, VirtualClock};
+pub use report::{DeviceReport, DeviceTrainingDiag, FaultReport, FleetReport, UnionReport};
+pub use resilience::{QuarantineReason, ResilienceConfig};
 pub use sim::FleetSim;

@@ -28,6 +28,9 @@ pub struct DeviceTrainingDiag {
     pub epochs: usize,
 }
 
+/// Canonical [`DeviceReport::status`] label for a healthy contribution.
+pub const DEVICE_OK: &str = "ok";
+
 /// One device's contribution to a fleet run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DeviceReport {
@@ -35,6 +38,12 @@ pub struct DeviceReport {
     pub device_index: usize,
     /// Device identity.
     pub device: String,
+    /// Contribution status: [`DEVICE_OK`], `"degraded: <last failure>"`
+    /// (all attempts failed; device excluded from the round), or
+    /// `"quarantined: <reason>"` (share rejected before pooling).
+    pub status: String,
+    /// Failed attempts that were retried before the final outcome.
+    pub retries: usize,
     /// Rows the device's shard stream yielded.
     pub shard_rows: usize,
     /// Event classes observed in the shard (sorted).
@@ -78,6 +87,49 @@ pub struct UnionReport {
     pub release_coverage: f64,
 }
 
+/// Fault-and-recovery accounting for one fleet round: what the plan
+/// injected, what the orchestrator observed, and how the round survived
+/// it. Every field is deterministic (virtual ticks, not wall time) and is
+/// folded into [`FleetReport::deterministic_fingerprint`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Whether fault injection was enabled for the run.
+    pub enabled: bool,
+    /// Canonical rendering of the derived [`crate::fault::FaultPlan`].
+    pub injected: Vec<String>,
+    /// Fault events the orchestrator actually observed, in device-index
+    /// order (`"device 2 (hub) crash-mid-fit: ... [attempt 1]"`).
+    pub observed: Vec<String>,
+    /// Total failed attempts that were retried, across all devices.
+    pub retries: usize,
+    /// `(device_index, reason)` for every share rejected before pooling.
+    pub quarantined: Vec<(usize, String)>,
+    /// `(device_index, last failure)` for every device excluded from the
+    /// committed round.
+    pub degraded: Vec<(usize, String)>,
+    /// Devices whose contribution was accepted.
+    pub devices_reported: usize,
+    /// Devices the quorum policy required.
+    pub quorum_required: usize,
+    /// Whether the round met quorum (a report only exists when it did,
+    /// but snapshots keep the verdict explicit).
+    pub quorum_met: bool,
+    /// Virtual ticks spent on backoff, straggling, and delays.
+    pub virtual_ticks: u64,
+}
+
+impl FaultReport {
+    /// A healthy-round report for `n` fully reporting devices.
+    pub fn healthy(n: usize) -> Self {
+        Self {
+            devices_reported: n,
+            quorum_required: n,
+            quorum_met: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// Metrics from one end-to-end fleet run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -116,6 +168,8 @@ pub struct FleetReport {
     pub peak_decoded_rows: usize,
     /// Condition-union protocol outcome.
     pub union: UnionReport,
+    /// Fault-and-recovery accounting.
+    pub fault: FaultReport,
     /// Per-device outcomes, in device-index order.
     pub devices: Vec<DeviceReport>,
     /// End-to-end wall-clock time in milliseconds.
@@ -203,13 +257,30 @@ impl FleetReport {
             self.union.coverage_after,
             self.union.release_coverage,
         );
+        let _ = writeln!(
+            out,
+            "fault enabled={} injected={:?} observed={:?} retries={} quarantined={:?} \
+             degraded={:?} reported={}/{} quorum_met={} ticks={}",
+            self.fault.enabled,
+            self.fault.injected,
+            self.fault.observed,
+            self.fault.retries,
+            self.fault.quarantined,
+            self.fault.degraded,
+            self.fault.devices_reported,
+            self.fault.quorum_required,
+            self.fault.quorum_met,
+            self.fault.virtual_ticks,
+        );
         for d in &self.devices {
             let _ = writeln!(
                 out,
-                "device {} {} shard={} classes={:?} seeded={:?} share={} local={:?}/{:?} \
-                 probe={:?}",
+                "device {} {} status={} retries={} shard={} classes={:?} seeded={:?} share={} \
+                 local={:?}/{:?} probe={:?}",
                 d.device_index,
                 d.device,
+                d.status,
+                d.retries,
                 d.shard_rows,
                 d.shard_classes,
                 d.seeded_classes,
@@ -253,6 +324,18 @@ impl fmt::Display for FleetReport {
         if let Some(probe) = self.mean_probe_accuracy() {
             write!(f, " probe={probe:.3}")?;
         }
+        if self.fault.enabled {
+            write!(
+                f,
+                " fault[{}/{} reported, {} retries, {} quarantined, {} degraded, {} ticks]",
+                self.fault.devices_reported,
+                self.fault.quorum_required,
+                self.fault.retries,
+                self.fault.quarantined.len(),
+                self.fault.degraded.len(),
+                self.fault.virtual_ticks
+            )?;
+        }
         Ok(())
     }
 }
@@ -284,9 +367,12 @@ mod tests {
                 coverage_after: 1.0,
                 release_coverage: 1.0,
             },
+            fault: FaultReport::healthy(2),
             devices: vec![DeviceReport {
                 device_index: 0,
                 device: "blink_camera".into(),
+                status: DEVICE_OK.into(),
+                retries: 0,
                 shard_rows: 500,
                 shard_classes: vec!["heartbeat".into()],
                 seeded_classes: vec!["port_scan".into()],
@@ -330,6 +416,32 @@ mod tests {
         let mut c = sample_report();
         c.attack_recall = 0.5;
         assert_ne!(a.deterministic_fingerprint(), c.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn fault_accounting_is_fingerprinted() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.fault.quarantined.push((1, "non-finite share".into()));
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        let mut c = sample_report();
+        c.fault.virtual_ticks = 700;
+        assert_ne!(
+            a.deterministic_fingerprint(),
+            c.deterministic_fingerprint(),
+            "virtual ticks are deterministic, so they belong in the fingerprint"
+        );
+        let mut d = sample_report();
+        d.devices[0].status = "degraded: crash".into();
+        assert_ne!(a.deterministic_fingerprint(), d.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn mean_probe_accuracy_is_well_defined_with_no_devices() {
+        let mut r = sample_report();
+        r.devices.clear();
+        assert_eq!(r.mean_probe_accuracy(), None, "absent, never NaN");
+        assert!(!r.to_string().contains("NaN"));
     }
 
     #[test]

@@ -34,12 +34,47 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
+    let settled = run_indexed_settled(n, f);
+    let mut out = Vec::with_capacity(n);
+    let mut first_err = None;
+    for result in settled {
+        match result {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                // Index order means the first error seen is the
+                // lowest-indexed one.
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Runs `f(0..n)` across the kernel worker pool and returns **every**
+/// task's outcome in index order, without short-circuiting on failure —
+/// the settled variant quorum aggregation needs: a fault on device 0 must
+/// not discard the work of devices 1..n.
+///
+/// Same scheduling and determinism contract as [`run_indexed`]; the
+/// sequential fallback keeps the ambient kernel thread count.
+///
+/// # Panics
+///
+/// Panics if a task panics (the panic is propagated).
+pub fn run_indexed_settled<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let workers = kinet_tensor::pool::num_threads().clamp(1, n.max(1));
     if workers <= 1 || n <= 1 {
         return (0..n).map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = channel::unbounded::<(usize, Result<T, E>)>();
+    let (tx, rx) = channel::unbounded::<(usize, T)>();
     crossbeam::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -60,7 +95,7 @@ where
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<Result<T, E>>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
         for (i, result) in rx.iter() {
             slots[i] = Some(result);
         }
@@ -109,6 +144,33 @@ mod tests {
         assert!(none.unwrap().is_empty());
         let one: Result<Vec<usize>, String> = with_threads(4, || run_indexed(1, |i| Ok(i + 5)));
         assert_eq!(one.unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn settled_keeps_every_outcome_in_index_order() {
+        for threads in [1, 4] {
+            let out: Vec<Result<usize, String>> = with_threads(threads, || {
+                run_indexed_settled(10, |i| {
+                    if i % 3 == 0 {
+                        Err(format!("task {i} failed"))
+                    } else {
+                        Ok(i)
+                    }
+                })
+            });
+            assert_eq!(out.len(), 10, "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => assert_eq!(*v, i),
+                    Err(e) => assert_eq!(*e, format!("task {i} failed")),
+                }
+            }
+            assert_eq!(
+                out.iter().filter(|r| r.is_err()).count(),
+                4,
+                "no outcome is discarded"
+            );
+        }
     }
 
     #[test]

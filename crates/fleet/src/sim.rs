@@ -1,5 +1,5 @@
 //! The fleet orchestrator: streaming shard acquisition, pool-worker device
-//! scheduling, the condition-union exchange, and aggregation.
+//! scheduling, the condition-union exchange, and quorum aggregation.
 //!
 //! A run has three phases:
 //!
@@ -7,30 +7,43 @@
 //!    ([`kinet_data::stream`]) into a bounded working window, publishing
 //!    its observed class vocabulary. No device ever holds more decoded
 //!    rows than `chunk + window`.
-//! 2. **Union** (aggregator): class vocabularies fold into their union;
-//!    participating devices missing a class receive KG-synthesized seed
-//!    rows for it ([`crate::union`]).
+//! 2. **Union** (aggregator): surviving class vocabularies fold into their
+//!    union; participating devices missing a class receive KG-synthesized
+//!    seed rows for it ([`crate::union`]).
 //! 3. **Prepare & pool** (parallel, then aggregator): devices train/sample
 //!    (or ship raw windows), results are merged **in device-index order**
-//!    (completion order is scheduling noise), the pooled table is scored
-//!    and evaluated against a held-out global stream.
+//!    (completion order is scheduling noise), shares are validated and
+//!    quarantined where bad, and the pooled table is scored and evaluated
+//!    against a held-out global stream once quorum is met.
 //!
-//! Every random draw derives from `seed` and the device index, so the full
-//! [`FleetReport`] fingerprint is bit-identical for every `KINET_THREADS`
-//! value.
+//! Faults are injected from the seeded [`FaultPlan`] and recovered through
+//! the [`crate::resilience`] policy: failed device attempts retry with
+//! capped backoff on the virtual clock, bad shares are quarantined before
+//! pooling, and the round commits when ≥ `quorum_frac` devices report —
+//! degraded devices are recorded, not fatal. Every random draw derives
+//! from `seed` and the device index, and all waiting is virtual ticks, so
+//! the full [`FleetReport`] fingerprint is bit-identical for every
+//! `KINET_THREADS` value even under a non-trivial fault plan.
 
 use crate::config::{FleetConfig, ModelKind, SharingPolicy};
-use crate::report::{DeviceReport, DeviceTrainingDiag, FleetReport, UnionReport};
+use crate::error::{DeviceFaultKind, FleetError};
+use crate::fault::{poison_share, FaultKind, FaultPlan, PoisonKind, VirtualClock};
+use crate::report::{
+    DeviceReport, DeviceTrainingDiag, FaultReport, FleetReport, UnionReport, DEVICE_OK,
+};
+use crate::resilience::{self, backoff_ticks, RoundCheckpoint};
 use crate::{schedule, union};
 use kinet_baselines::{common::BaselineConfig, CtGan, Tvae};
-use kinet_data::encoded::KgTableChecker;
-use kinet_data::stream::{PeakRows, Reservoir, StreamValidity, StreamingShard, TableChunks};
+use kinet_data::stream::{
+    ChunkFaultSpec, FaultedSource, PeakRows, Reservoir, StreamValidity, StreamingShard,
+};
 use kinet_data::synth::TabularSynthesizer;
 use kinet_data::{DataError, Table};
 use kinet_datasets::lab::{LabSimConfig, LabSimulator};
 use kinet_eval::utility::evaluate_nids;
 use kinetgan::{KinetGan, KinetGanConfig};
 use std::collections::BTreeSet;
+use std::path::Path;
 use std::time::Instant;
 
 const DEVICE_CYCLE: [&str; 4] = ["blink_camera", "smart_plug", "motion_sensor", "tag_manager"];
@@ -50,6 +63,13 @@ struct DeviceOutcome {
     local_eval: Option<(f64, f64)>,
     seeded_classes: Vec<String>,
     diag: Option<DeviceTrainingDiag>,
+}
+
+/// One device task's settled result plus its recovery accounting.
+struct Attempted<T> {
+    result: Result<T, FleetError>,
+    retries: usize,
+    observed: Vec<String>,
 }
 
 /// The fleet simulator over the lab IoT deployment.
@@ -73,14 +93,20 @@ impl FleetSim {
     ///
     /// # Errors
     ///
-    /// Returns a descriptive string on configuration or device failures
-    /// (model training error, schema mismatch).
-    pub fn run(&self) -> Result<FleetReport, String> {
+    /// [`FleetError::Config`] for invalid configuration,
+    /// [`FleetError::QuorumLost`] when fewer devices report than the
+    /// resilience policy requires, and [`FleetError::Data`] /
+    /// [`FleetError::Internal`] for aggregator-side failures. Per-device
+    /// faults are retried and degraded, not returned — they surface in
+    /// [`FleetReport::fault`].
+    pub fn run(&self) -> Result<FleetReport, FleetError> {
         let cfg = &self.config;
         cfg.validate()?;
         // kinet-lint: allow(wall-clock) — feeds only timing fields that deterministic_fingerprint() excludes
         let start = Instant::now();
         let peak = PeakRows::new();
+        let plan = FaultPlan::derive(cfg.seed, cfg.n_devices, &cfg.fault);
+        let clock = VirtualClock::new();
 
         // Global held-out stream for evaluation (what the deployed NIDS
         // will face). Bounded by `test_records`, so generated eagerly.
@@ -90,41 +116,224 @@ impl FleetSim {
             ..LabSimConfig::default()
         })
         .generate()
-        .map_err(|e| format!("test stream generation failed: {e}"))?;
+        .map_err(|e| FleetError::Data {
+            context: "test stream generation failed".into(),
+            source: e,
+        })?;
 
-        // ---- phase 1: acquire shards (streaming, parallel) ----
-        let stages = schedule::run_indexed(cfg.n_devices, |d| self.acquire_device(d, &peak))?;
+        // ---- phase 1: acquire shards (streaming, parallel, retried) ----
+        let acquired: Vec<Attempted<DeviceStage>> =
+            schedule::run_indexed_settled(cfg.n_devices, |d| {
+                self.acquire_with_recovery(d, &peak, &plan, &clock)
+            });
 
-        // ---- phase 2: condition-union exchange ----
+        // ---- phase 2: condition-union exchange over surviving vocabs ----
+        let mut union_events: Vec<Vec<String>> = vec![Vec::new(); cfg.n_devices];
         let union_classes = if cfg.union.enabled {
-            union::merge_vocabs(stages.iter().map(|s| &s.vocab))
+            let mut vocabs = Vec::new();
+            for (d, a) in acquired.iter().enumerate() {
+                let Ok(stage) = &a.result else { continue };
+                let dp = plan.device(d);
+                if dp.fires(FaultKind::DropVocab, 0) {
+                    union_events[d].push(format!(
+                        "device {d} ({}) drop-vocab: vocabulary message lost; union falls back \
+                         to surviving vocabs",
+                        stage.device
+                    ));
+                    continue;
+                }
+                if dp.fires(FaultKind::DelayVocab, 0) {
+                    let delay = dp.magnitude(FaultKind::DelayVocab).unwrap_or(0);
+                    let budget = cfg.resilience.vocab_wait_budget_ticks;
+                    clock.advance(delay.min(budget));
+                    if delay > budget {
+                        union_events[d].push(format!(
+                            "device {d} ({}) delay-vocab: {delay} ticks exceeds wait budget \
+                             {budget}; treated as dropped",
+                            stage.device
+                        ));
+                        continue;
+                    }
+                    union_events[d].push(format!(
+                        "device {d} ({}) delay-vocab: arrived after {delay} ticks",
+                        stage.device
+                    ));
+                }
+                vocabs.push(&stage.vocab);
+            }
+            union::merge_vocabs(vocabs)
         } else {
             BTreeSet::new()
         };
-        let missing: Vec<Vec<String>> = stages
+        let missing: Vec<Vec<String>> = acquired
             .iter()
             .enumerate()
-            .map(|(d, s)| {
-                if cfg.union.participates(d) {
-                    union::missing_classes(&s.vocab, &union_classes)
-                } else {
-                    Vec::new()
+            .map(|(d, a)| match &a.result {
+                Ok(stage) if cfg.union.participates(d) => {
+                    union::missing_classes(&stage.vocab, &union_classes)
                 }
+                _ => Vec::new(),
             })
             .collect();
 
-        // ---- phase 3: prepare shares (parallel) ----
-        let outcomes = schedule::run_indexed(cfg.n_devices, |d| {
-            self.prepare_device(d, &stages[d], &missing[d], &test)
-        })?;
+        // ---- phase 3: prepare shares (parallel, retried) ----
+        let prepared: Vec<Option<Attempted<DeviceOutcome>>> =
+            schedule::run_indexed_settled(cfg.n_devices, |d| match &acquired[d].result {
+                Ok(stage) => {
+                    Some(self.prepare_with_recovery(d, stage, &missing[d], &test, &plan, &clock))
+                }
+                Err(_) => None,
+            });
 
         // ---- aggregation, in device-index order ----
-        self.aggregate(stages, outcomes, union_classes, &test, &peak, start)
+        self.aggregate(AggregateInput {
+            acquired,
+            union_events,
+            prepared,
+            union_classes,
+            plan: &plan,
+            clock: &clock,
+            test: &test,
+            peak: &peak,
+            start,
+        })
     }
 
-    /// Phase 1 for one device: stream the shard into a bounded window and
-    /// record the observed class vocabulary.
-    fn acquire_device(&self, d: usize, peak: &PeakRows) -> Result<DeviceStage, String> {
+    /// Runs the fleet, resuming from `path` when it holds a checkpoint of
+    /// this exact configuration; otherwise runs fresh and writes the
+    /// checkpoint. Returns the report and whether it was resumed. A stale
+    /// or unreadable checkpoint is ignored (the round re-runs), never
+    /// fatal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FleetSim::run`] failures and
+    /// [`FleetError::Checkpoint`] when the fresh checkpoint cannot be
+    /// written.
+    pub fn run_or_resume(&self, path: &Path) -> Result<(FleetReport, bool), FleetError> {
+        let key = RoundCheckpoint::config_key(&self.config);
+        if let Ok(cp) = RoundCheckpoint::load(path) {
+            if cp.config_key == key {
+                return Ok((cp.report, true));
+            }
+        }
+        let report = self.run()?;
+        RoundCheckpoint::new(key, report.clone()).save(path)?;
+        Ok((report, false))
+    }
+
+    /// Phase 1 for one device, driven through the retry policy. Straggler
+    /// stalls and retry backoff spend virtual ticks; every attempt rebuilds
+    /// the stream from the same seed, so a healed fault yields exactly the
+    /// shard a healthy run would have.
+    fn acquire_with_recovery(
+        &self,
+        d: usize,
+        peak: &PeakRows,
+        plan: &FaultPlan,
+        clock: &VirtualClock,
+    ) -> Attempted<DeviceStage> {
+        let cfg = &self.config;
+        let device = DEVICE_CYCLE[d % DEVICE_CYCLE.len()];
+        let dp = plan.device(d);
+        let res = &cfg.resilience;
+        let mut observed = Vec::new();
+        let mut retries = 0;
+        let mut attempt = 0;
+        loop {
+            if dp.fires(FaultKind::Straggle, attempt) {
+                let stall = dp.magnitude(FaultKind::Straggle).unwrap_or(0);
+                let budget = res.straggler_budget_ticks;
+                if stall > budget {
+                    // The orchestrator waits out the budget, then gives up
+                    // on the attempt.
+                    clock.advance(budget);
+                    observed.push(format!(
+                        "device {d} ({device}) straggler: stalled {stall} ticks, budget {budget} \
+                         [attempt {attempt}]"
+                    ));
+                    let err = FleetError::device(
+                        d,
+                        device,
+                        DeviceFaultKind::Straggler,
+                        format!("stalled {stall} virtual ticks (budget {budget})"),
+                    );
+                    if attempt < res.max_retries {
+                        clock.advance(backoff_ticks(
+                            res.backoff_base_ticks,
+                            res.backoff_cap_ticks,
+                            attempt,
+                        ));
+                        retries += 1;
+                        attempt += 1;
+                        continue;
+                    }
+                    return Attempted {
+                        result: Err(err),
+                        retries,
+                        observed,
+                    };
+                }
+                // Slow but within budget: absorbed, not a failure.
+                clock.advance(stall);
+                observed.push(format!(
+                    "device {d} ({device}) straggler: stalled {stall} ticks, absorbed within \
+                     budget {budget} [attempt {attempt}]"
+                ));
+            }
+            match self.acquire_device(d, peak, dp.fault_spec_for(attempt, cfg.rows_per_device)) {
+                Ok(stage) => {
+                    if dp.fires(FaultKind::TruncateChunks, attempt) {
+                        observed.push(format!(
+                            "device {d} ({device}) truncate-chunks: shard ended at {} of {} rows \
+                             [attempt {attempt}]",
+                            stage.shard_rows, cfg.rows_per_device
+                        ));
+                    }
+                    return Attempted {
+                        result: Ok(stage),
+                        retries,
+                        observed,
+                    };
+                }
+                Err(e) => {
+                    let kind = if dp.fires(FaultKind::CrashAcquire, attempt) {
+                        DeviceFaultKind::CrashAcquire
+                    } else {
+                        DeviceFaultKind::Stream
+                    };
+                    let err = FleetError::device(d, device, kind, e.to_string());
+                    observed.push(format!("{err} [attempt {attempt}]"));
+                    if attempt < res.max_retries {
+                        clock.advance(backoff_ticks(
+                            res.backoff_base_ticks,
+                            res.backoff_cap_ticks,
+                            attempt,
+                        ));
+                        retries += 1;
+                        attempt += 1;
+                        continue;
+                    }
+                    return Attempted {
+                        result: Err(err),
+                        retries,
+                        observed,
+                    };
+                }
+            }
+        }
+    }
+
+    /// One acquisition attempt: stream the (possibly fault-wrapped) shard
+    /// into a bounded window and record the observed class vocabulary.
+    /// Corrupt chunks are caught by a device-side integrity scan before
+    /// they can enter the working window.
+    fn acquire_device(
+        &self,
+        d: usize,
+        peak: &PeakRows,
+        fault_spec: ChunkFaultSpec,
+    ) -> Result<DeviceStage, DataError> {
         let cfg = &self.config;
         let device = DEVICE_CYCLE[d % DEVICE_CYCLE.len()].to_string();
         let seed = cfg.seed.wrapping_add(d as u64 * 101);
@@ -133,10 +342,19 @@ impl FleetSim {
             seed,
             attack_fraction: cfg.attack_fraction_for(d),
         });
-        let source = sim.device_chunk_source(&device, cfg.rows_per_device);
+        let source = FaultedSource::new(
+            sim.device_chunk_source(&device, cfg.rows_per_device),
+            fault_spec,
+        );
         let mut shard = StreamingShard::new(source, cfg.chunk_rows, peak.clone());
         let scope = LabSimulator::label_column();
+        let numeric: Vec<String> = LabSimulator::schema()
+            .continuous_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut vocab = BTreeSet::new();
+        let mut rows_scanned = 0usize;
         // The decoded working set a device retains while streaming.
         enum Window {
             /// Bounded working set: a deterministic uniform sample.
@@ -150,25 +368,38 @@ impl FleetSim {
             }
             None => Window::Eager(Table::empty(LabSimulator::schema())),
         };
-        shard
-            .for_each_chunk(|chunk| -> Result<usize, DataError> {
-                for v in chunk.cat_column(scope)? {
-                    if !vocab.contains(v) {
-                        vocab.insert(v.clone());
-                    }
+        shard.for_each_chunk(|chunk| -> Result<usize, DataError> {
+            // Device-side integrity check: a corrupt chunk must never
+            // reach the working window (or, later, a training table).
+            for col in &numeric {
+                let bad = chunk
+                    .num_column(col)?
+                    .iter()
+                    .filter(|v| !v.is_finite())
+                    .count();
+                if bad > 0 {
+                    return Err(DataError::Parse(format!(
+                        "corrupt chunk: {bad} non-finite {col} cell(s) near row {rows_scanned}"
+                    )));
                 }
-                match &mut window {
-                    Window::Bounded(reservoir) => {
-                        reservoir.offer(chunk)?;
-                        Ok(reservoir.len())
-                    }
-                    Window::Eager(full) => {
-                        full.append(chunk)?;
-                        Ok(full.n_rows())
-                    }
+            }
+            rows_scanned += chunk.n_rows();
+            for v in chunk.cat_column(scope)? {
+                if !vocab.contains(v) {
+                    vocab.insert(v.clone());
                 }
-            })
-            .map_err(|e| format!("device {device}: {e}"))?;
+            }
+            match &mut window {
+                Window::Bounded(reservoir) => {
+                    reservoir.offer(chunk)?;
+                    Ok(reservoir.len())
+                }
+                Window::Eager(full) => {
+                    full.append(chunk)?;
+                    Ok(full.n_rows())
+                }
+            }
+        })?;
         let local = match window {
             Window::Bounded(reservoir) => reservoir.into_table(),
             Window::Eager(full) => full,
@@ -181,7 +412,85 @@ impl FleetSim {
         })
     }
 
-    /// Phase 3 for one device: union seeding, training (for synthetic
+    /// Phase 3 for one device, driven through the retry policy. Mid-fit
+    /// crashes abort before the (expensive) fit; share poisoning applies
+    /// to the successful attempt's product and is left for the
+    /// aggregator's quarantine to catch.
+    fn prepare_with_recovery(
+        &self,
+        d: usize,
+        stage: &DeviceStage,
+        missing: &[String],
+        test: &Table,
+        plan: &FaultPlan,
+        clock: &VirtualClock,
+    ) -> Attempted<DeviceOutcome> {
+        let cfg = &self.config;
+        let dp = plan.device(d);
+        let res = &cfg.resilience;
+        let seed = cfg.seed.wrapping_add(d as u64 * 101);
+        let mut observed = Vec::new();
+        let mut retries = 0;
+        let mut attempt = 0;
+        loop {
+            let result = if dp.fires(FaultKind::CrashMidFit, attempt) {
+                Err(FleetError::device(
+                    d,
+                    &stage.device,
+                    DeviceFaultKind::CrashMidFit,
+                    "injected crash during generator fit",
+                ))
+            } else {
+                self.prepare_device(d, stage, missing, test)
+            };
+            match result {
+                Ok(mut outcome) => {
+                    if let Some(share) = outcome.share.as_mut() {
+                        if dp.fires(FaultKind::PoisonShareNan, attempt) {
+                            poison_share(share, PoisonKind::NonFinite, seed);
+                            observed.push(format!(
+                                "device {d} ({}) poison-share-nan: release carries non-finite \
+                                 cells [attempt {attempt}]",
+                                stage.device
+                            ));
+                        } else if dp.fires(FaultKind::PoisonShareKg, attempt) {
+                            poison_share(share, PoisonKind::KgInvalid, seed);
+                            observed.push(format!(
+                                "device {d} ({}) poison-share-kg: release carries KG-invalid \
+                                 values [attempt {attempt}]",
+                                stage.device
+                            ));
+                        }
+                    }
+                    return Attempted {
+                        result: Ok(outcome),
+                        retries,
+                        observed,
+                    };
+                }
+                Err(e) => {
+                    observed.push(format!("{e} [attempt {attempt}]"));
+                    if attempt < res.max_retries && e.is_retryable() {
+                        clock.advance(backoff_ticks(
+                            res.backoff_base_ticks,
+                            res.backoff_cap_ticks,
+                            attempt,
+                        ));
+                        retries += 1;
+                        attempt += 1;
+                        continue;
+                    }
+                    return Attempted {
+                        result: Err(e),
+                        retries,
+                        observed,
+                    };
+                }
+            }
+        }
+    }
+
+    /// One preparation attempt: union seeding, training (for synthetic
     /// sharing), and share production.
     fn prepare_device(
         &self,
@@ -189,10 +498,12 @@ impl FleetSim {
         stage: &DeviceStage,
         missing: &[String],
         test: &Table,
-    ) -> Result<DeviceOutcome, String> {
+    ) -> Result<DeviceOutcome, FleetError> {
         let cfg = &self.config;
         let device = &stage.device;
         let seed = cfg.seed.wrapping_add(d as u64 * 101);
+        let training =
+            |e: String| FleetError::device(d, device.clone(), DeviceFaultKind::Training, e);
         // kinet-lint: allow(wall-clock) — per-device prep timing, report metadata the fingerprint excludes
         let t0 = Instant::now();
         match &cfg.policy {
@@ -211,7 +522,9 @@ impl FleetSim {
                     LabSimulator::label_column(),
                     &LabSimulator::attack_events(),
                 )
-                .map_err(|e| format!("device {device}: {e}"))?;
+                .map_err(|e| {
+                    FleetError::device(d, device.clone(), DeviceFaultKind::Other, e.to_string())
+                })?;
                 Ok(DeviceOutcome {
                     share: None,
                     prep_ms: t0.elapsed().as_secs_f64() * 1e3,
@@ -234,16 +547,22 @@ impl FleetSim {
                         missing,
                         cfg.union.seeds_per_class,
                         seed ^ 0xc0de,
-                    )
-                    .map_err(|e| format!("device {device}: union seeding: {e}"))?;
+                    )?;
                     seeded_classes = seeds
                         .category_counts(LabSimulator::label_column())
-                        .map_err(|e| e.to_string())?
+                        .map_err(|e| {
+                            FleetError::device(
+                                d,
+                                device.clone(),
+                                DeviceFaultKind::Other,
+                                e.to_string(),
+                            )
+                        })?
                         .into_keys()
                         .collect();
-                    train_table
-                        .append(&seeds)
-                        .map_err(|e| format!("device {device}: {e}"))?;
+                    train_table.append(&seeds).map_err(|e| {
+                        FleetError::device(d, device.clone(), DeviceFaultKind::Other, e.to_string())
+                    })?;
                 }
                 let n_release = cfg.release_rows.unwrap_or(stage.shard_rows);
                 let mut diag = None;
@@ -261,7 +580,9 @@ impl FleetSim {
                             mcfg = mcfg.with_sample_balance(cfg.union.sample_balance);
                         }
                         let mut model = KinetGan::new(mcfg, kg);
-                        model.fit(&train_table).map_err(|e| e.to_string())?;
+                        model
+                            .fit(&train_table)
+                            .map_err(|e| training(e.to_string()))?;
                         diag = model.report().map(|r| DeviceTrainingDiag {
                             device_index: d,
                             device: device.clone(),
@@ -273,27 +594,31 @@ impl FleetSim {
                         });
                         model
                             .sample(n_release, seed ^ 1)
-                            .map_err(|e| e.to_string())?
+                            .map_err(|e| training(e.to_string()))?
                     }
                     ModelKind::CtGan => {
                         let mcfg = BaselineConfig::fast_demo()
                             .with_epochs(cfg.model_epochs)
                             .with_seed(seed);
                         let mut model = CtGan::new(mcfg);
-                        model.fit(&train_table).map_err(|e| e.to_string())?;
+                        model
+                            .fit(&train_table)
+                            .map_err(|e| training(e.to_string()))?;
                         model
                             .sample(n_release, seed ^ 1)
-                            .map_err(|e| e.to_string())?
+                            .map_err(|e| training(e.to_string()))?
                     }
                     ModelKind::Tvae => {
                         let mcfg = BaselineConfig::fast_demo()
                             .with_epochs(cfg.model_epochs)
                             .with_seed(seed);
                         let mut model = Tvae::new(mcfg);
-                        model.fit(&train_table).map_err(|e| e.to_string())?;
+                        model
+                            .fit(&train_table)
+                            .map_err(|e| training(e.to_string()))?;
                         model
                             .sample(n_release, seed ^ 1)
-                            .map_err(|e| e.to_string())?
+                            .map_err(|e| training(e.to_string()))?
                     }
                 };
                 Ok(DeviceOutcome {
@@ -307,16 +632,20 @@ impl FleetSim {
         }
     }
 
-    /// Pools shares in device order, scores them, and assembles the report.
-    fn aggregate(
-        &self,
-        stages: Vec<DeviceStage>,
-        mut outcomes: Vec<DeviceOutcome>,
-        union_classes: BTreeSet<String>,
-        test: &Table,
-        peak: &PeakRows,
-        start: Instant,
-    ) -> Result<FleetReport, String> {
+    /// Validates and pools shares in device order, enforces quorum, scores
+    /// the pool, and assembles the report.
+    fn aggregate(&self, input: AggregateInput<'_>) -> Result<FleetReport, FleetError> {
+        let AggregateInput {
+            acquired,
+            union_events,
+            mut prepared,
+            union_classes,
+            plan,
+            clock,
+            test,
+            peak,
+            start,
+        } = input;
         let cfg = &self.config;
         let kg = LabSimulator::knowledge_graph();
         let scope = LabSimulator::label_column();
@@ -324,70 +653,160 @@ impl FleetSim {
         let mut pool: Option<Table> = None;
         let mut bytes_shared = 0usize;
         let mut validity = StreamValidity::new();
-        let checker =
-            KgTableChecker::new(kg.compiled(), kg.base_interner(), &LabSimulator::schema());
         let mut devices = Vec::with_capacity(cfg.n_devices);
         let mut local_accs = Vec::new();
         let mut local_recalls = Vec::new();
         let mut release_cov_sum = 0.0;
+        let mut reported = vec![false; cfg.n_devices];
+        let mut degraded: Vec<(usize, String)> = Vec::new();
+        let mut quarantined: Vec<(usize, String)> = Vec::new();
+        let mut observed: Vec<String> = Vec::new();
+        let mut total_retries = 0usize;
+        let mut prep_times = Vec::new();
+        let mut seeded_pairs = 0usize;
+        let mut coverage_before_sum = 0.0;
+        let mut coverage_after_sum = 0.0;
+        let mut live_devices = 0usize;
 
-        for (d, (stage, outcome)) in stages.iter().zip(outcomes.iter_mut()).enumerate() {
-            let mut share_rows = 0;
-            // Take the share out of the outcome: the table moves into the
-            // pool instead of being cloned (the unwindowed path would
-            // otherwise hold every release twice during aggregation).
-            if let Some(share) = outcome.share.take() {
-                share_rows = share.n_rows();
-                let mut wire = Vec::new();
-                share
-                    .write_csv(&mut wire)
-                    .map_err(|e| format!("wire encoding failed: {e}"))?;
-                bytes_shared += wire.len();
-                // Score what actually crossed the wire chunk-by-chunk —
-                // the same out-of-core path a real aggregator would use.
-                let mut chunks = TableChunks::new(&share);
-                use kinet_data::stream::ChunkSource;
-                while let Some(chunk) = chunks
-                    .next_chunk(cfg.chunk_rows)
-                    .map_err(|e| e.to_string())?
-                {
-                    validity
-                        .observe(&checker, &chunk)
-                        .map_err(|e| e.to_string())?;
-                }
-                if !union_classes.is_empty() {
-                    let present = share
-                        .category_counts(scope)
-                        .map_err(|e| e.to_string())?
-                        .into_keys()
-                        .filter(|c| union_classes.contains(c))
-                        .count();
-                    release_cov_sum += present as f64 / union_classes.len() as f64;
-                }
-                match &mut pool {
-                    Some(p) => p
-                        .append(&share)
-                        .map_err(|e| format!("pooling failed: {e}"))?,
-                    None => pool = Some(share),
-                }
-            }
-            if let Some((acc, recall)) = outcome.local_eval {
-                local_accs.push(acc);
-                local_recalls.push(recall);
-            }
-            devices.push(DeviceReport {
+        for (d, (acq, prep)) in acquired.iter().zip(prepared.iter_mut()).enumerate() {
+            total_retries += acq.retries;
+            observed.extend(acq.observed.iter().cloned());
+            observed.extend(union_events[d].iter().cloned());
+            let device_name = match &acq.result {
+                Ok(stage) => stage.device.clone(),
+                Err(_) => DEVICE_CYCLE[d % DEVICE_CYCLE.len()].to_string(),
+            };
+            let mut report = DeviceReport {
                 device_index: d,
-                device: stage.device.clone(),
-                shard_rows: stage.shard_rows,
-                shard_classes: stage.vocab.iter().cloned().collect(),
-                seeded_classes: outcome.seeded_classes.clone(),
-                share_rows,
-                prep_ms: outcome.prep_ms,
-                local_accuracy: outcome.local_eval.map(|(a, _)| a),
-                local_attack_recall: outcome.local_eval.map(|(_, r)| r),
-                diag: outcome.diag.clone(),
-            });
+                device: device_name,
+                status: DEVICE_OK.to_string(),
+                retries: acq.retries,
+                shard_rows: 0,
+                shard_classes: Vec::new(),
+                seeded_classes: Vec::new(),
+                share_rows: 0,
+                prep_ms: 0.0,
+                local_accuracy: None,
+                local_attack_recall: None,
+                diag: None,
+            };
+            match (&acq.result, prep) {
+                (Err(e), _) => {
+                    report.status = format!("degraded: {e}");
+                    degraded.push((d, e.to_string()));
+                }
+                (Ok(stage), Some(att)) => {
+                    live_devices += 1;
+                    report.retries += att.retries;
+                    total_retries += att.retries;
+                    observed.extend(att.observed.iter().cloned());
+                    report.shard_rows = stage.shard_rows;
+                    report.shard_classes = stage.vocab.iter().cloned().collect();
+                    if !union_classes.is_empty() {
+                        let denom = union_classes.len() as f64;
+                        coverage_before_sum += stage
+                            .vocab
+                            .iter()
+                            .filter(|c| union_classes.contains(*c))
+                            .count() as f64
+                            / denom;
+                    }
+                    match &mut att.result {
+                        Ok(outcome) => {
+                            report.seeded_classes = outcome.seeded_classes.clone();
+                            report.prep_ms = outcome.prep_ms;
+                            report.diag = outcome.diag.clone();
+                            prep_times.push(outcome.prep_ms);
+                            seeded_pairs += outcome.seeded_classes.len();
+                            if !union_classes.is_empty() {
+                                let covered: BTreeSet<&String> = stage
+                                    .vocab
+                                    .iter()
+                                    .chain(&outcome.seeded_classes)
+                                    .filter(|c| union_classes.contains(*c))
+                                    .collect();
+                                coverage_after_sum +=
+                                    covered.len() as f64 / union_classes.len() as f64;
+                            }
+                            // Take the share out of the outcome: the table
+                            // moves into the pool instead of being cloned.
+                            if let Some(share) = outcome.share.take() {
+                                match resilience::validate_share(
+                                    &share,
+                                    &kg,
+                                    &cfg.resilience,
+                                    cfg.chunk_rows,
+                                ) {
+                                    Ok(share_validity) => {
+                                        report.share_rows = share.n_rows();
+                                        let mut wire = Vec::new();
+                                        share.write_csv(&mut wire).map_err(|e| {
+                                            FleetError::Data {
+                                                context: "wire encoding failed".into(),
+                                                source: e,
+                                            }
+                                        })?;
+                                        bytes_shared += wire.len();
+                                        validity.absorb(&share_validity);
+                                        if !union_classes.is_empty() {
+                                            let present = share
+                                                .category_counts(scope)
+                                                .map_err(FleetError::from)?
+                                                .into_keys()
+                                                .filter(|c| union_classes.contains(c))
+                                                .count();
+                                            release_cov_sum +=
+                                                present as f64 / union_classes.len() as f64;
+                                        }
+                                        match &mut pool {
+                                            Some(p) => {
+                                                p.append(&share).map_err(|e| FleetError::Data {
+                                                    context: "pooling failed".into(),
+                                                    source: e,
+                                                })?
+                                            }
+                                            None => pool = Some(share),
+                                        }
+                                        reported[d] = true;
+                                    }
+                                    Err(reason) => {
+                                        let why = reason.describe();
+                                        observed.push(format!(
+                                            "device {d} ({}) quarantined: {why}",
+                                            stage.device
+                                        ));
+                                        report.status = format!("quarantined: {why}");
+                                        quarantined.push((d, why));
+                                    }
+                                }
+                            }
+                            if let Some((acc, recall)) = outcome.local_eval {
+                                report.local_accuracy = Some(acc);
+                                report.local_attack_recall = Some(recall);
+                                local_accs.push(acc);
+                                local_recalls.push(recall);
+                                reported[d] = true;
+                            }
+                        }
+                        Err(e) => {
+                            report.status = format!("degraded: {e}");
+                            degraded.push((d, e.to_string()));
+                        }
+                    }
+                }
+                (Ok(_), None) => {
+                    // Unreachable by construction: phase 3 settles Some for
+                    // every acquired device.
+                    return Err(FleetError::Internal(format!(
+                        "device {d}: acquired but never prepared"
+                    )));
+                }
+            }
+            devices.push(report);
         }
+
+        resilience::check_quorum(&reported, &degraded, &cfg.resilience)?;
+        let devices_reported = reported.iter().filter(|&&r| r).count();
 
         let (global_accuracy, attack_recall, pool_kg_validity, pool_rows, pool_class_counts) =
             match (&cfg.policy, &pool) {
@@ -409,10 +828,13 @@ impl FleetSim {
                         LabSimulator::label_column(),
                         &LabSimulator::attack_events(),
                     )
-                    .map_err(|e| format!("global evaluation failed: {e}"))?;
+                    .map_err(|e| FleetError::Internal(format!("global evaluation failed: {e}")))?;
                     let counts = pool
                         .category_counts(scope)
-                        .map_err(|e| format!("pool label histogram failed: {e}"))?
+                        .map_err(|e| FleetError::Data {
+                            context: "pool label histogram failed".into(),
+                            source: e,
+                        })?
                         .into_iter()
                         .collect();
                     (
@@ -423,52 +845,44 @@ impl FleetSim {
                         counts,
                     )
                 }
-                (_, None) => return Err("no device shared any data".to_string()),
+                (_, None) => {
+                    return Err(FleetError::Internal(
+                        "no device shared any data, yet quorum passed".into(),
+                    ))
+                }
             };
 
         let union_report = if cfg.union.enabled {
-            let n = cfg.n_devices as f64;
-            let denom = union_classes.len().max(1) as f64;
-            let coverage_before = stages
-                .iter()
-                .map(|s| {
-                    s.vocab
-                        .iter()
-                        .filter(|c| union_classes.contains(*c))
-                        .count() as f64
-                })
-                .sum::<f64>()
-                / (n * denom);
-            let coverage_after = stages
-                .iter()
-                .zip(&outcomes)
-                .map(|(s, o)| {
-                    let covered: BTreeSet<&String> = s
-                        .vocab
-                        .iter()
-                        .chain(&o.seeded_classes)
-                        .filter(|c| union_classes.contains(*c))
-                        .collect();
-                    covered.len() as f64
-                })
-                .sum::<f64>()
-                / (n * denom);
+            let n_live = live_devices.max(1) as f64;
             UnionReport {
                 enabled: true,
                 classes: union_classes.iter().cloned().collect(),
                 devices_opted_in: (0..cfg.n_devices)
                     .filter(|&d| cfg.union.participates(d))
                     .count(),
-                seeded_pairs: outcomes.iter().map(|o| o.seeded_classes.len()).sum(),
-                coverage_before,
-                coverage_after,
-                release_coverage: release_cov_sum / n,
+                seeded_pairs,
+                coverage_before: coverage_before_sum / n_live,
+                coverage_after: coverage_after_sum / n_live,
+                release_coverage: release_cov_sum / n_live,
             }
         } else {
             UnionReport::default()
         };
 
-        let prep_sum: f64 = outcomes.iter().map(|o| o.prep_ms).sum();
+        let fault_report = FaultReport {
+            enabled: cfg.fault.enabled,
+            injected: plan.describe(),
+            observed,
+            retries: total_retries,
+            quarantined,
+            degraded,
+            devices_reported,
+            quorum_required: cfg.resilience.quorum_required(cfg.n_devices),
+            quorum_met: true,
+            virtual_ticks: clock.total(),
+        };
+
+        let prep_sum: f64 = prep_times.iter().sum();
         Ok(FleetReport {
             policy: cfg.policy.label(),
             n_devices: cfg.n_devices,
@@ -477,22 +891,37 @@ impl FleetSim {
             global_accuracy,
             attack_recall,
             bytes_shared,
-            mean_device_prep_ms: prep_sum / outcomes.len().max(1) as f64,
+            mean_device_prep_ms: prep_sum / prep_times.len().max(1) as f64,
             pool_kg_validity,
             pool_rows,
             pool_class_counts,
             peak_decoded_rows: peak.peak(),
             union: union_report,
+            fault: fault_report,
             devices,
             total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
         })
     }
 }
 
+/// Bundled aggregation inputs (one fleet round's settled phases).
+struct AggregateInput<'a> {
+    acquired: Vec<Attempted<DeviceStage>>,
+    union_events: Vec<Vec<String>>,
+    prepared: Vec<Option<Attempted<DeviceOutcome>>>,
+    union_classes: BTreeSet<String>,
+    plan: &'a FaultPlan,
+    clock: &'a VirtualClock,
+    test: &'a Table,
+    peak: &'a PeakRows,
+    start: Instant,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::UnionConfig;
+    use crate::fault::DeviceFaultSpec;
 
     #[test]
     fn raw_fleet_end_to_end() {
@@ -509,6 +938,12 @@ mod tests {
         );
         assert_eq!(report.devices.len(), 2);
         assert!(report.devices.iter().all(|d| d.shard_rows == 250));
+        // A fault-free round reports everyone healthy.
+        assert!(report.devices.iter().all(|d| d.status == DEVICE_OK));
+        assert_eq!(report.fault.devices_reported, 2);
+        assert!(report.fault.quorum_met);
+        assert!(report.fault.observed.is_empty());
+        assert_eq!(report.fault.virtual_ticks, 0);
     }
 
     #[test]
@@ -520,6 +955,10 @@ mod tests {
         assert_eq!(report.pool_rows, 0);
         assert!(report.global_accuracy > 0.0);
         assert!(report.devices.iter().all(|d| d.local_accuracy.is_some()));
+        assert_eq!(
+            report.fault.devices_reported, 2,
+            "local evals count as reports"
+        );
     }
 
     #[test]
@@ -554,7 +993,8 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
         cfg.chunk_rows = 0;
-        assert!(FleetSim::new(cfg).run().is_err());
+        let err = FleetSim::new(cfg).run().unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_CONFIG_INVALID);
     }
 
     #[test]
@@ -572,5 +1012,147 @@ mod tests {
         // Raw sharing performs no seeding.
         assert_eq!(report.union.seeded_pairs, 0);
         assert_eq!(report.union.coverage_before, report.union.coverage_after);
+    }
+
+    #[test]
+    fn transient_crash_is_retried_and_the_round_stays_healthy() {
+        let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
+        cfg.fault = crate::fault::FaultConfig::scripted(vec![DeviceFaultSpec::transient(
+            1,
+            FaultKind::CrashAcquire,
+            2,
+        )
+        .with_magnitude(40)]);
+        let report = FleetSim::new(cfg.clone()).run().unwrap();
+        assert_eq!(report.devices[1].retries, 2, "two failed attempts retried");
+        assert_eq!(report.devices[1].status, DEVICE_OK, "third attempt heals");
+        assert_eq!(report.fault.retries, 2);
+        assert!(report.fault.degraded.is_empty());
+        assert!(
+            report.fault.virtual_ticks > 0,
+            "backoff spent virtual ticks: {}",
+            report.fault.virtual_ticks
+        );
+        // The healed shard is identical to a fault-free one: recovery costs
+        // ticks, not data.
+        let mut clean = cfg.clone();
+        clean.fault = crate::fault::FaultConfig::default();
+        let clean_report = FleetSim::new(clean).run().unwrap();
+        assert_eq!(
+            report.devices[1].shard_rows,
+            clean_report.devices[1].shard_rows
+        );
+        assert_eq!(report.global_accuracy, clean_report.global_accuracy);
+    }
+
+    #[test]
+    fn permanent_crash_degrades_the_device_under_partial_quorum() {
+        let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
+        cfg.fault = crate::fault::FaultConfig::scripted(vec![DeviceFaultSpec::permanent(
+            1,
+            FaultKind::CrashAcquire,
+        )
+        .with_magnitude(40)]);
+        cfg.resilience.quorum_frac = 0.5;
+        let report = FleetSim::new(cfg).run().unwrap();
+        assert!(report.devices[1].status.starts_with("degraded:"));
+        assert_eq!(report.fault.degraded.len(), 1);
+        assert_eq!(report.fault.devices_reported, 1);
+        assert_eq!(report.fault.quorum_required, 1);
+        assert_eq!(
+            report.devices[1].share_rows, 0,
+            "no data from the dead device"
+        );
+        assert!(report.pool_rows > 0, "the survivor still pools");
+    }
+
+    #[test]
+    fn permanent_crash_with_full_quorum_fails_loud() {
+        let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
+        cfg.fault = crate::fault::FaultConfig::scripted(vec![DeviceFaultSpec::permanent(
+            0,
+            FaultKind::CrashAcquire,
+        )]);
+        let err = FleetSim::new(cfg).run().unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_QUORUM_LOST);
+        assert!(err.to_string().contains("quorum lost"), "{err}");
+    }
+
+    #[test]
+    fn poisoned_share_is_quarantined_not_pooled() {
+        let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
+        cfg.fault = crate::fault::FaultConfig::scripted(vec![DeviceFaultSpec::permanent(
+            1,
+            FaultKind::PoisonShareNan,
+        )]);
+        cfg.resilience.quorum_frac = 0.5;
+        let report = FleetSim::new(cfg.clone()).run().unwrap();
+        assert!(report.devices[1].status.starts_with("quarantined:"));
+        assert_eq!(report.fault.quarantined.len(), 1);
+        assert_eq!(report.fault.devices_reported, 1);
+        // The pool holds only the healthy device's share — and is finite.
+        let mut clean = cfg;
+        clean.fault = crate::fault::FaultConfig::default();
+        let clean_report = FleetSim::new(clean).run().unwrap();
+        assert_eq!(report.pool_rows, clean_report.pool_rows / 2);
+        assert!(
+            (report.pool_kg_validity - 1.0).abs() < 1e-9,
+            "quarantine keeps the pool clean: {}",
+            report.pool_kg_validity
+        );
+    }
+
+    #[test]
+    fn vocab_drop_shrinks_the_union_but_not_the_round() {
+        let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
+        // Device 0 is the only one seeing attacks; its vocab message drops.
+        cfg.device_attack_fraction = vec![(1, 0.0)];
+        cfg.union = UnionConfig::enabled();
+        cfg.fault = crate::fault::FaultConfig::scripted(vec![DeviceFaultSpec::permanent(
+            0,
+            FaultKind::DropVocab,
+        )]);
+        let report = FleetSim::new(cfg.clone()).run().unwrap();
+        let mut clean = cfg;
+        clean.fault = crate::fault::FaultConfig::default();
+        let clean_report = FleetSim::new(clean).run().unwrap();
+        assert!(
+            report.union.classes.len() < clean_report.union.classes.len(),
+            "union falls back to surviving vocabs: {:?} vs {:?}",
+            report.union.classes,
+            clean_report.union.classes
+        );
+        assert_eq!(
+            report.fault.devices_reported, 2,
+            "both devices still report"
+        );
+        assert!(!report.fault.observed.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trips() {
+        let dir = std::env::temp_dir().join("kinet_fleet_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round.json");
+        let _ = std::fs::remove_file(&path);
+        let sim = FleetSim::new(FleetConfig::fast(SharingPolicy::Raw));
+        let (fresh, resumed) = sim.run_or_resume(&path).unwrap();
+        assert!(!resumed, "first run computes");
+        let (reloaded, resumed) = sim.run_or_resume(&path).unwrap();
+        assert!(resumed, "second run resumes from the checkpoint");
+        assert_eq!(
+            fresh.deterministic_fingerprint(),
+            reloaded.deterministic_fingerprint()
+        );
+        // A different config ignores the stale checkpoint and re-runs.
+        let mut other_cfg = FleetConfig::fast(SharingPolicy::Raw);
+        other_cfg.seed = 43;
+        let (other, resumed) = FleetSim::new(other_cfg).run_or_resume(&path).unwrap();
+        assert!(!resumed, "config key mismatch forces a fresh round");
+        assert_ne!(
+            other.deterministic_fingerprint(),
+            fresh.deterministic_fingerprint()
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

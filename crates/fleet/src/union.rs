@@ -20,6 +20,7 @@
 //!    balancing mode so the seeded classes are actually drawn at release
 //!    time.
 
+use crate::error::FleetError;
 use kinet_data::{ColumnKind, Table, Value};
 use kinet_kg::{Assignment, AttrValue, NetworkKg};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -59,17 +60,20 @@ pub fn missing_classes(local: &BTreeSet<String>, union: &BTreeSet<String>) -> Ve
 ///
 /// # Errors
 ///
-/// Returns a message when `local` is empty or a seed row violates the
-/// schema (a KG/schema type conflict).
+/// Returns [`FleetError::Internal`] when `local` is empty and
+/// [`FleetError::Data`] when a seed row violates the schema (a KG/schema
+/// type conflict).
 pub fn synthesize_seeds(
     kg: &NetworkKg,
     local: &Table,
     missing: &[String],
     per_class: usize,
     seed: u64,
-) -> Result<Table, String> {
+) -> Result<Table, FleetError> {
     if local.is_empty() {
-        return Err("cannot synthesize union seeds from an empty shard".into());
+        return Err(FleetError::Internal(
+            "cannot synthesize union seeds from an empty shard".into(),
+        ));
     }
     let scope = kg.scope_field();
     let schema = local.schema().clone();
@@ -77,7 +81,13 @@ pub fn synthesize_seeds(
     // the KG leaves unconstrained (device identity, source addresses).
     let mut domains: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for name in schema.categorical_names() {
-        let mut values: Vec<String> = local.cat_column(name).map_err(|e| e.to_string())?.to_vec();
+        let mut values: Vec<String> = local
+            .cat_column(name)
+            .map_err(|e| FleetError::Data {
+                context: "union seed synthesis".into(),
+                source: e,
+            })?
+            .to_vec();
         values.sort();
         values.dedup();
         domains.insert(name.to_string(), values);
@@ -117,7 +127,10 @@ pub fn synthesize_seeds(
                     _ => local.value(base, ci),
                 })
                 .collect();
-            seeds.push_row(row).map_err(|e| e.to_string())?;
+            seeds.push_row(row).map_err(|e| FleetError::Data {
+                context: "union seed synthesis".into(),
+                source: e,
+            })?;
         }
     }
     Ok(seeds)

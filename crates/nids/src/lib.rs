@@ -22,4 +22,4 @@ pub mod report;
 pub mod sim;
 
 pub use report::{DeviceTrainingDiag, DistributedReport};
-pub use sim::{DistributedConfig, DistributedSim, ModelKind, SharingPolicy};
+pub use sim::{DistributedConfig, DistributedSim, FleetError, ModelKind, SharingPolicy};

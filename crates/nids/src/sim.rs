@@ -11,7 +11,7 @@
 
 use crate::report::DistributedReport;
 use kinet_fleet::{FleetConfig, FleetSim};
-pub use kinet_fleet::{ModelKind, SharingPolicy};
+pub use kinet_fleet::{FleetError, ModelKind, SharingPolicy};
 
 /// Configuration of one distributed run.
 #[derive(Clone, Debug)]
@@ -92,9 +92,11 @@ impl DistributedSim {
     ///
     /// # Errors
     ///
-    /// Returns a descriptive string when a device task fails (model
-    /// training error, schema mismatch).
-    pub fn run(&self) -> Result<DistributedReport, String> {
+    /// Returns the typed [`FleetError`]: `Config` for invalid settings,
+    /// `QuorumLost` when too few devices report, `Data`/`Internal` for
+    /// aggregator failures — each with its own process exit code
+    /// ([`FleetError::exit_code`]).
+    pub fn run(&self) -> Result<DistributedReport, FleetError> {
         let fleet = FleetSim::new(self.config.to_fleet()).run()?;
         Ok(DistributedReport::from_fleet(&fleet))
     }
