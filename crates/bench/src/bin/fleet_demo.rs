@@ -14,16 +14,26 @@
 //! asserted), and when a previous snapshot exists a delta is printed.
 //!
 //! ```text
-//! fleet_demo [--quick] [--devices N] [--rows N] [--chunk N] [--window N] [--seed N]
+//! fleet_demo [--quick] [--serve] [--devices N] [--rows N] [--chunk N] [--window N] [--seed N]
 //! ```
 //!
-//! `--quick` shrinks both acts to CI-smoke scale. Exit code 1 on any
+//! `--serve` appends a third act: a resident [`FleetService`] trains
+//! three rounds, the middle round is killed (every device crashes under a
+//! full-quorum policy), and the serving handle is shown still answering
+//! flow batches from the last committed generation — one round stale,
+//! loudly stamped as such — before the next round commits and goes fresh.
+//!
+//! `--quick` shrinks the acts to CI-smoke scale. Exit code 1 on any
 //! violated assertion; a failed fleet run instead exits with the typed
 //! [`kinet_fleet::FleetError`] code (2 config-invalid, 3 quorum-lost,
-//! 4 internal).
+//! 4 internal, 5 membership-collapse).
 
 use kinet_bench::write_json;
-use kinet_fleet::{FleetConfig, FleetReport, FleetSim, ModelKind, SharingPolicy, UnionConfig};
+use kinet_fleet::{
+    DeviceFaultSpec, FaultConfig, FaultKind, FleetConfig, FleetReport, FleetService, FleetSim,
+    MemStorage, ModelKind, RoundVerdict, ServiceConfig, ServingConfig, SharingPolicy,
+    SnapshotStore, UnionConfig,
+};
 
 /// Collected assertion failures plus the process exit code to use: floor
 /// breaks keep 1, a typed fleet-run error escalates to its own code.
@@ -50,6 +60,7 @@ impl Failures {
 
 struct Args {
     quick: bool,
+    serve: bool,
     devices: usize,
     rows: usize,
     chunk: usize,
@@ -60,6 +71,7 @@ struct Args {
 impl Args {
     fn parse() -> Result<Self, String> {
         let mut quick = false;
+        let mut serve = false;
         let mut devices = None;
         let mut rows = None;
         let mut chunk = None;
@@ -71,6 +83,7 @@ impl Args {
                 |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
             match flag.as_str() {
                 "--quick" => quick = true,
+                "--serve" => serve = true,
                 "--devices" => devices = Some(parse_num(&value("--devices")?)?),
                 "--rows" => rows = Some(parse_num(&value("--rows")?)?),
                 "--chunk" => chunk = Some(parse_num(&value("--chunk")?)?),
@@ -78,8 +91,8 @@ impl Args {
                 "--seed" => seed = parse_num(&value("--seed")?)?,
                 "--help" | "-h" => {
                     println!(
-                        "usage: fleet_demo [--quick] [--devices N] [--rows N] [--chunk N] \
-                         [--window N] [--seed N]"
+                        "usage: fleet_demo [--quick] [--serve] [--devices N] [--rows N] \
+                         [--chunk N] [--window N] [--seed N]"
                     );
                     std::process::exit(0);
                 }
@@ -88,6 +101,7 @@ impl Args {
         }
         Ok(Self {
             quick,
+            serve,
             devices: devices.unwrap_or(if quick { 8 } else { 32 }),
             rows: rows.unwrap_or(if quick { 1_000 } else { 5_000 }),
             chunk: chunk.unwrap_or(1_024),
@@ -216,6 +230,86 @@ fn union_ab(args: &Args, failures: &mut Failures) -> Vec<FleetReport> {
     out
 }
 
+/// Act 3 (`--serve`): the resident service survives a killed round and
+/// keeps answering from the previous generation.
+fn serve_demo(args: &Args, failures: &mut Failures) {
+    let (devices, rows) = if args.quick { (2, 250) } else { (4, 400) };
+    println!(
+        "\n[serve] resident service: {devices} devices x {rows} rows, 3 rounds, \
+         round 1 killed mid-flight"
+    );
+    let fleet = FleetConfig {
+        n_devices: devices,
+        rows_per_device: rows,
+        test_records: 600,
+        policy: SharingPolicy::Raw,
+        seed: args.seed,
+        ..FleetConfig::default()
+    };
+    // Round 1: every device crashes on acquire under the default
+    // full-quorum policy — the round fails outright.
+    let kill_round = FaultConfig::scripted(
+        (0..devices)
+            .map(|d| DeviceFaultSpec::permanent(d, FaultKind::CrashAcquire))
+            .collect(),
+    );
+    let cfg = ServiceConfig {
+        fleet,
+        rounds: 3,
+        round_faults: vec![(1, kill_round)],
+        serving: ServingConfig::enabled(4, 128),
+        ..ServiceConfig::default()
+    };
+    let mut store = SnapshotStore::new(Box::new(MemStorage::new()));
+    let report = match FleetService::new(cfg).run(&mut store) {
+        Ok(r) => r,
+        Err(e) => {
+            failures.push_run_error("service run failed", &e);
+            return;
+        }
+    };
+    println!("      {report}");
+    for record in &report.rounds {
+        let s = &record.serving;
+        println!(
+            "      round {}: {:9} | answered {} rows from gen {:?}, staleness {:?}",
+            record.round,
+            record.verdict.label(),
+            s.rows,
+            s.answered_generation,
+            s.staleness,
+        );
+    }
+    // The degraded-serving claim: the killed round still answers, one
+    // generation behind and stamped as stale; the next round recovers.
+    if !matches!(report.rounds[1].verdict, RoundVerdict::Failed { .. }) {
+        failures.push(format!(
+            "round 1 should have failed, got {}",
+            report.rounds[1].verdict.label()
+        ));
+    }
+    let degraded = &report.rounds[1].serving;
+    if degraded.answered_generation != Some(1) || degraded.staleness != Some(1) {
+        failures.push(format!(
+            "killed round must serve from generation 1 at staleness 1, got gen {:?} \
+             staleness {:?}",
+            degraded.answered_generation, degraded.staleness
+        ));
+    }
+    if degraded.rows == 0 {
+        failures.push("killed round answered no rows".into());
+    }
+    if report.rounds[2].serving.staleness != Some(0) {
+        failures.push("recovery round should serve fresh (staleness 0)".into());
+    }
+    if report.final_generation != Some(2) {
+        failures.push(format!(
+            "service should end at generation 2, got {:?}",
+            report.final_generation
+        ));
+    }
+}
+
 /// Reloads the previous snapshot for the delta print.
 fn previous_reports() -> Vec<FleetReport> {
     let path = kinet_bench::gate::fresh_dir().join("fleet_report.json");
@@ -272,6 +366,9 @@ fn main() {
     let mut reports = Vec::new();
     reports.extend(scale_run(&args, &mut failures));
     reports.extend(union_ab(&args, &mut failures));
+    if args.serve {
+        serve_demo(&args, &mut failures);
+    }
 
     println!();
     print_deltas(&previous, &reports);

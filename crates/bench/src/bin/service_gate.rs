@@ -1,0 +1,510 @@
+//! Service gate: runs the resident-fleet-service scenario matrix and
+//! enforces the durability, churn, watchdog, and degraded-serving
+//! contracts end to end.
+//!
+//! The matrix (each scenario executed at `KINET_THREADS` ∈ {1, 2, 4} to
+//! prove the whole multi-round [`ServiceReport`] fingerprint is
+//! bit-identical):
+//!
+//! | scenario | injection | must hold |
+//! |---|---|---|
+//! | `restart-torn-snapshot` | torn write on the gen-2 snapshot, then a process restart | restart rejects the torn record, resumes from gen 1, re-runs the lost round, recommits gen 2 |
+//! | `churn-join-recall` | one member joins before round 1 of a skewed split | quorum re-derives to the live count, joiner folds into the union, recall floor (full mode) |
+//! | `watchdog-abort-continue` | straggler blows the round-1 phase deadline | verdicts committed → aborted → committed; the service never wedges |
+//! | `degraded-serving` | every device crashes in round 1 under full quorum | ≥ 1k flow rows answered from generation 1 at staleness 1; round 2 goes fresh |
+//!
+//! A final probe scripts the whole fleet leaving below the membership
+//! floor and asserts the service dies with the dedicated
+//! membership-collapse exit code (5).
+//!
+//! The full per-scenario reports are persisted as
+//! `target/experiments/service_report.json` **before** the pass/fail
+//! verdict, so a red gate still uploads evidence.
+//!
+//! ```text
+//! service_gate [--quick] [--seed N]
+//! ```
+//!
+//! `--quick` shrinks training to CI-smoke scale and skips the recall
+//! floor (2-epoch generators are noise); the durability, churn, watchdog,
+//! and serving mechanics still run. Exit code 1 on any violated
+//! assertion.
+
+use kinet_bench::write_json;
+use kinet_fleet::{
+    ChurnConfig, DeviceFaultSpec, FaultConfig, FaultKind, FaultStorage, FleetConfig, FleetError,
+    FleetService, MemStorage, ModelKind, RoundVerdict, ServiceConfig, ServiceReport, ServingConfig,
+    SharingPolicy, SnapshotStore, StorageFaultKind, StorageFaultSpec, UnionConfig, WatchdogConfig,
+    EXIT_MEMBERSHIP_COLLAPSE,
+};
+use kinet_tensor::pool::with_threads;
+use serde::Serialize;
+
+/// Attack recall the churned committed round must clear in full mode
+/// (same floor as `chaos_gate`).
+const RECALL_FLOOR: f64 = 0.6;
+
+/// Thread counts every scenario must fingerprint identically across.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Args {
+    quick: bool,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut quick = false;
+        let mut seed = 42u64;
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--quick" => quick = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed requires a value")?;
+                    seed = v.parse().map_err(|_| format!("invalid number {v:?}"))?;
+                }
+                "--help" | "-h" => {
+                    println!("usage: service_gate [--quick] [--seed N]");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(Self { quick, seed })
+    }
+}
+
+/// One matrix entry: a service configuration, a storage-fault plan, how
+/// many times to run the service against the *same* store (a restart per
+/// extra run), and the contract the final report must satisfy.
+struct Scenario {
+    name: &'static str,
+    description: &'static str,
+    config: fn(&Args) -> ServiceConfig,
+    storage_faults: Vec<StorageFaultSpec>,
+    runs: usize,
+    check: fn(&Args, &ServiceReport, &mut Vec<String>),
+}
+
+/// The small raw-sharing fleet most mechanics scenarios run on.
+fn raw_fleet(args: &Args) -> FleetConfig {
+    FleetConfig {
+        n_devices: 2,
+        rows_per_device: 250,
+        test_records: 400,
+        policy: SharingPolicy::Raw,
+        model_epochs: 2,
+        seed: args.seed,
+        ..FleetConfig::default()
+    }
+}
+
+/// Every device crashes on acquire: under the default full-quorum policy
+/// the round fails outright.
+fn kill_all(n_devices: usize) -> FaultConfig {
+    FaultConfig::scripted(
+        (0..n_devices)
+            .map(|d| DeviceFaultSpec::permanent(d, FaultKind::CrashAcquire))
+            .collect(),
+    )
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "restart-torn-snapshot",
+            description: "gen-2 snapshot write is torn mid-flight; the restarted service \
+                          must roll back to gen 1 and re-run the lost round",
+            config: |args| ServiceConfig {
+                fleet: raw_fleet(args),
+                rounds: 2,
+                serving: ServingConfig::enabled(2, 64),
+                ..ServiceConfig::default()
+            },
+            storage_faults: vec![StorageFaultSpec::new(1, StorageFaultKind::TornWrite)],
+            runs: 2,
+            check: |_, report, failures| {
+                if report.resumed_from_generation != Some(1) {
+                    failures.push(format!(
+                        "restart should resume from generation 1, got {:?}",
+                        report.resumed_from_generation
+                    ));
+                }
+                if report.storage.rejected_snapshots.is_empty() {
+                    failures.push("the torn snapshot was never rejected".into());
+                }
+                if report.storage.injected.is_empty() {
+                    failures.push("the storage fault was never injected".into());
+                }
+                if report.final_generation != Some(2) || report.committed_rounds != 2 {
+                    failures.push(format!(
+                        "restart should recommit generation 2 ({} committed, final {:?})",
+                        report.committed_rounds, report.final_generation
+                    ));
+                }
+                if report.rounds.len() != 2 {
+                    failures.push(format!(
+                        "resumed ledger should hold both rounds, got {}",
+                        report.rounds.len()
+                    ));
+                }
+            },
+        },
+        Scenario {
+            name: "churn-join-recall",
+            description: "skewed split (member 0 is the sole attack observer); a fresh \
+                          member joins before round 1 and the union re-derives",
+            config: |args| {
+                let (rows, epochs) = if args.quick { (220, 2) } else { (400, 60) };
+                ServiceConfig {
+                    fleet: FleetConfig {
+                        n_devices: 4,
+                        rows_per_device: rows,
+                        test_records: 800,
+                        policy: SharingPolicy::Synthetic(ModelKind::KinetGan),
+                        model_epochs: epochs,
+                        seed: args.seed,
+                        union: UnionConfig::enabled(),
+                        ..FleetConfig::default()
+                    },
+                    rounds: 2,
+                    churn: ChurnConfig {
+                        enabled: true,
+                        scripted_joins: vec![(1, 1)],
+                        min_members: 1,
+                        ..ChurnConfig::default()
+                    },
+                    member_attack_fraction: vec![(1, 0.0), (2, 0.0), (3, 0.0)],
+                    ..ServiceConfig::default()
+                }
+            },
+            storage_faults: Vec::new(),
+            runs: 1,
+            check: |args, report, failures| {
+                if report.committed_rounds != 2 {
+                    failures.push(format!(
+                        "both rounds should commit, got {} committed / {} aborted / {} failed",
+                        report.committed_rounds, report.aborted_rounds, report.failed_rounds
+                    ));
+                    return;
+                }
+                if !report.churn.iter().any(|e| e.contains("+4 joined")) {
+                    failures.push(format!(
+                        "join missing from churn ledger: {:?}",
+                        report.churn
+                    ));
+                }
+                let (r0, r1) = (&report.rounds[0], &report.rounds[1]);
+                if r0.members.len() != 4 || r1.members.len() != 5 {
+                    failures.push(format!(
+                        "memberships should grow 4 → 5, got {} → {}",
+                        r0.members.len(),
+                        r1.members.len()
+                    ));
+                }
+                if r1.quorum_required != r0.quorum_required + 1 {
+                    failures.push(format!(
+                        "quorum must re-derive from the live membership: {} → {}",
+                        r0.quorum_required, r1.quorum_required
+                    ));
+                }
+                if !args.quick {
+                    let recall = r1.attack_recall.unwrap_or(0.0);
+                    if recall < RECALL_FLOOR {
+                        failures.push(format!(
+                            "churned round recall {recall:.3} under floor {RECALL_FLOOR}"
+                        ));
+                    }
+                }
+            },
+        },
+        Scenario {
+            name: "watchdog-abort-continue",
+            description: "round 1's acquire phase blows its virtual-tick deadline; the \
+                          round aborts and the service proceeds",
+            config: |args| {
+                let mut fleet = raw_fleet(args);
+                fleet.watchdog = WatchdogConfig::armed(500);
+                ServiceConfig {
+                    fleet,
+                    rounds: 3,
+                    round_faults: vec![(
+                        1,
+                        FaultConfig::scripted(vec![DeviceFaultSpec::permanent(
+                            1,
+                            FaultKind::Straggle,
+                        )
+                        .with_magnitude(900)]),
+                    )],
+                    ..ServiceConfig::default()
+                }
+            },
+            storage_faults: Vec::new(),
+            runs: 1,
+            check: |_, report, failures| {
+                let labels: Vec<&str> = report.rounds.iter().map(|r| r.verdict.label()).collect();
+                if labels != ["committed", "aborted", "committed"] {
+                    failures.push(format!(
+                        "verdicts should be committed → aborted → committed, got {labels:?}"
+                    ));
+                }
+                if !report
+                    .rounds
+                    .iter()
+                    .any(|r| matches!(&r.verdict, RoundVerdict::Aborted { phase, .. } if phase == "acquire"))
+                {
+                    failures.push("the aborted round should name the acquire phase".into());
+                }
+                if report.final_generation != Some(2) {
+                    failures.push(format!(
+                        "two committed rounds should end at generation 2, got {:?}",
+                        report.final_generation
+                    ));
+                }
+            },
+        },
+        Scenario {
+            name: "degraded-serving",
+            description: "round 1 fails outright (all devices crash, full quorum); the \
+                          handle keeps answering from generation 1, stamped stale",
+            config: |args| {
+                let fleet = raw_fleet(args);
+                let kill = kill_all(fleet.n_devices);
+                ServiceConfig {
+                    fleet,
+                    rounds: 3,
+                    round_faults: vec![(1, kill)],
+                    serving: ServingConfig::enabled(8, 128),
+                    ..ServiceConfig::default()
+                }
+            },
+            storage_faults: Vec::new(),
+            runs: 1,
+            check: |_, report, failures| {
+                if report.failed_rounds != 1 || report.rounds[1].verdict.label() != "failed" {
+                    failures.push(format!(
+                        "round 1 should fail, got {} failed round(s)",
+                        report.failed_rounds
+                    ));
+                    return;
+                }
+                let degraded = &report.rounds[1].serving;
+                if degraded.rows < 1_000 {
+                    failures.push(format!(
+                        "degraded round answered only {} rows (need >= 1000)",
+                        degraded.rows
+                    ));
+                }
+                if degraded.answered_generation != Some(1) || degraded.staleness != Some(1) {
+                    failures.push(format!(
+                        "degraded answers should come from gen 1 at staleness 1, got gen \
+                         {:?} staleness {:?}",
+                        degraded.answered_generation, degraded.staleness
+                    ));
+                }
+                if degraded.unanswered_batches != 0 {
+                    failures.push(format!(
+                        "{} batches went unanswered during the failed round",
+                        degraded.unanswered_batches
+                    ));
+                }
+                if report.rounds[2].serving.staleness != Some(0) {
+                    failures.push("the recovery round should serve fresh again".into());
+                }
+                if report.final_generation != Some(2) {
+                    failures.push(format!(
+                        "service should end at generation 2, got {:?}",
+                        report.final_generation
+                    ));
+                }
+            },
+        },
+    ]
+}
+
+#[derive(Serialize)]
+struct ScenarioRecord {
+    scenario: String,
+    description: String,
+    thread_counts: Vec<usize>,
+    fingerprints_identical: bool,
+    failures: Vec<String>,
+    report: Option<ServiceReport>,
+}
+
+#[derive(Serialize)]
+struct CollapseProbeRecord {
+    description: String,
+    expected_exit_code: i32,
+    actual_exit_code: Option<i32>,
+    error: String,
+    pass: bool,
+}
+
+#[derive(Serialize)]
+struct ServiceGateReport {
+    quick: bool,
+    seed: u64,
+    recall_floor: f64,
+    scenarios: Vec<ScenarioRecord>,
+    collapse_probe: CollapseProbeRecord,
+}
+
+/// Runs one scenario's full restart sequence on a fresh faulted store,
+/// once per thread count, and cross-checks the final fingerprints.
+fn run_scenario(args: &Args, sc: &Scenario) -> ScenarioRecord {
+    let cfg = (sc.config)(args);
+    let mut failures = Vec::new();
+    let mut runs: Vec<(usize, ServiceReport)> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let outcome = with_threads(threads, || {
+            let mut store = SnapshotStore::new(Box::new(FaultStorage::new(
+                MemStorage::new(),
+                sc.storage_faults.clone(),
+            )));
+            let service = FleetService::new(cfg.clone());
+            let mut last = None;
+            for _ in 0..sc.runs {
+                last = Some(service.run(&mut store)?);
+            }
+            last.ok_or_else(|| FleetError::Internal("scenario ran zero times".into()))
+        });
+        match outcome {
+            Ok(report) => runs.push((threads, report)),
+            Err(e) => failures.push(format!("run failed at {threads} thread(s): {e}")),
+        }
+    }
+    let fingerprints_identical = match runs.as_slice() {
+        [] => false,
+        [(_, first), rest @ ..] => {
+            let fp = first.deterministic_fingerprint();
+            let mut same = true;
+            for (threads, other) in rest {
+                if other.deterministic_fingerprint() != fp {
+                    same = false;
+                    failures.push(format!(
+                        "fingerprint diverges between 1 and {threads} thread(s)"
+                    ));
+                }
+            }
+            same
+        }
+    };
+    let report = runs.into_iter().next().map(|(_, r)| r);
+    if let Some(report) = &report {
+        (sc.check)(args, report, &mut failures);
+    }
+    ScenarioRecord {
+        scenario: sc.name.to_string(),
+        description: sc.description.to_string(),
+        thread_counts: THREAD_COUNTS.to_vec(),
+        fingerprints_identical,
+        failures,
+        report,
+    }
+}
+
+/// Scripting the whole fleet away below the membership floor must kill
+/// the service with the dedicated exit code — a collapsed fleet is an
+/// operator page, not a 1.
+fn collapse_probe(args: &Args) -> CollapseProbeRecord {
+    let cfg = ServiceConfig {
+        fleet: raw_fleet(args),
+        rounds: 3,
+        churn: ChurnConfig {
+            enabled: true,
+            scripted_leaves: vec![(1, 0), (1, 1)],
+            min_members: 2,
+            ..ChurnConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let mut store = SnapshotStore::new(Box::new(MemStorage::new()));
+    let (actual, error, pass) = match FleetService::new(cfg).run(&mut store) {
+        Ok(_) => (
+            None,
+            "service kept scheduling rounds below the membership floor".to_string(),
+            false,
+        ),
+        Err(e @ FleetError::MembershipCollapse { .. }) => (
+            Some(e.exit_code()),
+            e.to_string(),
+            e.exit_code() == EXIT_MEMBERSHIP_COLLAPSE,
+        ),
+        Err(e) => (
+            Some(e.exit_code()),
+            format!("wrong error class: {e}"),
+            false,
+        ),
+    };
+    CollapseProbeRecord {
+        description: "scripted leaves below min_members must exit with the \
+                      membership-collapse code"
+            .to_string(),
+        expected_exit_code: EXIT_MEMBERSHIP_COLLAPSE,
+        actual_exit_code: actual,
+        error,
+        pass,
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("service_gate: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "service_gate — resident fleet service contracts{}\n",
+        if args.quick { " (quick mode)" } else { "" }
+    );
+
+    let mut records = Vec::new();
+    for sc in scenarios() {
+        println!("[{}] {}", sc.name, sc.description);
+        let record = run_scenario(&args, &sc);
+        if let Some(report) = &record.report {
+            println!(
+                "      {report}\n      fingerprints identical across {:?}: {}",
+                THREAD_COUNTS, record.fingerprints_identical,
+            );
+        }
+        for f in &record.failures {
+            eprintln!("      FAIL: {f}");
+        }
+        records.push(record);
+    }
+
+    println!("[membership-collapse-probe] the whole fleet leaves at round 1");
+    let probe = collapse_probe(&args);
+    println!(
+        "      exit code {:?} (expected {}): {}",
+        probe.actual_exit_code, probe.expected_exit_code, probe.error
+    );
+
+    let failed = records.iter().any(|r| !r.failures.is_empty()) || !probe.pass;
+    let gate = ServiceGateReport {
+        quick: args.quick,
+        seed: args.seed,
+        recall_floor: RECALL_FLOOR,
+        scenarios: records,
+        collapse_probe: probe,
+    };
+    // Evidence before verdict: a red gate still uploads its report.
+    match write_json("service_report", &gate) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("service_gate FAIL: could not write service_report.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if failed {
+        eprintln!("service_gate: resident-service contracts violated");
+        std::process::exit(1);
+    }
+    println!("service_gate: all resident-service contracts hold");
+}

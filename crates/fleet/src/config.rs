@@ -98,6 +98,50 @@ impl UnionConfig {
     }
 }
 
+/// Per-phase virtual-tick deadlines for one fleet round. Disabled by
+/// default — the pre-watchdog behavior. When enabled, a phase whose
+/// devices burn more virtual ticks than its deadline (stragglers, retry
+/// backoff, vocab delays) aborts the round with
+/// [`FleetError::Watchdog`](crate::error::FleetError::Watchdog) instead of
+/// waiting forever; the resident service records the abort and proceeds.
+/// Deadlines are *virtual* ticks on the
+/// [`VirtualClock`](crate::fault::VirtualClock), never wall time, so a
+/// watchdog verdict is bit-reproducible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Deadline for the acquire phase (streaming + stalls + backoff).
+    pub acquire_deadline_ticks: u64,
+    /// Deadline for the union phase (vocab delays).
+    pub union_deadline_ticks: u64,
+    /// Deadline for the prepare phase (fit retries + backoff).
+    pub prepare_deadline_ticks: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            acquire_deadline_ticks: 10_000,
+            union_deadline_ticks: 10_000,
+            prepare_deadline_ticks: 10_000,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// An armed watchdog with uniform per-phase deadlines.
+    pub fn armed(deadline_ticks: u64) -> Self {
+        Self {
+            enabled: true,
+            acquire_deadline_ticks: deadline_ticks,
+            union_deadline_ticks: deadline_ticks,
+            prepare_deadline_ticks: deadline_ticks,
+        }
+    }
+}
+
 /// Configuration of one fleet run over the lab IoT deployment.
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
@@ -137,6 +181,15 @@ pub struct FleetConfig {
     /// Recovery policy: retry, quarantine, and quorum knobs. Defaults
     /// reproduce the pre-recovery behavior (full quorum, no floor).
     pub resilience: ResilienceConfig,
+    /// Stable member identities behind the device slots, for resident
+    /// multi-round fleets with churn: slot `d`'s data seed and device
+    /// identity derive from `member_ids[d]`, so a member keeps its shard
+    /// stream across rounds no matter which slot churn leaves it in.
+    /// Empty (the default) means slot index = member id — bit-identical to
+    /// the pre-service behavior.
+    pub member_ids: Vec<u64>,
+    /// Per-phase round watchdog (disabled by default).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for FleetConfig {
@@ -158,6 +211,8 @@ impl Default for FleetConfig {
             union: UnionConfig::default(),
             fault: FaultConfig::default(),
             resilience: ResilienceConfig::default(),
+            member_ids: Vec::new(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -173,6 +228,15 @@ impl FleetConfig {
             policy,
             ..Self::default()
         }
+    }
+
+    /// The stable member identity behind device slot `d` (slot index when
+    /// no explicit membership is configured).
+    pub fn member_id(&self, device_index: usize) -> u64 {
+        self.member_ids
+            .get(device_index)
+            .copied()
+            .unwrap_or(device_index as u64)
     }
 
     /// The attack fraction device `d` observes.
@@ -226,6 +290,26 @@ impl FleetConfig {
         }
         if self.union.enabled && self.union.seeds_per_class == 0 {
             return bad("union.seeds_per_class must be positive when enabled");
+        }
+        if !self.member_ids.is_empty() {
+            if self.member_ids.len() != self.n_devices {
+                return Err(FleetError::Config(format!(
+                    "member_ids has {} entries for {} devices",
+                    self.member_ids.len(),
+                    self.n_devices
+                )));
+            }
+            let unique: std::collections::BTreeSet<u64> = self.member_ids.iter().copied().collect();
+            if unique.len() != self.member_ids.len() {
+                return bad("member_ids must be unique");
+            }
+        }
+        if self.watchdog.enabled
+            && (self.watchdog.acquire_deadline_ticks == 0
+                || self.watchdog.union_deadline_ticks == 0
+                || self.watchdog.prepare_deadline_ticks == 0)
+        {
+            return bad("watchdog deadlines must be positive when armed");
         }
         self.fault.validate(self.n_devices)?;
         self.resilience.validate()?;
@@ -301,6 +385,45 @@ mod tests {
         assert_eq!(cfg.attack_fraction_for(0), 0.08);
         assert_eq!(cfg.attack_fraction_for(1), 0.0);
         assert_eq!(cfg.attack_fraction_for(2), 0.5);
+    }
+
+    #[test]
+    fn member_ids_default_to_slot_indices() {
+        let cfg = FleetConfig::default();
+        assert_eq!(cfg.member_id(0), 0);
+        assert_eq!(cfg.member_id(3), 3);
+        let cfg = FleetConfig {
+            n_devices: 2,
+            member_ids: vec![7, 2],
+            ..FleetConfig::default()
+        };
+        assert_eq!(cfg.member_id(0), 7);
+        assert_eq!(cfg.member_id(1), 2);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn member_and_watchdog_validation() {
+        let bad = |f: fn(&mut FleetConfig)| {
+            let mut c = FleetConfig::default();
+            f(&mut c);
+            c.validate()
+        };
+        assert!(bad(|c| c.member_ids = vec![1, 2]).is_err(), "wrong arity");
+        assert!(
+            bad(|c| c.member_ids = vec![1, 2, 2, 3]).is_err(),
+            "duplicate ids"
+        );
+        assert!(bad(|c| {
+            c.watchdog = WatchdogConfig::armed(0);
+        })
+        .is_err());
+        assert!(FleetConfig {
+            watchdog: WatchdogConfig::armed(500),
+            ..FleetConfig::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

@@ -87,6 +87,27 @@ pub enum FleetError {
     },
     /// A checkpoint file could not be read, parsed, or written.
     Checkpoint(String),
+    /// Membership churn shrank the resident fleet below the configured
+    /// minimum: the service refuses to keep scheduling rounds a quorum
+    /// could never commit.
+    MembershipCollapse {
+        /// Round at which the fleet collapsed.
+        round: usize,
+        /// Members still present.
+        members: usize,
+        /// The configured membership floor.
+        min_members: usize,
+    },
+    /// A round phase overran its watchdog deadline (virtual ticks); the
+    /// round is aborted so the service can move on.
+    Watchdog {
+        /// Which phase hung (`"acquire"`, `"union"`, `"prepare"`).
+        phase: String,
+        /// Virtual ticks the phase actually spent.
+        spent_ticks: u64,
+        /// The configured deadline it blew through.
+        deadline_ticks: u64,
+    },
     /// An invariant the orchestrator relies on was violated.
     Internal(String),
 }
@@ -98,6 +119,9 @@ pub const EXIT_CONFIG_INVALID: i32 = 2;
 pub const EXIT_QUORUM_LOST: i32 = 3;
 /// Exit code for internal/device/data failures.
 pub const EXIT_INTERNAL: i32 = 4;
+/// Exit code for a resident service whose membership collapsed below the
+/// configured floor.
+pub const EXIT_MEMBERSHIP_COLLAPSE: i32 = 5;
 
 impl FleetError {
     /// Convenience constructor for device faults.
@@ -122,6 +146,7 @@ impl FleetError {
         match self {
             FleetError::Config(_) => EXIT_CONFIG_INVALID,
             FleetError::QuorumLost { .. } => EXIT_QUORUM_LOST,
+            FleetError::MembershipCollapse { .. } => EXIT_MEMBERSHIP_COLLAPSE,
             _ => EXIT_INTERNAL,
         }
     }
@@ -165,6 +190,24 @@ impl fmt::Display for FleetError {
                 Ok(())
             }
             FleetError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+            FleetError::MembershipCollapse {
+                round,
+                members,
+                min_members,
+            } => write!(
+                f,
+                "membership collapse at round {round}: {members} member(s) left, \
+                 floor is {min_members}"
+            ),
+            FleetError::Watchdog {
+                phase,
+                spent_ticks,
+                deadline_ticks,
+            } => write!(
+                f,
+                "watchdog: {phase} phase spent {spent_ticks} virtual tick(s), \
+                 deadline {deadline_ticks}"
+            ),
             FleetError::Internal(m) => write!(f, "internal fleet error: {m}"),
         }
     }
@@ -231,12 +274,49 @@ mod tests {
             degraded: Vec::new(),
         };
         let internal = FleetError::Internal("bug".into());
-        let codes = [config.exit_code(), quorum.exit_code(), internal.exit_code()];
+        let collapse = FleetError::MembershipCollapse {
+            round: 2,
+            members: 1,
+            min_members: 3,
+        };
+        let codes = [
+            config.exit_code(),
+            quorum.exit_code(),
+            internal.exit_code(),
+            collapse.exit_code(),
+        ];
         assert_eq!(
             codes,
-            [EXIT_CONFIG_INVALID, EXIT_QUORUM_LOST, EXIT_INTERNAL]
+            [
+                EXIT_CONFIG_INVALID,
+                EXIT_QUORUM_LOST,
+                EXIT_INTERNAL,
+                EXIT_MEMBERSHIP_COLLAPSE
+            ]
         );
         assert!(codes.iter().all(|&c| c != 0 && c != 1));
+        let unique: std::collections::BTreeSet<i32> = codes.into_iter().collect();
+        assert_eq!(unique.len(), codes.len(), "exit codes stay distinct");
+    }
+
+    #[test]
+    fn service_errors_render_their_numbers() {
+        let collapse = FleetError::MembershipCollapse {
+            round: 2,
+            members: 1,
+            min_members: 3,
+        };
+        let s = collapse.to_string();
+        assert!(s.contains("round 2") && s.contains("1 member") && s.contains("floor is 3"));
+        let wd = FleetError::Watchdog {
+            phase: "acquire".into(),
+            spent_ticks: 5000,
+            deadline_ticks: 1000,
+        };
+        let s = wd.to_string();
+        assert!(s.contains("acquire") && s.contains("5000") && s.contains("1000"));
+        assert!(!wd.is_retryable(), "a hung round is aborted, not retried");
+        assert_eq!(wd.exit_code(), EXIT_INTERNAL);
     }
 
     #[test]

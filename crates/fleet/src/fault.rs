@@ -406,6 +406,83 @@ fn default_magnitude(kind: FaultKind, rng: &mut StdRng) -> u64 {
     }
 }
 
+/// The injectable storage-layer fault classes, targeting the snapshot
+/// store's `write_atomic` path (DESIGN.md §2.8). These live in their own
+/// enum — not [`FaultKind`] — because the rate-rolled device plan walks
+/// [`FaultKind::all`] in declaration order and extending that array would
+/// silently reshuffle every existing seeded plan's RNG consumption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// Only a prefix of the record reaches the medium (torn/truncated
+    /// write): the checksum no longer matches.
+    TornWrite,
+    /// One bit of the stored record flips in place.
+    BitFlip,
+    /// The rename never becomes durable but the previous object survives:
+    /// the store silently retains the *stale generation*.
+    StaleWrite,
+    /// The rename is lost after the old object was already unlinked: the
+    /// object vanishes entirely (fsync-lost rename).
+    LostWrite,
+}
+
+impl StorageFaultKind {
+    /// Stable label for plans, logs, and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageFaultKind::TornWrite => "torn-write",
+            StorageFaultKind::BitFlip => "bit-flip",
+            StorageFaultKind::StaleWrite => "stale-write",
+            StorageFaultKind::LostWrite => "lost-write",
+        }
+    }
+
+    /// Every kind, in declaration order (proptests walk this).
+    pub fn all() -> [StorageFaultKind; 4] {
+        [
+            StorageFaultKind::TornWrite,
+            StorageFaultKind::BitFlip,
+            StorageFaultKind::StaleWrite,
+            StorageFaultKind::LostWrite,
+        ]
+    }
+}
+
+/// One scripted storage fault: the `write_index`-th `write_atomic` call
+/// (0-based, counted across the store's lifetime) is sabotaged. All
+/// storage faults are *silent* — the write reports success and the damage
+/// is only discoverable at load time, which is exactly what recovery must
+/// survive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageFaultSpec {
+    /// Which write breaks.
+    pub write_index: usize,
+    /// How it breaks.
+    pub kind: StorageFaultKind,
+    /// Kind-specific intensity: percent of the record surviving for
+    /// [`StorageFaultKind::TornWrite`], byte offset (mod record length)
+    /// for [`StorageFaultKind::BitFlip`]. Ignored by the others.
+    pub magnitude: u64,
+}
+
+impl StorageFaultSpec {
+    /// A fault on write `write_index` with the default magnitude (half the
+    /// record torn away; bit flip mid-record).
+    pub fn new(write_index: usize, kind: StorageFaultKind) -> Self {
+        Self {
+            write_index,
+            kind,
+            magnitude: 50,
+        }
+    }
+
+    /// Sets the kind-specific magnitude.
+    pub fn with_magnitude(mut self, magnitude: u64) -> Self {
+        self.magnitude = magnitude;
+        self
+    }
+}
+
 /// How a share gets poisoned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PoisonKind {

@@ -29,6 +29,15 @@
 //!   [`FleetError`]s, bounded retry with capped backoff, share
 //!   validation + quarantine, and quorum aggregation so a round degrades
 //!   instead of dying with the first bad device.
+//! * **The resident service** ([`service`], [`storage`]) — a
+//!   [`FleetService`] owns many rounds: durable generation-stamped
+//!   snapshots with restart-resume (torn/corrupted records roll back to
+//!   the newest intact generation), seeded membership churn with
+//!   per-round quorum re-derivation, virtual-tick watchdog deadlines
+//!   that abort a round without killing the service, and degraded-mode
+//!   serving — flow batches keep being answered from the last committed
+//!   generation, stamped with their staleness, while in-flight rounds
+//!   abort or fail.
 //!
 //! `kinet_nids` re-hosts its public `DistributedSim` API on this crate.
 
@@ -38,14 +47,29 @@ pub mod fault;
 pub mod report;
 pub mod resilience;
 pub mod schedule;
+pub mod service;
 pub mod sim;
+pub mod storage;
 pub mod union;
 
-pub use config::{FleetConfig, ModelKind, SharingPolicy, UnionConfig};
+pub use config::{FleetConfig, ModelKind, SharingPolicy, UnionConfig, WatchdogConfig};
 pub use error::{
-    DeviceFaultKind, FleetError, EXIT_CONFIG_INVALID, EXIT_INTERNAL, EXIT_QUORUM_LOST,
+    DeviceFaultKind, FleetError, EXIT_CONFIG_INVALID, EXIT_INTERNAL, EXIT_MEMBERSHIP_COLLAPSE,
+    EXIT_QUORUM_LOST,
 };
-pub use fault::{DeviceFaultSpec, FaultConfig, FaultKind, FaultPlan, FaultRates, VirtualClock};
-pub use report::{DeviceReport, DeviceTrainingDiag, FaultReport, FleetReport, UnionReport};
+pub use fault::{
+    DeviceFaultSpec, FaultConfig, FaultKind, FaultPlan, FaultRates, StorageFaultKind,
+    StorageFaultSpec, VirtualClock,
+};
+pub use report::{
+    DeviceReport, DeviceTrainingDiag, FaultReport, FleetReport, RoundRecord, RoundServingStats,
+    RoundVerdict, ServiceReport, StorageFaultReport, UnionReport,
+};
 pub use resilience::{QuarantineReason, ResilienceConfig};
+pub use service::{
+    BatchScore, ChurnConfig, ChurnPlan, FleetService, ServiceConfig, ServingConfig, ServingHandle,
+    ServingModel,
+};
 pub use sim::FleetSim;
+pub use sim::ResumeOutcome;
+pub use storage::{DirStorage, FaultStorage, MemStorage, Snapshot, SnapshotStore, Storage};

@@ -340,6 +340,233 @@ impl fmt::Display for FleetReport {
     }
 }
 
+/// Outcome of one scheduled round of the resident fleet service.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RoundVerdict {
+    /// The round met quorum and its pooled model was committed as a new
+    /// snapshot generation.
+    Committed {
+        /// Generation the commit produced.
+        generation: u64,
+    },
+    /// The watchdog killed a hung phase; the service moved on without a
+    /// new generation.
+    Aborted {
+        /// Which phase blew its deadline.
+        phase: String,
+        /// Virtual ticks the phase spent.
+        spent_ticks: u64,
+        /// The deadline it blew through.
+        deadline_ticks: u64,
+    },
+    /// The round failed outright (quorum loss, device fault storm); the
+    /// service kept serving from the last committed generation.
+    Failed {
+        /// Rendered [`crate::error::FleetError`].
+        error: String,
+    },
+}
+
+impl RoundVerdict {
+    /// Stable one-word label for gates and ledgers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoundVerdict::Committed { .. } => "committed",
+            RoundVerdict::Aborted { .. } => "aborted",
+            RoundVerdict::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// Degraded-mode serving accounting for one service round: how many flow
+/// batches were answered while this round was in flight, and how stale
+/// the answering model was.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundServingStats {
+    /// Flow batches scored during the round.
+    pub batches: usize,
+    /// Flow rows scored during the round.
+    pub rows: usize,
+    /// Snapshot generation that answered (the last *committed* one —
+    /// never the round in flight).
+    pub answered_generation: Option<u64>,
+    /// Rounds between the answering commit and the current round: `0`
+    /// when this round committed, `>= 1` while serving degraded.
+    pub staleness: Option<u64>,
+    /// Rows the served classifier flagged as some attack class.
+    pub attack_flagged: usize,
+    /// Mean discriminator (real-vs-pool) score over the served rows.
+    pub mean_discriminator: f64,
+    /// Batches that could not be answered because no generation was
+    /// committed yet.
+    pub unanswered_batches: usize,
+}
+
+/// One round's ledger entry in a [`ServiceReport`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Member ids present this round (sorted).
+    pub members: Vec<u64>,
+    /// Member ids that joined before this round (sorted).
+    pub joined: Vec<u64>,
+    /// Member ids that left before this round (sorted).
+    pub left: Vec<u64>,
+    /// Devices the quorum policy required this round.
+    pub quorum_required: usize,
+    /// How the round ended.
+    pub verdict: RoundVerdict,
+    /// `deterministic_fingerprint()` of the round's [`FleetReport`], when
+    /// the round produced one.
+    pub fleet_fingerprint: Option<String>,
+    /// Attack recall of the round's pooled detector.
+    pub attack_recall: Option<f64>,
+    /// Global accuracy of the round's pooled detector.
+    pub global_accuracy: Option<f64>,
+    /// Serving activity while the round was in flight.
+    pub serving: RoundServingStats,
+}
+
+/// Durable-storage fault accounting for a service run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StorageFaultReport {
+    /// Faults the injecting storage layer actually fired.
+    pub injected: Vec<String>,
+    /// `(object, reason)` for every snapshot rejected during recovery
+    /// scans.
+    pub rejected_snapshots: Vec<(String, String)>,
+}
+
+/// Metrics from a resident multi-round fleet service run. Every field is
+/// deterministic — there are no wall-clock timings here (those stay in
+/// the per-round [`FleetReport`]s) — so the whole report folds into
+/// [`ServiceReport::deterministic_fingerprint`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Rounds the service was asked to run.
+    pub rounds_planned: usize,
+    /// Generation restored from durable storage at startup, when the
+    /// service resumed instead of starting fresh.
+    pub resumed_from_generation: Option<u64>,
+    /// Last committed generation when the service stopped.
+    pub final_generation: Option<u64>,
+    /// Rounds that committed a new generation.
+    pub committed_rounds: usize,
+    /// Rounds the watchdog aborted.
+    pub aborted_rounds: usize,
+    /// Rounds that failed outright.
+    pub failed_rounds: usize,
+    /// Per-round ledger, in round order.
+    pub rounds: Vec<RoundRecord>,
+    /// Membership churn ledger (`"round 1: +5 joined"`, …).
+    pub churn: Vec<String>,
+    /// Durable-storage fault accounting.
+    pub storage: StorageFaultReport,
+}
+
+impl ServiceReport {
+    /// Total flow batches answered across all rounds.
+    pub fn serving_batches(&self) -> usize {
+        self.rounds.iter().map(|r| r.serving.batches).sum()
+    }
+
+    /// Total flow rows scored across all rounds.
+    pub fn serving_rows(&self) -> usize {
+        self.rounds.iter().map(|r| r.serving.rows).sum()
+    }
+
+    /// Total batches that went unanswered (no committed generation yet).
+    pub fn unanswered_batches(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.serving.unanswered_batches)
+            .sum()
+    }
+
+    /// Canonical rendering of the whole report. The service report holds
+    /// no wall-clock fields (round timings live in the per-round
+    /// [`FleetReport`], which enters here only through its own
+    /// already-timing-free fingerprint), so everything is rendered.
+    /// Bit-identical across `KINET_THREADS` values by the same contract
+    /// as [`FleetReport::deterministic_fingerprint`].
+    pub fn deterministic_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "service planned={} resumed={:?} final_gen={:?} committed={} aborted={} failed={}",
+            self.rounds_planned,
+            self.resumed_from_generation,
+            self.final_generation,
+            self.committed_rounds,
+            self.aborted_rounds,
+            self.failed_rounds,
+        );
+        for r in &self.rounds {
+            let _ = writeln!(
+                out,
+                "round {} members={:?} joined={:?} left={:?} quorum={} verdict={:?} \
+                 recall={:?} acc={:?}",
+                r.round,
+                r.members,
+                r.joined,
+                r.left,
+                r.quorum_required,
+                r.verdict,
+                r.attack_recall,
+                r.global_accuracy,
+            );
+            if let Some(fp) = &r.fleet_fingerprint {
+                let _ = writeln!(out, "round {} fleet:\n{fp}", r.round);
+            }
+            let s = &r.serving;
+            let _ = writeln!(
+                out,
+                "round {} serving batches={} rows={} gen={:?} staleness={:?} flagged={} \
+                 disc={:.12} unanswered={}",
+                r.round,
+                s.batches,
+                s.rows,
+                s.answered_generation,
+                s.staleness,
+                s.attack_flagged,
+                s.mean_discriminator,
+                s.unanswered_batches,
+            );
+        }
+        let _ = writeln!(out, "churn={:?}", self.churn);
+        let _ = writeln!(
+            out,
+            "storage injected={:?} rejected={:?}",
+            self.storage.injected, self.storage.rejected_snapshots
+        );
+        out
+    }
+}
+
+impl fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "service: {} round(s) → {} committed / {} aborted / {} failed, gen={:?}, \
+             served {} batch(es) ({} rows, {} unanswered), {} churn event(s), \
+             {} storage fault(s) ({} snapshot(s) rejected)",
+            self.rounds_planned,
+            self.committed_rounds,
+            self.aborted_rounds,
+            self.failed_rounds,
+            self.final_generation,
+            self.serving_batches(),
+            self.serving_rows(),
+            self.unanswered_batches(),
+            self.churn.len(),
+            self.storage.injected.len(),
+            self.storage.rejected_snapshots.len(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,5 +683,117 @@ mod tests {
         assert_eq!(back.total_wall_ms, r.total_wall_ms);
         assert_eq!(back.devices.len(), 1);
         assert_eq!(back.devices[0].diag.as_ref().unwrap().epochs, 60);
+    }
+
+    fn sample_service_report() -> ServiceReport {
+        ServiceReport {
+            rounds_planned: 3,
+            resumed_from_generation: Some(1),
+            final_generation: Some(2),
+            committed_rounds: 2,
+            aborted_rounds: 1,
+            failed_rounds: 0,
+            rounds: vec![
+                RoundRecord {
+                    round: 0,
+                    members: vec![0, 1],
+                    joined: vec![],
+                    left: vec![],
+                    quorum_required: 2,
+                    verdict: RoundVerdict::Committed { generation: 2 },
+                    fleet_fingerprint: Some("policy=raw ...".into()),
+                    attack_recall: Some(0.75),
+                    global_accuracy: Some(0.9),
+                    serving: RoundServingStats {
+                        batches: 4,
+                        rows: 512,
+                        answered_generation: Some(1),
+                        staleness: Some(0),
+                        attack_flagged: 40,
+                        mean_discriminator: 0.5,
+                        unanswered_batches: 0,
+                    },
+                },
+                RoundRecord {
+                    round: 1,
+                    members: vec![0, 1, 2],
+                    joined: vec![2],
+                    left: vec![],
+                    quorum_required: 3,
+                    verdict: RoundVerdict::Aborted {
+                        phase: "acquire".into(),
+                        spent_ticks: 900,
+                        deadline_ticks: 500,
+                    },
+                    fleet_fingerprint: None,
+                    attack_recall: None,
+                    global_accuracy: None,
+                    serving: RoundServingStats {
+                        batches: 4,
+                        rows: 512,
+                        answered_generation: Some(2),
+                        staleness: Some(1),
+                        attack_flagged: 38,
+                        mean_discriminator: 0.49,
+                        unanswered_batches: 0,
+                    },
+                },
+            ],
+            churn: vec!["round 1: +2 joined".into()],
+            storage: StorageFaultReport {
+                injected: vec!["write 1: torn-write kept 50%".into()],
+                rejected_snapshots: vec![("snap-0000000002.snap".into(), "checksum".into())],
+            },
+        }
+    }
+
+    #[test]
+    fn service_report_totals_and_display() {
+        let r = sample_service_report();
+        assert_eq!(r.serving_batches(), 8);
+        assert_eq!(r.serving_rows(), 1024);
+        assert_eq!(r.unanswered_batches(), 0);
+        let s = r.to_string();
+        assert!(s.contains("2 committed / 1 aborted / 0 failed"), "{s}");
+        assert!(s.contains("1 snapshot(s) rejected"), "{s}");
+        assert_eq!(
+            RoundVerdict::Committed { generation: 1 }.label(),
+            "committed"
+        );
+    }
+
+    #[test]
+    fn service_fingerprint_sees_every_ledger() {
+        let a = sample_service_report();
+        let mut b = sample_service_report();
+        b.rounds[1].verdict = RoundVerdict::Failed {
+            error: "quorum lost".into(),
+        };
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        let mut c = sample_service_report();
+        c.storage.rejected_snapshots.clear();
+        assert_ne!(a.deterministic_fingerprint(), c.deterministic_fingerprint());
+        let mut d = sample_service_report();
+        d.rounds[0].serving.staleness = Some(2);
+        assert_ne!(a.deterministic_fingerprint(), d.deterministic_fingerprint());
+        let mut e = sample_service_report();
+        e.churn.clear();
+        assert_ne!(a.deterministic_fingerprint(), e.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn service_report_roundtrips_verdict_enums_through_the_shim() {
+        let r = sample_service_report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ServiceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.deterministic_fingerprint(),
+            r.deterministic_fingerprint()
+        );
+        assert_eq!(
+            back.rounds[0].verdict,
+            RoundVerdict::Committed { generation: 2 }
+        );
+        assert_eq!(back.rounds[1].verdict.label(), "aborted");
     }
 }

@@ -228,7 +228,10 @@ impl RoundCheckpoint {
         format!("{cfg:?}")
     }
 
-    /// Writes the checkpoint as JSON.
+    /// Writes the checkpoint as a checksummed snapshot record
+    /// ([`crate::storage::encode_record`]) through a temp-file + atomic
+    /// rename, so a torn write can neither truncate the file in place nor
+    /// go undetected at load.
     ///
     /// # Errors
     ///
@@ -236,21 +239,37 @@ impl RoundCheckpoint {
     pub fn save(&self, path: &Path) -> Result<(), FleetError> {
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| FleetError::Checkpoint(format!("encode {}: {e}", path.display())))?;
-        std::fs::write(path, json)
+        let record = crate::storage::encode_record(0, json.as_bytes());
+        crate::storage::write_file_atomic(path, &record)
             .map_err(|e| FleetError::Checkpoint(format!("write {}: {e}", path.display())))
     }
 
-    /// Reads a checkpoint back.
+    /// Reads a checkpoint back. `Ok(None)` means *absent* — a fresh run,
+    /// not a failure. An existing file that fails record verification
+    /// (torn, bit-flipped, not a checkpoint) is an error the caller must
+    /// surface, never silently conflate with absence.
     ///
     /// # Errors
     ///
-    /// Returns [`FleetError::Checkpoint`] when the file is missing,
-    /// unreadable, or not a checkpoint (callers typically treat this as
-    /// "no checkpoint" and run fresh).
-    pub fn load(path: &Path) -> Result<Self, FleetError> {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| FleetError::Checkpoint(format!("read {}: {e}", path.display())))?;
-        serde_json::from_str(&json)
+    /// Returns [`FleetError::Checkpoint`] when the file exists but is
+    /// unreadable or corrupt.
+    pub fn load(path: &Path) -> Result<Option<Self>, FleetError> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(FleetError::Checkpoint(format!(
+                    "read {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let (_, payload) = crate::storage::decode_record(&bytes)
+            .map_err(|e| FleetError::Checkpoint(format!("verify {}: {e}", path.display())))?;
+        let json = std::str::from_utf8(payload)
+            .map_err(|e| FleetError::Checkpoint(format!("decode {}: {e}", path.display())))?;
+        serde_json::from_str(json)
+            .map(Some)
             .map_err(|e| FleetError::Checkpoint(format!("parse {}: {e}", path.display())))
     }
 }
@@ -399,6 +418,45 @@ mod tests {
         // With the floor at zero the same garbage share is accepted.
         let open = ResilienceConfig::default();
         assert!(validate_share(&bad, &kg, &open, 8).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_distinguishes_absent_from_corrupt() {
+        use crate::config::SharingPolicy;
+        use crate::sim::FleetSim;
+        let dir = std::env::temp_dir().join("kinet_fleet_ckpt_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        // Absent is Ok(None) — a fresh run, not an error.
+        assert!(RoundCheckpoint::load(&path).unwrap().is_none());
+
+        let report = FleetSim::new(FleetConfig::fast(SharingPolicy::Raw))
+            .run()
+            .unwrap();
+        let cp = RoundCheckpoint::new("key".into(), report);
+        cp.save(&path).unwrap();
+        assert!(
+            !dir.join("round.ckpt.tmp").exists(),
+            "atomic write leaves no temp file behind"
+        );
+        let back = RoundCheckpoint::load(&path).unwrap().expect("intact");
+        assert_eq!(back.config_key, "key");
+
+        // A truncated checkpoint (torn write) is a loud error.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = RoundCheckpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("verify"), "{err}");
+
+        // A single flipped bit is a loud error too.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(RoundCheckpoint::load(&path).is_err(), "bit flip detected");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

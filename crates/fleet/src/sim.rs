@@ -65,6 +65,19 @@ struct DeviceOutcome {
     diag: Option<DeviceTrainingDiag>,
 }
 
+/// How [`FleetSim::run_or_resume`] obtained its report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResumeOutcome {
+    /// No usable checkpoint existed (absent, or another configuration's);
+    /// the round ran fresh.
+    Fresh,
+    /// The checkpoint was intact and matched; the round was not re-run.
+    Resumed,
+    /// A checkpoint existed but failed verification; the round re-ran and
+    /// the corruption was recorded in the report's observed-fault log.
+    RecoveredCorrupt(String),
+}
+
 /// One device task's settled result plus its recovery accounting.
 struct Attempted<T> {
     result: Result<T, FleetError>,
@@ -100,6 +113,19 @@ impl FleetSim {
     /// faults are retried and degraded, not returned — they surface in
     /// [`FleetReport::fault`].
     pub fn run(&self) -> Result<FleetReport, FleetError> {
+        self.run_detailed().map(|(report, _)| report)
+    }
+
+    /// [`FleetSim::run`], additionally returning the pooled table the
+    /// global detector was trained on (`None` for local-only policies).
+    /// The resident service feeds it to the serving-model trainer so the
+    /// detection path scores against exactly the committed pool.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FleetSim::run`], plus [`FleetError::Watchdog`]
+    /// when an armed [`crate::config::WatchdogConfig`] deadline is blown.
+    pub fn run_detailed(&self) -> Result<(FleetReport, Option<Table>), FleetError> {
         let cfg = &self.config;
         cfg.validate()?;
         // kinet-lint: allow(wall-clock) — feeds only timing fields that deterministic_fingerprint() excludes
@@ -126,6 +152,13 @@ impl FleetSim {
             schedule::run_indexed_settled(cfg.n_devices, |d| {
                 self.acquire_with_recovery(d, &peak, &plan, &clock)
             });
+        let acquire_ticks = clock.total();
+        Self::check_watchdog(
+            cfg,
+            "acquire",
+            acquire_ticks,
+            cfg.watchdog.acquire_deadline_ticks,
+        )?;
 
         // ---- phase 2: condition-union exchange over surviving vocabs ----
         let mut union_events: Vec<Vec<String>> = vec![Vec::new(); cfg.n_devices];
@@ -175,6 +208,13 @@ impl FleetSim {
                 _ => Vec::new(),
             })
             .collect();
+        let union_end_ticks = clock.total();
+        Self::check_watchdog(
+            cfg,
+            "union",
+            union_end_ticks - acquire_ticks,
+            cfg.watchdog.union_deadline_ticks,
+        )?;
 
         // ---- phase 3: prepare shares (parallel, retried) ----
         let prepared: Vec<Option<Attempted<DeviceOutcome>>> =
@@ -184,6 +224,12 @@ impl FleetSim {
                 }
                 Err(_) => None,
             });
+        Self::check_watchdog(
+            cfg,
+            "prepare",
+            clock.total() - union_end_ticks,
+            cfg.watchdog.prepare_deadline_ticks,
+        )?;
 
         // ---- aggregation, in device-index order ----
         self.aggregate(AggregateInput {
@@ -199,27 +245,58 @@ impl FleetSim {
         })
     }
 
-    /// Runs the fleet, resuming from `path` when it holds a checkpoint of
-    /// this exact configuration; otherwise runs fresh and writes the
-    /// checkpoint. Returns the report and whether it was resumed. A stale
-    /// or unreadable checkpoint is ignored (the round re-runs), never
-    /// fatal.
+    /// Runs the fleet, resuming from `path` when it holds an intact
+    /// checkpoint of this exact configuration; otherwise runs fresh and
+    /// writes the checkpoint. The [`ResumeOutcome`] distinguishes the
+    /// three cases: an **absent** (or other-config) checkpoint runs fresh
+    /// silently, while a **corrupt** one re-runs *loudly* — the corruption
+    /// is recorded in the report's observed-fault log (and thereby the
+    /// fingerprint) and named in
+    /// [`ResumeOutcome::RecoveredCorrupt`], never swallowed.
     ///
     /// # Errors
     ///
     /// Propagates [`FleetSim::run`] failures and
     /// [`FleetError::Checkpoint`] when the fresh checkpoint cannot be
     /// written.
-    pub fn run_or_resume(&self, path: &Path) -> Result<(FleetReport, bool), FleetError> {
+    pub fn run_or_resume(&self, path: &Path) -> Result<(FleetReport, ResumeOutcome), FleetError> {
         let key = RoundCheckpoint::config_key(&self.config);
-        if let Ok(cp) = RoundCheckpoint::load(path) {
-            if cp.config_key == key {
-                return Ok((cp.report, true));
-            }
+        let mut corrupt = None;
+        match RoundCheckpoint::load(path) {
+            Ok(Some(cp)) if cp.config_key == key => return Ok((cp.report, ResumeOutcome::Resumed)),
+            Ok(_) => {} // Absent, or another config's round: fresh run.
+            Err(e) => corrupt = Some(e.to_string()),
         }
-        let report = self.run()?;
+        let mut report = self.run()?;
+        if let Some(why) = &corrupt {
+            report
+                .fault
+                .observed
+                .push(format!("checkpoint corrupt, round re-ran: {why}"));
+        }
         RoundCheckpoint::new(key, report.clone()).save(path)?;
-        Ok((report, false))
+        let outcome = match corrupt {
+            Some(why) => ResumeOutcome::RecoveredCorrupt(why),
+            None => ResumeOutcome::Fresh,
+        };
+        Ok((report, outcome))
+    }
+
+    /// Errors out of the round when an armed watchdog deadline is blown.
+    fn check_watchdog(
+        cfg: &FleetConfig,
+        phase: &str,
+        spent_ticks: u64,
+        deadline_ticks: u64,
+    ) -> Result<(), FleetError> {
+        if cfg.watchdog.enabled && spent_ticks > deadline_ticks {
+            return Err(FleetError::Watchdog {
+                phase: phase.to_string(),
+                spent_ticks,
+                deadline_ticks,
+            });
+        }
+        Ok(())
     }
 
     /// Phase 1 for one device, driven through the retry policy. Straggler
@@ -234,7 +311,7 @@ impl FleetSim {
         clock: &VirtualClock,
     ) -> Attempted<DeviceStage> {
         let cfg = &self.config;
-        let device = DEVICE_CYCLE[d % DEVICE_CYCLE.len()];
+        let device = DEVICE_CYCLE[cfg.member_id(d) as usize % DEVICE_CYCLE.len()];
         let dp = plan.device(d);
         let res = &cfg.resilience;
         let mut observed = Vec::new();
@@ -335,8 +412,11 @@ impl FleetSim {
         fault_spec: ChunkFaultSpec,
     ) -> Result<DeviceStage, DataError> {
         let cfg = &self.config;
-        let device = DEVICE_CYCLE[d % DEVICE_CYCLE.len()].to_string();
-        let seed = cfg.seed.wrapping_add(d as u64 * 101);
+        // Seed and identity key off the *stable member id*, not the slot,
+        // so a resident member keeps its shard stream across churn.
+        let id = cfg.member_id(d);
+        let device = DEVICE_CYCLE[id as usize % DEVICE_CYCLE.len()].to_string();
+        let seed = cfg.seed.wrapping_add(id.wrapping_mul(101));
         let sim = LabSimulator::new(LabSimConfig {
             n_records: cfg.rows_per_device,
             seed,
@@ -428,7 +508,7 @@ impl FleetSim {
         let cfg = &self.config;
         let dp = plan.device(d);
         let res = &cfg.resilience;
-        let seed = cfg.seed.wrapping_add(d as u64 * 101);
+        let seed = cfg.seed.wrapping_add(cfg.member_id(d).wrapping_mul(101));
         let mut observed = Vec::new();
         let mut retries = 0;
         let mut attempt = 0;
@@ -501,7 +581,7 @@ impl FleetSim {
     ) -> Result<DeviceOutcome, FleetError> {
         let cfg = &self.config;
         let device = &stage.device;
-        let seed = cfg.seed.wrapping_add(d as u64 * 101);
+        let seed = cfg.seed.wrapping_add(cfg.member_id(d).wrapping_mul(101));
         let training =
             |e: String| FleetError::device(d, device.clone(), DeviceFaultKind::Training, e);
         // kinet-lint: allow(wall-clock) — per-device prep timing, report metadata the fingerprint excludes
@@ -633,8 +713,12 @@ impl FleetSim {
     }
 
     /// Validates and pools shares in device order, enforces quorum, scores
-    /// the pool, and assembles the report.
-    fn aggregate(&self, input: AggregateInput<'_>) -> Result<FleetReport, FleetError> {
+    /// the pool, and assembles the report (returned with the pooled table
+    /// for the serving path).
+    fn aggregate(
+        &self,
+        input: AggregateInput<'_>,
+    ) -> Result<(FleetReport, Option<Table>), FleetError> {
         let AggregateInput {
             acquired,
             union_events,
@@ -674,7 +758,7 @@ impl FleetSim {
             observed.extend(union_events[d].iter().cloned());
             let device_name = match &acq.result {
                 Ok(stage) => stage.device.clone(),
-                Err(_) => DEVICE_CYCLE[d % DEVICE_CYCLE.len()].to_string(),
+                Err(_) => DEVICE_CYCLE[cfg.member_id(d) as usize % DEVICE_CYCLE.len()].to_string(),
             };
             let mut report = DeviceReport {
                 device_index: d,
@@ -883,7 +967,7 @@ impl FleetSim {
         };
 
         let prep_sum: f64 = prep_times.iter().sum();
-        Ok(FleetReport {
+        let report = FleetReport {
             policy: cfg.policy.label(),
             n_devices: cfg.n_devices,
             rows_per_device: cfg.rows_per_device,
@@ -900,7 +984,8 @@ impl FleetSim {
             fault: fault_report,
             devices,
             total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        })
+        };
+        Ok((report, pool))
     }
 }
 
@@ -1136,10 +1221,14 @@ mod tests {
         let path = dir.join("round.json");
         let _ = std::fs::remove_file(&path);
         let sim = FleetSim::new(FleetConfig::fast(SharingPolicy::Raw));
-        let (fresh, resumed) = sim.run_or_resume(&path).unwrap();
-        assert!(!resumed, "first run computes");
-        let (reloaded, resumed) = sim.run_or_resume(&path).unwrap();
-        assert!(resumed, "second run resumes from the checkpoint");
+        let (fresh, outcome) = sim.run_or_resume(&path).unwrap();
+        assert_eq!(outcome, ResumeOutcome::Fresh, "first run computes");
+        let (reloaded, outcome) = sim.run_or_resume(&path).unwrap();
+        assert_eq!(
+            outcome,
+            ResumeOutcome::Resumed,
+            "second run resumes from the checkpoint"
+        );
         assert_eq!(
             fresh.deterministic_fingerprint(),
             reloaded.deterministic_fingerprint()
@@ -1147,12 +1236,122 @@ mod tests {
         // A different config ignores the stale checkpoint and re-runs.
         let mut other_cfg = FleetConfig::fast(SharingPolicy::Raw);
         other_cfg.seed = 43;
-        let (other, resumed) = FleetSim::new(other_cfg).run_or_resume(&path).unwrap();
-        assert!(!resumed, "config key mismatch forces a fresh round");
+        let (other, outcome) = FleetSim::new(other_cfg).run_or_resume(&path).unwrap();
+        assert_eq!(
+            outcome,
+            ResumeOutcome::Fresh,
+            "config key mismatch forces a fresh round"
+        );
         assert_ne!(
             other.deterministic_fingerprint(),
             fresh.deterministic_fingerprint()
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_reran_loudly() {
+        let dir = std::env::temp_dir().join("kinet_fleet_ckpt_torn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round.json");
+        let _ = std::fs::remove_file(&path);
+        let sim = FleetSim::new(FleetConfig::fast(SharingPolicy::Raw));
+        let (fresh, _) = sim.run_or_resume(&path).unwrap();
+        // Tear the checkpoint in half — a crash mid-write on a filesystem
+        // without the atomic-rename guarantee.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let (recovered, outcome) = sim.run_or_resume(&path).unwrap();
+        match &outcome {
+            ResumeOutcome::RecoveredCorrupt(why) => {
+                assert!(why.contains("verify"), "{why}")
+            }
+            other => panic!("expected corrupt recovery, got {other:?}"),
+        }
+        assert!(
+            recovered
+                .fault
+                .observed
+                .iter()
+                .any(|o| o.contains("checkpoint corrupt")),
+            "re-run is recorded in the fault log"
+        );
+        // The re-run recomputed the same round; only the fault log differs.
+        assert_eq!(recovered.pool_rows, fresh.pool_rows);
+        assert_ne!(
+            recovered.deterministic_fingerprint(),
+            fresh.deterministic_fingerprint(),
+            "corrupt recovery is loud in the fingerprint"
+        );
+        // The rewritten checkpoint is intact again and resumes cleanly.
+        let (_, outcome) = sim.run_or_resume(&path).unwrap();
+        assert_eq!(outcome, ResumeOutcome::Resumed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn member_ids_pin_shard_streams_across_slots() {
+        // The same member in a different slot (churned fleet) must stream
+        // the same shard: data follows identity, not position.
+        let mut a = FleetConfig::fast(SharingPolicy::Raw);
+        a.member_ids = vec![0, 5];
+        let ra = FleetSim::new(a).run().unwrap();
+        let mut b = FleetConfig::fast(SharingPolicy::Raw);
+        b.member_ids = vec![5, 0];
+        let rb = FleetSim::new(b).run().unwrap();
+        assert_eq!(ra.devices[1].device, rb.devices[0].device);
+        assert_eq!(ra.devices[1].shard_classes, rb.devices[0].shard_classes);
+        // And the default is bit-identical to explicit slot ids.
+        let mut c = FleetConfig::fast(SharingPolicy::Raw);
+        c.member_ids = vec![0, 1];
+        let rc = FleetSim::new(c).run().unwrap();
+        let rd = FleetSim::new(FleetConfig::fast(SharingPolicy::Raw))
+            .run()
+            .unwrap();
+        assert_eq!(
+            rc.deterministic_fingerprint(),
+            rd.deterministic_fingerprint()
+        );
+    }
+
+    #[test]
+    fn watchdog_aborts_a_hung_acquire_phase() {
+        let mut cfg = FleetConfig::fast(SharingPolicy::Raw);
+        // A straggler that stalls 900 ticks inside a 1000-tick budget is
+        // absorbed — but blows a 500-tick watchdog deadline.
+        cfg.fault = crate::fault::FaultConfig::scripted(vec![DeviceFaultSpec::permanent(
+            1,
+            FaultKind::Straggle,
+        )
+        .with_magnitude(900)]);
+        cfg.watchdog = crate::config::WatchdogConfig::armed(500);
+        let err = FleetSim::new(cfg.clone()).run().unwrap_err();
+        match &err {
+            FleetError::Watchdog {
+                phase,
+                spent_ticks,
+                deadline_ticks,
+            } => {
+                assert_eq!(phase, "acquire");
+                assert!(*spent_ticks > *deadline_ticks);
+            }
+            other => panic!("expected a watchdog abort, got {other:?}"),
+        }
+        // The same round with the watchdog disarmed commits normally.
+        cfg.watchdog.enabled = false;
+        assert!(FleetSim::new(cfg).run().is_ok());
+    }
+
+    #[test]
+    fn run_detailed_surfaces_the_pool() {
+        let (report, pool) = FleetSim::new(FleetConfig::fast(SharingPolicy::Raw))
+            .run_detailed()
+            .unwrap();
+        let pool = pool.expect("raw sharing pools");
+        assert_eq!(pool.n_rows(), report.pool_rows);
+        let (_, none) = FleetSim::new(FleetConfig::fast(SharingPolicy::LocalOnly))
+            .run_detailed()
+            .unwrap();
+        assert!(none.is_none(), "local-only shares nothing");
     }
 }

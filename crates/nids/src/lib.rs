@@ -19,7 +19,9 @@
 //! [`kinet_fleet::FleetConfig`].
 
 pub mod report;
+pub mod serving;
 pub mod sim;
 
 pub use report::{DeviceTrainingDiag, DistributedReport};
+pub use serving::{FlowScorer, FlowVerdict};
 pub use sim::{DistributedConfig, DistributedSim, FleetError, ModelKind, SharingPolicy};
