@@ -1,23 +1,27 @@
-//! Workspace invariant-lint gate: runs `kinet_lint` over every workspace
-//! and `vendor/` source file, persists the full [`LintReport`] as
-//! `target/experiments/lint_report.json` (uploaded by CI whether the gate
-//! passes or not), prints every finding, and exits 1 when any finding
-//! lacks a reasoned `// kinet-lint: allow(...)` suppression.
+//! Workspace invariant-lint gate: runs `kinet_lint` (per-file rules plus
+//! the interprocedural call-graph analyses) over every workspace and
+//! `vendor/` source file, persists the full report as
+//! `target/experiments/lint_report.json` and the call-graph summary as
+//! `target/experiments/callgraph.json` (both uploaded by CI whether the
+//! gate passes or not), prints every finding, and exits 1 when any
+//! finding lacks a reasoned suppression (inline `kinet-lint: allow(...)`
+//! or, for panic-path, a `panic_allowlist.txt` entry).
 //!
 //! ```text
-//! lint_gate [--root DIR] [--out NAME]
+//! lint_gate [--root DIR] [--out NAME] [--graph-out NAME]
 //! ```
 //!
 //! `--root` defaults to the workspace root (resolved relative to this
 //! crate's manifest, so the gate works from any working directory).
 
 use kinet_bench::write_json;
-use kinet_lint::LintReport;
+use kinet_lint::WorkspaceLint;
 use std::path::PathBuf;
 
 struct Args {
     root: PathBuf,
     out: String,
+    graph_out: String,
 }
 
 impl Args {
@@ -25,6 +29,7 @@ impl Args {
         let mut args = Args {
             root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
             out: "lint_report".to_string(),
+            graph_out: "callgraph".to_string(),
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -33,8 +38,9 @@ impl Args {
             match flag.as_str() {
                 "--root" => args.root = PathBuf::from(value("--root")?),
                 "--out" => args.out = value("--out")?,
+                "--graph-out" => args.graph_out = value("--graph-out")?,
                 "--help" | "-h" => {
-                    println!("usage: lint_gate [--root DIR] [--out NAME]");
+                    println!("usage: lint_gate [--root DIR] [--out NAME] [--graph-out NAME]");
                     std::process::exit(0);
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -44,7 +50,7 @@ impl Args {
     }
 }
 
-fn run(args: &Args) -> Result<LintReport, String> {
+fn run(args: &Args) -> Result<WorkspaceLint, String> {
     let root = args
         .root
         .canonicalize()
@@ -60,20 +66,43 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let report = match run(&args) {
+    let WorkspaceLint { report, graph } = match run(&args) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lint_gate: {e}");
             std::process::exit(1);
         }
     };
-    // Persist before deciding pass/fail so CI can always upload the report.
+    // Persist both artifacts before deciding pass/fail so CI can always
+    // upload them.
     match write_json(&args.out, &report) {
         Ok(path) => println!("lint report -> {}", path.display()),
         Err(e) => {
             eprintln!("lint_gate: write report: {e}");
             std::process::exit(1);
         }
+    }
+    match write_json(&args.graph_out, &graph) {
+        Ok(path) => println!("call graph -> {}", path.display()),
+        Err(e) => {
+            eprintln!("lint_gate: write call graph: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "call graph: {} nodes, {} edges, {} ambiguous call site(s), {} unresolved site(s) \
+         across {} ledger entrie(s)",
+        graph.nodes,
+        graph.edges,
+        graph.ambiguous_call_sites,
+        graph.unresolved_sites,
+        graph.unresolved.len()
+    );
+    for r in &graph.roots {
+        println!(
+            "  [{}] {} -> {} reachable fn(s)",
+            r.analysis, r.root, r.reachable
+        );
     }
     println!(
         "scanned {} files; {} findings ({} suppressed, {} unsuppressed)",

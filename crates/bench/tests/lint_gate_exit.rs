@@ -1,6 +1,7 @@
-//! Exit-code contract of the `lint_gate` binary: non-zero (with the
-//! report artifact still written) on a tree with unsuppressed findings,
-//! zero on the committed workspace.
+//! Exit-code contract of the `lint_gate` binary: non-zero (with both
+//! artifacts still written) on a tree with unsuppressed findings, zero
+//! on the committed workspace. Each test passes its own `--out` /
+//! `--graph-out` names so concurrent tests never race on an artifact.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -10,7 +11,7 @@ fn workspace_root() -> PathBuf {
 }
 
 #[test]
-fn exits_nonzero_on_injected_violations_and_still_writes_the_report() {
+fn exits_nonzero_on_injected_violations_and_still_writes_both_artifacts() {
     let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../lint/tests/fixtures/tree");
     let out = Command::new(env!("CARGO_BIN_EXE_lint_gate"))
         .current_dir(workspace_root())
@@ -19,6 +20,8 @@ fn exits_nonzero_on_injected_violations_and_still_writes_the_report() {
             fixture.to_str().unwrap(),
             "--out",
             "lint_fixture_report",
+            "--graph-out",
+            "lint_fixture_graph",
         ])
         .output()
         .expect("lint_gate runs");
@@ -31,18 +34,51 @@ fn exits_nonzero_on_injected_violations_and_still_writes_the_report() {
         report.suppressed > 0,
         "the fixture's reasoned allow is recorded"
     );
+    assert_eq!(report.schema_version, kinet_lint::SCHEMA_VERSION);
+    let graph_artifact = workspace_root().join("target/experiments/lint_fixture_graph.json");
+    let text = std::fs::read_to_string(&graph_artifact).expect("graph written even on failure");
+    let graph: kinet_lint::CallGraphSummary = serde_json::from_str(&text).expect("graph parses");
+    assert_eq!(graph.schema_version, kinet_lint::SCHEMA_VERSION);
+    assert!(graph.nodes > 0 && graph.edges > 0);
+    assert!(
+        !graph.unresolved.is_empty(),
+        "the fixture tree's std calls must land in the unresolved ledger"
+    );
+    assert!(
+        graph.roots.iter().any(|r| r.reachable > 1),
+        "at least one analysis root reaches beyond itself"
+    );
 }
 
 #[test]
 fn exits_zero_on_the_committed_workspace() {
     let out = Command::new(env!("CARGO_BIN_EXE_lint_gate"))
         .current_dir(workspace_root())
-        .args(["--out", "lint_report_selftest"])
+        .args([
+            "--out",
+            "lint_report_selftest",
+            "--graph-out",
+            "callgraph_selftest",
+        ])
         .output()
         .expect("lint_gate runs");
     assert!(
         out.status.success(),
         "committed tree must be lint-clean:\n{}",
         String::from_utf8_lossy(&out.stdout)
+    );
+    let graph_artifact = workspace_root().join("target/experiments/callgraph_selftest.json");
+    let text = std::fs::read_to_string(&graph_artifact).expect("graph artifact written");
+    let graph: kinet_lint::CallGraphSummary = serde_json::from_str(&text).expect("graph parses");
+    assert!(
+        !graph.unresolved.is_empty(),
+        "over-approximation must stay visible on the real tree"
+    );
+    assert!(
+        graph
+            .roots
+            .iter()
+            .any(|r| r.analysis == "panic" && r.reachable > 1),
+        "the serving roots must reach into the tree"
     );
 }

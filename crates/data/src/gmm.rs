@@ -170,12 +170,34 @@ impl GaussianMixture1d {
 
     /// Most responsible component for `x`.
     pub fn most_likely_component(&self, x: f64) -> usize {
-        let r = self.responsibilities(x);
-        r.iter()
+        // Argmax of the *unnormalized* posterior: dividing by the total
+        // (or the degenerate uniform fallback) never changes which
+        // component wins, so the hot encode path skips the `Vec` that
+        // `responsibilities` builds. Ties keep the last maximum, exactly
+        // as `max_by` over the normalized vector did.
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut total = 0.0;
+        for (j, ((w, m), s)) in self
+            .weights
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
             .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        {
+            let score = w * gaussian_pdf(x, *m, *s);
+            total += score;
+            if score.total_cmp(&best_score) != std::cmp::Ordering::Less {
+                best = j;
+                best_score = score;
+            }
+        }
+        if total <= f64::MIN_POSITIVE {
+            // `responsibilities` falls back to a uniform posterior here;
+            // argmax over uniform keeps the last component.
+            return self.n_components().saturating_sub(1);
+        }
+        best
     }
 
     /// Samples a component index from the posterior `P(component | x)`.

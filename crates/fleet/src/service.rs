@@ -559,7 +559,7 @@ impl ServingModel {
         }
         let features = self.encoder.encode_table(flows)?;
         let mut logits = vec![0.0; self.encoder.labels.len()];
-        let totals = self.score_rows(&features, n, self.encoder.width(), &mut logits);
+        let totals = self.score_rows(&features, n, self.encoder.width(), &mut logits)?;
         Ok((n, totals.attack_flagged, totals.disc_sum / n as f64))
     }
 
@@ -567,32 +567,51 @@ impl ServingModel {
     /// features — argmax class per row, attack flagging, discriminator
     /// accumulation. Allocation lives in [`ServingModel::score_batch`];
     /// this loop must stay allocation-free (enforced by `kinet_lint`'s
-    /// hotlist).
+    /// hotlist) and panic-free (enforced by the panic-path audit): the
+    /// shapes are checked once up front as a typed error, and the row
+    /// loop itself walks exact-chunk iterators instead of indexing.
     fn score_rows(
         &self,
         features: &[f64],
         n_rows: usize,
         width: usize,
         logits: &mut [f64],
-    ) -> ScoreTotals {
+    ) -> Result<ScoreTotals, FleetError> {
+        let n_classes = logits.len();
+        if width == 0
+            || features.len() < n_rows * width
+            || self.class_weights.len() != n_classes * width
+            || self.class_bias.len() != n_classes
+            || self.is_attack.len() != n_classes
+            || self.disc_weights.len() != width
+        {
+            return Err(FleetError::Config(
+                "serving model shape mismatch: encoder width disagrees with the installed weights"
+                    .into(),
+            ));
+        }
         let mut totals = ScoreTotals::default();
-        for r in 0..n_rows {
-            let x = &features[r * width..(r + 1) * width];
-            for (c, logit) in logits.iter_mut().enumerate() {
-                let row = &self.class_weights[c * width..(c + 1) * width];
-                let mut acc = self.class_bias[c];
+        for x in features.chunks_exact(width).take(n_rows) {
+            for ((logit, bias), row) in logits
+                .iter_mut()
+                .zip(self.class_bias.iter())
+                .zip(self.class_weights.chunks_exact(width))
+            {
+                let mut acc = *bias;
                 for (wv, xv) in row.iter().zip(x) {
                     acc += wv * xv;
                 }
                 *logit = acc;
             }
             let mut best = 0usize;
+            let mut best_logit = f64::NEG_INFINITY;
             for (c, logit) in logits.iter().enumerate() {
-                if *logit > logits[best] {
+                if *logit > best_logit {
+                    best_logit = *logit;
                     best = c;
                 }
             }
-            if self.is_attack[best] {
+            if self.is_attack.get(best) == Some(&true) {
                 totals.attack_flagged += 1;
             }
             let mut d = self.disc_bias;
@@ -601,7 +620,7 @@ impl ServingModel {
             }
             totals.disc_sum += sigmoid(d);
         }
-        totals
+        Ok(totals)
     }
 }
 
@@ -614,9 +633,14 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn softmax_into(weights: &[f64], bias: &[f64], x: &[f64], width: usize, out: &mut [f64]) {
-    for (c, o) in out.iter_mut().enumerate() {
-        let row = &weights[c * width..(c + 1) * width];
-        *o = bias[c] + dot(row, x);
+    if width == 0 {
+        for (o, b) in out.iter_mut().zip(bias) {
+            *o = *b;
+        }
+    } else {
+        for ((o, b), row) in out.iter_mut().zip(bias).zip(weights.chunks_exact(width)) {
+            *o = *b + dot(row, x);
+        }
     }
     let max = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mut sum = 0.0;
@@ -834,7 +858,12 @@ impl FleetService {
         }
 
         for round in start_round..self.cfg.rounds {
-            let membership = &plan.rounds[round];
+            let Some(membership) = plan.rounds.get(round) else {
+                return Err(FleetError::Config(format!(
+                    "churn plan covers {} round(s) but round {round} was scheduled",
+                    plan.rounds.len()
+                )));
+            };
             for id in &membership.joined {
                 report.churn.push(format!("round {round}: +{id} joined"));
             }
@@ -888,15 +917,11 @@ impl FleetService {
                         }
                     }
                 }
-                Err(e @ FleetError::Watchdog { .. }) => {
-                    let FleetError::Watchdog {
-                        phase,
-                        spent_ticks,
-                        deadline_ticks,
-                    } = e
-                    else {
-                        unreachable!()
-                    };
+                Err(FleetError::Watchdog {
+                    phase,
+                    spent_ticks,
+                    deadline_ticks,
+                }) => {
                     record.verdict = RoundVerdict::Aborted {
                         phase,
                         spent_ticks,

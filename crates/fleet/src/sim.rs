@@ -129,6 +129,7 @@ impl FleetSim {
         let cfg = &self.config;
         cfg.validate()?;
         // kinet-lint: allow(wall-clock) — feeds only timing fields that deterministic_fingerprint() excludes
+        // kinet-lint: allow(determinism-taint) — same contract: the reading lands in excluded timing fields only
         let start = Instant::now();
         let peak = PeakRows::new();
         let plan = FaultPlan::derive(cfg.seed, cfg.n_devices, &cfg.fault);
@@ -585,6 +586,7 @@ impl FleetSim {
         let training =
             |e: String| FleetError::device(d, device.clone(), DeviceFaultKind::Training, e);
         // kinet-lint: allow(wall-clock) — per-device prep timing, report metadata the fingerprint excludes
+        // kinet-lint: allow(determinism-taint) — same contract: prep timing is metadata the fingerprint excludes
         let t0 = Instant::now();
         match &cfg.policy {
             SharingPolicy::Raw => Ok(DeviceOutcome {

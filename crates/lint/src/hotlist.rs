@@ -85,7 +85,7 @@ fn parse_string(v: &str) -> Option<String> {
     (!inner.contains('"')).then(|| inner.to_string())
 }
 
-fn parse_string_array(v: &str) -> Option<Vec<String>> {
+pub(crate) fn parse_string_array(v: &str) -> Option<Vec<String>> {
     let inner = v.strip_prefix('[')?.strip_suffix(']')?.trim();
     if inner.is_empty() {
         return Some(Vec::new());

@@ -5,6 +5,13 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Version stamp shared by `lint_report.json` and `callgraph.json` so
+/// downstream diffing tools can refuse to compare across schema changes.
+/// Bump on any field addition/rename. v1 was the PR 6 per-file report;
+/// v2 added the interprocedural stage (`schema_version` itself, the
+/// three reachability rules, and the call-graph summary artifact).
+pub const SCHEMA_VERSION: usize = 2;
+
 /// One finding, suppressed or not.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Finding {
@@ -40,6 +47,8 @@ impl fmt::Display for Finding {
 /// The full outcome of one lint run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LintReport {
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: usize,
     /// `.rs` files scanned.
     pub files_scanned: usize,
     /// Every finding, suppressed ones included, sorted by
@@ -66,6 +75,7 @@ impl LintReport {
         let suppressed = findings.iter().filter(|f| f.suppressed).count();
         let unsuppressed = findings.len() - suppressed;
         LintReport {
+            schema_version: SCHEMA_VERSION,
             files_scanned,
             findings,
             unsuppressed,
@@ -121,6 +131,7 @@ mod tests {
             LintReport::from_findings(5, vec![finding("a.rs", 1, true), finding("a.rs", 4, false)]);
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: LintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.files_scanned, 5);
         assert_eq!(back.findings.len(), 2);
         assert_eq!(back.unsuppressed, 1);

@@ -26,12 +26,34 @@ pub const RULE_HOT_ALLOC: &str = "hot-path-allocation";
 pub const RULE_THREAD_KNOB: &str = "thread-knob";
 /// Malformed / reason-less / unknown-rule suppression comments.
 pub const RULE_SUPPRESSION: &str = "suppression";
+/// Allocation in a function *reachable from* a `hotlist.toml` root — the
+/// interprocedural extension of [`RULE_HOT_ALLOC`] (see [`crate::reach`]).
+/// Suppressible inline at the sink line.
+pub const RULE_TRANS_ALLOC: &str = "transitive-allocation";
+/// Wall-clock, hash-iteration, or thread-knob effects reachable from a
+/// deterministic root (`reach.toml [taint]`). Suppressible inline at the
+/// sink line.
+pub const RULE_DETERMINISM_TAINT: &str = "determinism-taint";
+/// Panic-capable sites (`unwrap`/`expect`/`panic!`/indexing) in functions
+/// reachable from the resident serving path (`reach.toml [panic]`). Never
+/// inline-suppressible — only a reasoned `panic_allowlist.txt` entry
+/// clears a function, mirroring the no-new-unsafe discipline.
+pub const RULE_PANIC_PATH: &str = "panic-path";
 
-/// `true` for a rule name `allow(...)` may legally reference.
+/// `true` for a rule name `allow(...)` may legally reference. `panic-path`
+/// is included so the directive parses, but [`finalize`] never consults
+/// inline allows for it — such a directive is always reported stale.
 pub fn known_rule(name: &str) -> bool {
     matches!(
         name,
-        RULE_NONDET_ITER | RULE_WALL_CLOCK | RULE_NO_UNSAFE | RULE_HOT_ALLOC | RULE_THREAD_KNOB
+        RULE_NONDET_ITER
+            | RULE_WALL_CLOCK
+            | RULE_NO_UNSAFE
+            | RULE_HOT_ALLOC
+            | RULE_THREAD_KNOB
+            | RULE_TRANS_ALLOC
+            | RULE_DETERMINISM_TAINT
+            | RULE_PANIC_PATH
     )
 }
 
@@ -43,6 +65,9 @@ pub fn rule_catalog() -> Vec<String> {
         RULE_NO_UNSAFE,
         RULE_HOT_ALLOC,
         RULE_THREAD_KNOB,
+        RULE_TRANS_ALLOC,
+        RULE_DETERMINISM_TAINT,
+        RULE_PANIC_PATH,
     ]
     .iter()
     .map(|s| s.to_string())
@@ -95,9 +120,26 @@ impl LintConfig {
     }
 }
 
-/// Lints one file's source. `relpath` is workspace-relative with forward
-/// slashes — scope decisions key off it.
-pub fn scan_source(relpath: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+/// One file's first-stage scan: local rule hits (suppressions not yet
+/// applied), findings that are already final (`no-new-unsafe`, malformed
+/// directives), the parsed suppressions, and the call-graph nodes
+/// extracted from the file's items. Suppression resolution is deferred to
+/// [`finalize`] so interprocedural findings landing in this file can use
+/// (and thereby justify) the same inline allows.
+pub struct FileScan {
+    /// Workspace-relative path with forward slashes.
+    pub relpath: String,
+    raw: Vec<(String, usize, String)>,
+    early: Vec<Finding>,
+    suppressions: Vec<Suppression>,
+    /// Call-graph nodes for [`crate::callgraph::CallGraph::build`].
+    pub nodes: Vec<crate::callgraph::Node>,
+}
+
+/// Stage 1: lexes one file, runs every local rule, and extracts its call
+/// graph nodes. `relpath` is workspace-relative with forward slashes —
+/// scope decisions key off it.
+pub fn scan_file(relpath: &str, src: &str, cfg: &LintConfig) -> FileScan {
     let tokens = crate::lexer::lex(src);
     let (suppressions, sup_errs) = parse_suppressions(&tokens);
     let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
@@ -119,13 +161,60 @@ pub fn scan_source(relpath: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
         hot_path_alloc(&code, hot, &mut raw);
     }
 
+    // no-new-unsafe is stricter: inline `allow` does not apply; only a
+    // SAFETY comment plus a committed allowlist entry clears a site.
+    let mut early = Vec::new();
+    no_new_unsafe(relpath, &tokens, cfg, &mut early);
+    suppression_diagnostics(relpath, &sup_errs, &mut early);
+
+    let names = hash_bindings(&code);
+    let test_scope = crate::callgraph::test_scoped_path(relpath);
+    let nodes = crate::symbols::parse_items(&code)
+        .into_iter()
+        .map(|item| {
+            let scan = item
+                .body
+                .map(|(s, e)| crate::callgraph::scan_body(&code[s..e], &names))
+                .unwrap_or_default();
+            crate::callgraph::Node {
+                file: relpath.to_string(),
+                item,
+                test_scope,
+                effects: scan.effects,
+                calls: scan.calls,
+            }
+        })
+        .collect();
+
+    FileScan {
+        relpath: relpath.to_string(),
+        raw,
+        early,
+        suppressions,
+        nodes,
+    }
+}
+
+/// Stage 2: resolves a file's local hits plus its share of the
+/// interprocedural findings (`inter`) against the file's inline
+/// suppressions, then audits the suppressions themselves. `panic-path`
+/// findings and findings arriving pre-suppressed pass through untouched —
+/// the panic allowlist already decided them.
+pub fn finalize(scan: FileScan, inter: Vec<Finding>) -> Vec<Finding> {
+    let FileScan {
+        relpath,
+        raw,
+        early,
+        suppressions,
+        nodes: _,
+    } = scan;
     let mut findings: Vec<Finding> = raw
         .into_iter()
         .map(|(rule, line, message)| {
             let sup = covering(&suppressions, &rule, line);
             Finding {
                 rule,
-                file: relpath.to_string(),
+                file: relpath.clone(),
                 line,
                 message,
                 suppressed: sup.is_some(),
@@ -133,14 +222,27 @@ pub fn scan_source(relpath: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
             }
         })
         .collect();
-
-    // no-new-unsafe is stricter: inline `allow` does not apply; only a
-    // SAFETY comment plus a committed allowlist entry clears a site.
-    no_new_unsafe(relpath, &tokens, cfg, &mut findings);
-    suppression_diagnostics(relpath, &sup_errs, &mut findings);
+    for mut f in inter {
+        if !f.suppressed && f.rule != RULE_PANIC_PATH {
+            if let Some(sup) = covering(&suppressions, &f.rule, f.line) {
+                f.suppressed = true;
+                f.reason = sup.reason.clone();
+            }
+        }
+        findings.push(f);
+    }
+    findings.extend(early);
     let resolved = findings.clone();
-    unused_suppressions(relpath, &suppressions, &resolved, &mut findings);
+    unused_suppressions(&relpath, &suppressions, &resolved, &mut findings);
     findings
+}
+
+/// Lints one file's source with local rules only — [`scan_file`] +
+/// [`finalize`] with no interprocedural findings. Unit-test surface and
+/// the semantics PR 6 shipped; the workspace runner goes through the
+/// two-stage API instead.
+pub fn scan_source(relpath: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    finalize(scan_file(relpath, src, cfg), Vec::new())
 }
 
 /// The deterministic-crate name owning `relpath`, if any.
@@ -197,31 +299,58 @@ fn nondet_iteration(code: &[&Token], krate: &str, out: &mut Vec<(String, usize, 
     // Bindings whose type region or initializer names a hash container.
     let names = hash_bindings(code);
     // (b) iteration over those bindings.
+    for site in hash_iter_sites(code, &names) {
+        let message = match &site.method {
+            None => format!("for-loop over hash container `{}`", site.name),
+            Some(m) => format!("`{}.{m}()` iterates a hash container", site.name),
+        };
+        out.push((RULE_NONDET_ITER.to_string(), site.line, message));
+    }
+}
+
+/// One iteration site over a known hash-container binding.
+pub(crate) struct HashIterSite {
+    /// 1-based line of the binding mention.
+    pub line: usize,
+    /// The binding name.
+    pub name: String,
+    /// The iterating method (`keys`, `iter`, …); `None` for a `for` loop
+    /// directly over the binding.
+    pub method: Option<String>,
+}
+
+/// Iteration sites over the given hash-container binding names:
+/// `for … in name` loops and same-statement `name.<iter-method>()` calls.
+/// Shared by the per-file rule (a) above and the determinism-taint effect
+/// scan in [`crate::reach`].
+pub(crate) fn hash_iter_sites(code: &[&Token], names: &[String]) -> Vec<HashIterSite> {
+    let mut out = Vec::new();
     for (i, t) in code.iter().enumerate() {
         if t.kind != TokKind::Ident || !names.iter().any(|n| n == &t.text) {
             continue;
         }
         // `for … in name` / `for … in &mut name`.
         if preceded_by_for_in(code, i) {
-            out.push((
-                RULE_NONDET_ITER.to_string(),
-                t.line,
-                format!("for-loop over hash container `{}`", t.text),
-            ));
+            out.push(HashIterSite {
+                line: t.line,
+                name: t.text.clone(),
+                method: None,
+            });
             continue;
         }
         // Same-statement iteration-method call after the binding.
         for w in code[i + 1..].iter().take_while(|w| !stmt_end(w)) {
             if w.kind == TokKind::Ident && ITER_METHODS.contains(&w.text.as_str()) {
-                out.push((
-                    RULE_NONDET_ITER.to_string(),
-                    t.line,
-                    format!("`{}.{}()` iterates a hash container", t.text, w.text),
-                ));
+                out.push(HashIterSite {
+                    line: t.line,
+                    name: t.text.clone(),
+                    method: Some(w.text.clone()),
+                });
                 break;
             }
         }
     }
+    out
 }
 
 fn stmt_end(t: &Token) -> bool {
@@ -245,7 +374,7 @@ fn preceded_by_for_in(code: &[&Token], i: usize) -> bool {
 /// Binding names whose declared type (or `let` initializer) names a hash
 /// container: `name: …HashMap<…>…` fields/params/lets, and
 /// `let [mut] name = …HashMap…;`.
-fn hash_bindings(code: &[&Token]) -> Vec<String> {
+pub(crate) fn hash_bindings(code: &[&Token]) -> Vec<String> {
     let mut names = Vec::new();
     let is_hash = |t: &Token| t.is_ident("HashMap") || t.is_ident("HashSet");
     for (i, t) in code.iter().enumerate() {
@@ -298,52 +427,64 @@ fn hash_bindings(code: &[&Token]) -> Vec<String> {
     names
 }
 
-/// Rule 2: wall-clock reads. Flags `Instant::now` (the call, not the type
-/// — passing an already-taken `Instant` around is fine) and any
-/// `SystemTime` mention.
-fn wall_clock(code: &[&Token], out: &mut Vec<(String, usize, String)>) {
+/// Wall-clock read sites: `Instant::now` (the call, not the type —
+/// passing an already-taken `Instant` around is fine) and any
+/// `SystemTime` mention. Shared by rule 2 and the taint effect scan.
+pub(crate) fn wall_clock_sites(code: &[&Token]) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
     for (i, t) in code.iter().enumerate() {
         if t.is_ident("Instant")
             && code.get(i + 1).is_some_and(|n| n.is_punct(':'))
             && code.get(i + 2).is_some_and(|n| n.is_punct(':'))
             && code.get(i + 3).is_some_and(|n| n.is_ident("now"))
         {
-            out.push((
-                RULE_WALL_CLOCK.to_string(),
-                t.line,
-                "`Instant::now()` outside an allowlisted timing module".to_string(),
-            ));
+            out.push((t.line, "Instant::now()"));
         }
         if t.is_ident("SystemTime") {
-            out.push((
-                RULE_WALL_CLOCK.to_string(),
-                t.line,
-                "`SystemTime` outside an allowlisted timing module".to_string(),
-            ));
+            out.push((t.line, "SystemTime"));
         }
+    }
+    out
+}
+
+/// Rule 2: wall-clock reads.
+fn wall_clock(code: &[&Token], out: &mut Vec<(String, usize, String)>) {
+    for (line, what) in wall_clock_sites(code) {
+        out.push((
+            RULE_WALL_CLOCK.to_string(),
+            line,
+            format!("`{what}` outside an allowlisted timing module"),
+        ));
     }
 }
 
-/// Rule 5: thread-knob containment. Flags the `num_threads` identifier and
-/// any string literal carrying `KINET_THREADS` — the knob may only be read
-/// where the pool owns it, so every other module inherits one consistent
-/// worker count.
-fn thread_knob(code: &[&Token], out: &mut Vec<(String, usize, String)>) {
+/// Thread-knob reference sites: the `num_threads` identifier and any
+/// string literal carrying `KINET_THREADS`. Shared by rule 5 and the
+/// taint effect scan.
+pub(crate) fn thread_knob_sites(code: &[&Token]) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
     for t in code {
         if t.is_ident("num_threads") {
-            out.push((
-                RULE_THREAD_KNOB.to_string(),
-                t.line,
-                "`num_threads` referenced outside the pool/schedule modules".to_string(),
-            ));
+            out.push((t.line, "num_threads"));
         }
         if t.kind == TokKind::Str && t.text.contains("KINET_THREADS") {
-            out.push((
-                RULE_THREAD_KNOB.to_string(),
-                t.line,
-                "`KINET_THREADS` string referenced outside the pool/schedule modules".to_string(),
-            ));
+            out.push((t.line, "KINET_THREADS"));
         }
+    }
+    out
+}
+
+/// Rule 5: thread-knob containment — the knob may only be read where the
+/// pool owns it, so every other module inherits one consistent worker
+/// count.
+fn thread_knob(code: &[&Token], out: &mut Vec<(String, usize, String)>) {
+    for (line, what) in thread_knob_sites(code) {
+        let message = if what == "num_threads" {
+            "`num_threads` referenced outside the pool/schedule modules".to_string()
+        } else {
+            "`KINET_THREADS` string referenced outside the pool/schedule modules".to_string()
+        };
+        out.push((RULE_THREAD_KNOB.to_string(), line, message));
     }
 }
 
@@ -351,16 +492,27 @@ const ALLOC_IDENTS: [&str; 4] = ["clone", "to_vec", "collect", "to_string"];
 const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
 const ALLOC_PATHS: [(&str, &str); 3] = [("Vec", "new"), ("String", "new"), ("Box", "new")];
 
-/// Rule 4: allocation tokens inside a hotlisted function body.
+/// Rule 4: allocation tokens inside a hotlisted function body. Body
+/// ranges come from the same hardened extractor that feeds the call
+/// graph ([`crate::symbols::fn_body`]).
 fn hot_path_alloc(code: &[&Token], hot: &HotFile, out: &mut Vec<(String, usize, String)>) {
     for fname in &hot.functions {
         let mut found = false;
         let mut i = 0usize;
         while i + 1 < code.len() {
             if code[i].is_ident("fn") && code[i + 1].is_ident(fname) {
-                if let Some((body_start, body_end)) = fn_body(code, i + 2) {
+                if let Some((body_start, body_end)) = crate::symbols::fn_body(code, i + 2) {
                     found = true;
-                    scan_alloc_tokens(&code[body_start..body_end], fname, out);
+                    for (line, what) in alloc_sites(&code[body_start..body_end]) {
+                        out.push((
+                            RULE_HOT_ALLOC.to_string(),
+                            line,
+                            format!(
+                                "`{what}` allocates inside hot function `{fname}` \
+                                 (allocation-free contract)"
+                            ),
+                        ));
+                    }
                     i = body_end;
                     continue;
                 }
@@ -381,69 +533,34 @@ fn hot_path_alloc(code: &[&Token], hot: &HotFile, out: &mut Vec<(String, usize, 
     }
 }
 
-/// Token range (exclusive of braces) of the body after a `fn name`, with
-/// `from` just past the name. `None` for bodyless trait declarations.
-fn fn_body(code: &[&Token], from: usize) -> Option<(usize, usize)> {
-    let mut i = from;
-    // Skip signature tokens up to the body brace or a trait-decl `;`.
-    // Parens/brackets nest (`-> [[f32; NR]; MR]` has semicolons inside);
-    // only a depth-0 `;` ends a bodyless declaration.
-    let mut sig_depth = 0i32;
-    while i < code.len() && !(sig_depth == 0 && code[i].is_punct('{')) {
-        if code[i].is_punct('(') || code[i].is_punct('[') {
-            sig_depth += 1;
-        } else if code[i].is_punct(')') || code[i].is_punct(']') {
-            sig_depth -= 1;
-        } else if sig_depth == 0 && code[i].is_punct(';') {
-            return None;
-        }
-        i += 1;
-    }
-    if i >= code.len() {
-        return None;
-    }
-    let start = i + 1;
-    let mut depth = 1i32;
-    i = start;
-    while i < code.len() && depth > 0 {
-        if code[i].is_punct('{') {
-            depth += 1;
-        } else if code[i].is_punct('}') {
-            depth -= 1;
-        }
-        i += 1;
-    }
-    Some((start, i.saturating_sub(1)))
-}
-
-fn scan_alloc_tokens(body: &[&Token], fname: &str, out: &mut Vec<(String, usize, String)>) {
+/// Allocation sites in a body: allocating method names, `vec!`/`format!`
+/// macros, and `Vec::new`-style constructor paths. Shared by rule 4 and
+/// the transitive-allocation effect scan in [`crate::reach`].
+pub(crate) fn alloc_sites(body: &[&Token]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
     for (i, t) in body.iter().enumerate() {
         if t.kind != TokKind::Ident {
             continue;
         }
-        let flagged = if ALLOC_IDENTS.contains(&t.text.as_str()) {
-            true
-        } else if ALLOC_MACROS.contains(&t.text.as_str()) {
-            body.get(i + 1).is_some_and(|n| n.is_punct('!'))
-        } else if let Some((_, tail)) = ALLOC_PATHS.iter().find(|(head, _)| t.is_ident(head)) {
-            body.get(i + 1).is_some_and(|n| n.is_punct(':'))
+        let what = if ALLOC_IDENTS.contains(&t.text.as_str()) {
+            Some(t.text.clone())
+        } else if ALLOC_MACROS.contains(&t.text.as_str())
+            && body.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            Some(format!("{}!", t.text))
+        } else if let Some((head, tail)) = ALLOC_PATHS.iter().find(|(head, _)| t.is_ident(head)) {
+            (body.get(i + 1).is_some_and(|n| n.is_punct(':'))
                 && body.get(i + 2).is_some_and(|n| n.is_punct(':'))
-                && body.get(i + 3).is_some_and(|n| n.is_ident(tail))
+                && body.get(i + 3).is_some_and(|n| n.is_ident(tail)))
+            .then(|| format!("{head}::{tail}"))
         } else {
-            false
+            None
         };
-        if flagged {
-            out.push((
-                RULE_HOT_ALLOC.to_string(),
-                t.line,
-                format!(
-                    "`{}` allocates inside hot function `{fname}` \
-                     (allocation-free contract)",
-                    t.text
-                ),
-            ));
+        if let Some(what) = what {
+            out.push((t.line, what));
         }
     }
+    out
 }
 
 /// Rule 3: `unsafe` tokens. A site is only clean with BOTH a `SAFETY:`

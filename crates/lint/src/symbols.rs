@@ -1,0 +1,266 @@
+//! The lightweight item model feeding the interprocedural stage.
+//!
+//! [`parse_items`] walks one file's *code* token stream (comments already
+//! filtered) and extracts every `fn` item — free functions, inherent and
+//! trait methods, default trait-method bodies, and nested `fn`s — with its
+//! enclosing `impl`/`trait` owner type, 1-based declaration line, and the
+//! exact code-token range of its body. The ranges feed
+//! [`crate::callgraph`] and [`crate::reach`], so a mis-scoped body is an
+//! interprocedural false negative; [`fn_body`] therefore handles the hard
+//! signature shapes (angle-bracket generics, const-generic default blocks,
+//! `where` clauses with parenthesized bounds and array types) and the hard
+//! body shapes (closures, match arms, nested items) exactly.
+//!
+//! This is deliberately a *name* model, not a type model: no paths are
+//! resolved, no generics instantiated. The call graph built on top
+//! over-approximates on every ambiguity and says so in its ledger.
+
+use crate::lexer::{TokKind, Token};
+
+/// One `fn` item found in a file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnItem {
+    /// Bare function name (`gemm`, `score_rows`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name (`ServingModel`), if any. For
+    /// `impl Display for FaultKind` blocks this is the *implementing*
+    /// type (`FaultKind`), matching how call sites qualify paths.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Code-token index range of the body, exclusive of both braces.
+    /// `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// `Owner::name` for methods, bare `name` otherwise — the display
+    /// form used in call-chain messages and root specs.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Rust keywords that can directly precede `(` or `[` in expression
+/// position — never call or index receivers.
+pub const EXPR_KEYWORDS: [&str; 16] = [
+    "if", "else", "while", "for", "loop", "match", "return", "let", "mut", "in", "move", "ref",
+    "as", "break", "continue", "where",
+];
+
+/// `true` when the ident text is a keyword from [`EXPR_KEYWORDS`].
+pub fn is_expr_keyword(text: &str) -> bool {
+    EXPR_KEYWORDS.contains(&text)
+}
+
+/// Extracts every `fn` item from a file's code tokens. The walk descends
+/// into bodies, so nested `fn`s (and `impl` blocks inside bodies) are
+/// found too; a nested `fn` inherits the innermost surrounding owner.
+pub fn parse_items(code: &[&Token]) -> Vec<FnItem> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    // (depth *after* the opening brace, owner) — innermost last.
+    let mut owners: Vec<(usize, Option<String>)> = Vec::new();
+    // An impl/trait header whose `{` has not arrived yet.
+    let mut pending: Option<(usize, Option<String>)> = None;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('{') {
+            depth += 1;
+            if let Some((brace_idx, owner)) = pending.take() {
+                if brace_idx == i {
+                    owners.push((depth, owner));
+                } else {
+                    pending = Some((brace_idx, owner)); // not this brace
+                }
+            }
+        } else if t.is_punct('}') {
+            if owners.last().is_some_and(|(d, _)| *d == depth) {
+                owners.pop();
+            }
+            depth = depth.saturating_sub(1);
+        } else if (t.is_ident("impl") || t.is_ident("trait")) && item_position(code, i) {
+            if let Some((owner, brace_idx)) = block_owner(code, i) {
+                pending = Some((brace_idx, owner));
+            }
+        } else if t.is_ident("fn") && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            let name = &code[i + 1];
+            items.push(FnItem {
+                name: name.text.clone(),
+                owner: owners.last().and_then(|(_, o)| o.clone()),
+                line: t.line,
+                body: fn_body(code, i + 2),
+            });
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    items
+}
+
+/// `true` when the `impl`/`trait` token at `i` opens an item block rather
+/// than naming a type (`-> impl Iterator`, `x: impl Fn()`, `&impl Read`).
+/// Type-position `impl` is always preceded by a type-context punct; item
+/// position by a block boundary, `;`, an attribute's `]`, or modifiers.
+fn item_position(code: &[&Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|p| code[p]) else {
+        return true; // file start
+    };
+    if prev.kind == TokKind::Punct {
+        return matches!(prev.text.as_str(), "{" | "}" | ";" | "]");
+    }
+    // `unsafe impl`, `pub`? `pub` is followed by `fn`/`struct`… or `impl`.
+    prev.is_ident("unsafe") || prev.is_ident("pub")
+}
+
+/// Resolves the owner type of an `impl`/`trait` header starting at `i`,
+/// plus the code-token index of its opening `{`. For `impl A for B` the
+/// owner is `B`'s last path segment; for `impl A` it is `A`'s; for
+/// `trait T` it is `T`. Generic arguments and `where` clauses are
+/// skipped. `None` when no `{` follows (malformed or end of file).
+fn block_owner(code: &[&Token], i: usize) -> Option<(Option<String>, usize)> {
+    let mut angle = 0i32;
+    let mut owner: Option<String> = None;
+    let mut in_where = false;
+    let mut j = i + 1;
+    while j < code.len() {
+        let t = code[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" if angle > 0 && !arrow_tail(code, j) => angle -= 1,
+                "{" if angle == 0 => return Some((owner, j)),
+                ";" if angle == 0 => return None, // `impl Trait for T;`-ish
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident && angle == 0 && !in_where {
+            match t.text.as_str() {
+                "where" => in_where = true,
+                // `for` resets: the implementing type comes next.
+                "for" => owner = None,
+                "dyn" | "unsafe" | "const" => {}
+                _ => owner = Some(t.text.clone()),
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `true` when the `>` at `j` is the tail of a `->` arrow.
+fn arrow_tail(code: &[&Token], j: usize) -> bool {
+    j.checked_sub(1).is_some_and(|p| code[p].is_punct('-'))
+}
+
+/// Token range (exclusive of braces) of the body after a `fn name`, with
+/// `from` just past the name. `None` for bodyless trait declarations.
+///
+/// The signature skip tracks three nesting depths so a stray `{` or `;`
+/// cannot truncate or inflate the body: parens/brackets (`[u8; 4]` return
+/// types, `Fn() -> R` bounds in `where` clauses), and angle brackets
+/// (generic parameter lists, including const-generic default *blocks*
+/// like `<const N: usize = { 8 }>` — a `{` inside generics is signature,
+/// not body). A `>` preceded by `-` is an arrow, never a closing angle.
+/// The body itself is pure brace counting — closures, match arms, struct
+/// literals, and nested items all balance, and the lexer has already
+/// removed every brace-shaped impostor (strings, chars, comments).
+pub fn fn_body(code: &[&Token], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    let mut group = 0i32; // () and []
+    let mut angle = 0i32; // <> generics
+    while i < code.len() {
+        let t = code[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => group += 1,
+                ")" | "]" => group -= 1,
+                "<" if group == 0 => angle += 1,
+                ">" if group == 0 && angle > 0 && !arrow_tail(code, i) => angle -= 1,
+                "{" if group == 0 && angle == 0 => break,
+                ";" if group == 0 && angle == 0 => return None,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    if i >= code.len() {
+        return None;
+    }
+    let start = i + 1;
+    let mut depth = 1i32;
+    i = start;
+    while i < code.len() && depth > 0 {
+        if code[i].is_punct('{') {
+            depth += 1;
+        } else if code[i].is_punct('}') {
+            depth -= 1;
+        }
+        i += 1;
+    }
+    Some((start, i.saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        let toks = lex(src);
+        let code: Vec<&Token> = toks.iter().filter(|t| t.is_code()).collect();
+        parse_items(&code)
+    }
+
+    #[test]
+    fn free_fns_methods_and_trait_defaults() {
+        let src = "fn free() { body(); }\n\
+                   impl ServingModel { fn score(&self) -> f64 { 0.0 } }\n\
+                   impl fmt::Display for FaultKind { fn fmt(&self) {} }\n\
+                   trait Store { fn read(&self); fn len(&self) -> usize { 0 } }\n";
+        let got = items(src);
+        let q: Vec<String> = got.iter().map(FnItem::qualified).collect();
+        assert_eq!(
+            q,
+            [
+                "free",
+                "ServingModel::score",
+                "FaultKind::fmt",
+                "Store::read",
+                "Store::len"
+            ]
+        );
+        assert!(got[3].body.is_none(), "bodyless trait decl");
+        assert!(got[4].body.is_some(), "default trait method has a body");
+    }
+
+    #[test]
+    fn impl_in_type_position_does_not_open_an_owner() {
+        let src = "fn f(x: impl Fn() -> usize) -> impl Iterator<Item = u8> { x(); iter() }\n\
+                   fn g() {}\n";
+        let got = items(src);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|f| f.owner.is_none()), "{got:?}");
+    }
+
+    #[test]
+    fn nested_fns_and_inner_impls_are_found() {
+        let src = "impl Outer { fn method(&self) { fn helper() {} helper(); } }\n";
+        let got = items(src);
+        let q: Vec<String> = got.iter().map(FnItem::qualified).collect();
+        assert_eq!(q, ["Outer::method", "Outer::helper"]);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_implementing_type() {
+        let src = "impl<T: Clone> Wrapper<T> { fn get(&self) {} }\n\
+                   impl<'a, T> From<&'a T> for Holder<T> where T: Default { fn from(_: &T) {} }\n";
+        let got = items(src);
+        assert_eq!(got[0].owner.as_deref(), Some("Wrapper"));
+        assert_eq!(got[1].owner.as_deref(), Some("Holder"));
+    }
+}

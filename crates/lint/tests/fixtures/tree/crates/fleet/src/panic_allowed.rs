@@ -1,0 +1,5 @@
+// Fixture: an allowlisted panic site — the indexing is a finding, but
+// the committed panic_allowlist.txt entry suppresses it with a reason.
+pub fn serve_allowed_fx(rows: &[f32]) -> f32 {
+    rows[rows.len() - 1]
+}

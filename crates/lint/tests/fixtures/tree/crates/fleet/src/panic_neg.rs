@@ -1,0 +1,12 @@
+// Fixture: the negative — a serving root whose cone handles every miss
+// explicitly. No findings.
+pub fn serve_guarded_fx(rows: &[f32]) -> f32 {
+    checked_head_fx(rows)
+}
+
+fn checked_head_fx(rows: &[f32]) -> f32 {
+    match rows.first() {
+        Some(v) => *v,
+        None => 0.0,
+    }
+}

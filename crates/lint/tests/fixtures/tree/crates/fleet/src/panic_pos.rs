@@ -1,0 +1,11 @@
+// Fixture: un-allowlisted panic sites on the serving path — indexing in
+// the root itself and an `unwrap` one call below. Both must fail the
+// gate (panic-path is never inline-suppressible).
+pub fn serve_rows_fx(rows: &[f32]) -> f32 {
+    let first = rows[0];
+    first + pick_best_fx(rows)
+}
+
+fn pick_best_fx(rows: &[f32]) -> f32 {
+    *rows.last().unwrap()
+}

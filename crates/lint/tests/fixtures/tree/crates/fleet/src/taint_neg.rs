@@ -1,0 +1,13 @@
+// Fixture: the negative — a fingerprint root whose reachable cone is
+// pure arithmetic. No findings.
+pub struct CleanDigest;
+
+impl CleanDigest {
+    pub fn deterministic_digest(&self) -> u64 {
+        mix_fx(3)
+    }
+}
+
+fn mix_fx(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9)
+}

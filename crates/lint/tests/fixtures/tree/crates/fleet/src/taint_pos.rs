@@ -1,0 +1,22 @@
+// Fixture: determinism taint via a two-hop wall-clock read. The
+// fingerprint root is clean; its helper's helper reads the clock, which
+// only reachability can see. (The clock read also trips the local
+// wall-clock rule — two contracts, two findings.)
+use std::time::Instant;
+
+pub struct RoundDigest;
+
+impl RoundDigest {
+    pub fn deterministic_digest(&self) -> u64 {
+        digest_mix_fx(7)
+    }
+}
+
+fn digest_mix_fx(seed: u64) -> u64 {
+    seed ^ clock_stamp_fx()
+}
+
+fn clock_stamp_fx() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

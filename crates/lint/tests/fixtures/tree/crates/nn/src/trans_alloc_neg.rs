@@ -1,0 +1,13 @@
+// Fixture: the negative — a hotlisted function whose whole call chain
+// stays allocation-free. No findings.
+pub fn hot_chain(xs: &[f32]) -> f32 {
+    accumulate_fx(xs)
+}
+
+fn accumulate_fx(xs: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}

@@ -1,0 +1,15 @@
+// Fixture: transitive allocation. `hot_outer` is hotlisted and locally
+// allocation-free — the vec! hides one call below, so only the
+// interprocedural analysis can flag it (with the full call chain).
+pub fn hot_outer(xs: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    scale_buffer_fx(acc)
+}
+
+fn scale_buffer_fx(v: f32) -> f32 {
+    let buf = vec![v; 4];
+    buf.len() as f32
+}

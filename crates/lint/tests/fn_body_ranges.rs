@@ -1,0 +1,130 @@
+//! Regression pins for [`kinet_lint::symbols::fn_body`]: the exact body
+//! token range of every `fn`, rendered back to text and compared whole.
+//! A mis-scoped body is an interprocedural false negative (calls leak out
+//! of the function that makes them), so the hard shapes — closures, match
+//! arms with `=>` and `>` guards, `where` clauses with braces in const
+//! positions, const-generic default blocks — each get a pinned range.
+
+use kinet_lint::lexer::{lex, Token};
+use kinet_lint::symbols::{parse_items, FnItem};
+
+fn items_and_code(src: &str) -> (Vec<FnItem>, Vec<Token>) {
+    let toks = lex(src);
+    let code: Vec<&Token> = toks.iter().filter(|t| t.is_code()).collect();
+    let items = parse_items(&code);
+    (items, code.into_iter().cloned().collect())
+}
+
+/// The body of `name`, rendered as its code tokens joined by spaces —
+/// pinning both endpoints of the range at once. Puncts are single
+/// characters, so `=>` renders as `= >`.
+fn body_text(src: &str, name: &str) -> String {
+    let (items, code) = items_and_code(src);
+    let item = items
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("fn {name} not found in {items:?}"));
+    let (start, end) = item
+        .body
+        .unwrap_or_else(|| panic!("fn {name} has no body: {item:?}"));
+    code[start..end]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn closures_with_braces_stay_inside_the_enclosing_body() {
+    let src = "fn outer() -> usize {\n\
+               let add = |a: usize, b: usize| { a + b };\n\
+               let pick = |x: Option<usize>| match x { Some(v) => v, None => 0 };\n\
+               add(pick(None), 1)\n\
+               }\n\
+               fn after() { tail(); }\n";
+    assert_eq!(
+        body_text(src, "outer"),
+        "let add = | a : usize , b : usize | { a + b } ; \
+         let pick = | x : Option < usize > | match x { Some ( v ) = > v , None = > 0 } ; \
+         add ( pick ( None ) , 1 )"
+    );
+    // The closure braces balanced — the next fn was not swallowed.
+    assert_eq!(body_text(src, "after"), "tail ( ) ;");
+}
+
+#[test]
+fn match_arms_with_guards_and_arm_blocks_balance() {
+    let src = "fn route(n: usize) -> usize {\n\
+               match n {\n\
+               0 => { base() }\n\
+               k if k > 3 => { big(k); k }\n\
+               _ => small(n),\n\
+               }\n\
+               }\n\
+               fn sibling() {}\n";
+    assert_eq!(
+        body_text(src, "route"),
+        "match n { \
+         0 = > { base ( ) } \
+         k if k > 3 = > { big ( k ) ; k } \
+         _ = > small ( n ) , }"
+    );
+    assert_eq!(body_text(src, "sibling"), "");
+}
+
+#[test]
+fn where_clauses_with_fn_bounds_and_const_brace_positions() {
+    // The `{ 1 }` lives inside `[...]` in the where clause: it is
+    // signature, not body, because brace scanning is suspended inside
+    // bracket groups.
+    let src = "fn guarded<T>(x: T) -> [u8; 2]\n\
+               where T: Fn(u8) -> u8, [(); { 1 }]: Sized {\n\
+               probe(x); [0, 0]\n\
+               }\n";
+    assert_eq!(body_text(src, "guarded"), "probe ( x ) ; [ 0 , 0 ]");
+}
+
+#[test]
+fn const_generic_default_blocks_are_signature_not_body() {
+    let src = "fn sized<const N: usize = { 8 }>() -> usize { N * 2 }\n";
+    assert_eq!(body_text(src, "sized"), "N * 2");
+}
+
+#[test]
+fn bodyless_trait_fns_do_not_swallow_their_neighbors() {
+    let src = "trait Store {\n\
+               fn read(&self, k: &str) -> Option<Vec<u8>>;\n\
+               fn len(&self) -> usize { self.count() }\n\
+               }\n";
+    let (items, _) = items_and_code(src);
+    let read = items.iter().find(|f| f.name == "read").expect("read");
+    assert!(read.body.is_none(), "declaration has no body: {read:?}");
+    assert_eq!(body_text(src, "len"), "self . count ( )");
+}
+
+#[test]
+fn nested_items_inside_closures_keep_their_own_ranges() {
+    let src = "fn host() {\n\
+               let run = || { fn inner() { leaf(); } inner(); };\n\
+               run();\n\
+               }\n";
+    assert_eq!(
+        body_text(src, "host"),
+        "let run = | | { fn inner ( ) { leaf ( ) ; } inner ( ) ; } ; run ( ) ;"
+    );
+    assert_eq!(body_text(src, "inner"), "leaf ( ) ;");
+}
+
+#[test]
+fn declaration_lines_are_one_based_and_exact() {
+    let src = "\nfn second_line() {}\n\nimpl W {\n    fn fifth_line(&self) {}\n}\n";
+    let (items, _) = items_and_code(src);
+    let lines: Vec<(String, usize)> = items.iter().map(|f| (f.qualified(), f.line)).collect();
+    assert_eq!(
+        lines,
+        [
+            ("second_line".to_string(), 2),
+            ("W::fifth_line".to_string(), 5)
+        ]
+    );
+}

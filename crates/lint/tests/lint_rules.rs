@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 fn fixture_report() -> LintReport {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tree");
-    run_workspace(&root).expect("fixture tree lints")
+    run_workspace(&root).expect("fixture tree lints").report
 }
 
 fn in_file<'a>(r: &'a LintReport, file: &str) -> Vec<&'a Finding> {

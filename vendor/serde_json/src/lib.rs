@@ -90,6 +90,7 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> Error {
+        // kinet-lint: allow(transitive-allocation) — cold JSON parse path; on the tape hot cone only via the `.value()` name-collision edge
         Error(format!("{msg} at byte {}", self.pos))
     }
 
@@ -108,6 +109,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
+            // kinet-lint: allow(transitive-allocation) — cold JSON parse path; on the tape hot cone only via the `.value()` name-collision edge
             Err(self.err(&format!("expected {:?}", b as char)))
         }
     }
@@ -149,11 +151,13 @@ impl Parser<'_> {
             .expect("digits and sign characters are ASCII");
         text.parse::<f64>()
             .map(Value::Number)
+            // kinet-lint: allow(transitive-allocation) — cold JSON parse path; on the tape hot cone only via the `.value()` name-collision edge
             .map_err(|_| Error(format!("invalid number {text:?} at byte {start}")))
     }
 
     fn string(&mut self) -> Result<String, Error> {
         self.eat(b'"')?;
+        // kinet-lint: allow(transitive-allocation) — cold JSON parse path; on the tape hot cone only via the `.value()` name-collision edge
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -223,6 +227,7 @@ impl Parser<'_> {
 
     fn array(&mut self, depth: usize) -> Result<Value, Error> {
         self.eat(b'[')?;
+        // kinet-lint: allow(transitive-allocation) — cold JSON parse path; on the tape hot cone only via the `.value()` name-collision edge
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -246,6 +251,7 @@ impl Parser<'_> {
 
     fn object(&mut self, depth: usize) -> Result<Value, Error> {
         self.eat(b'{')?;
+        // kinet-lint: allow(transitive-allocation) — cold JSON parse path; on the tape hot cone only via the `.value()` name-collision edge
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
