@@ -9,8 +9,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kinet_data::stream::ChunkSource;
+use kinet_datasets::lab::{LabSimConfig, LabSimulator};
 use kinet_datasets::unsw::{UnswSimConfig, UnswSimulator};
-use kinet_fleet::{FleetConfig, FleetSim, SharingPolicy};
+use kinet_fleet::schedule::run_indexed_settled;
+use kinet_fleet::{FleetConfig, FleetSim, ServingModel, SharingPolicy};
+use std::time::Instant;
 
 fn fleet_config(devices: usize, rows: usize) -> FleetConfig {
     FleetConfig {
@@ -69,5 +72,78 @@ fn bench_unsw_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fleet_scaling, bench_unsw_streaming);
+/// Serving under training pressure: each iteration schedules a full
+/// raw-sharing round and a 32-batch flow-scoring burst as two settled
+/// tasks on the shared worker pool, so `score_rows` is measured while a
+/// round contends for the same workers. An observability session wraps
+/// the whole run; the closing summary reports rows/s (wall clock — this
+/// crate is the sanctioned timing module) and the p99 batch latency from
+/// the deterministic `serving.batch_ticks` histogram.
+fn bench_serving_under_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(5);
+
+    let cfg = fleet_config(4, 500);
+    let (_, pool) = FleetSim::new(cfg.clone())
+        .run_detailed()
+        .expect("setup round succeeds");
+    let pool = pool.expect("raw sharing commits a pool");
+    let model = ServingModel::train(&pool, 10, 29).expect("serving model trains");
+    let batches = 32usize;
+    let batch_rows = 96usize;
+    let flows: Vec<_> = (0..batches)
+        .map(|b| {
+            LabSimulator::new(LabSimConfig::small(batch_rows, 29 ^ (b as u64 + 11)))
+                .generate()
+                .expect("flow batch generation succeeds")
+        })
+        .collect();
+
+    let session = kinet_obs::start(kinet_obs::ObsConfig::default());
+    let t0 = Instant::now();
+    let mut rows_scored = 0u64;
+    group.bench_function("serve_under_train/4x500+32x96", |b| {
+        b.iter(|| {
+            let outcomes = run_indexed_settled(2, |task| {
+                if task == 0 {
+                    let report = FleetSim::new(cfg.clone())
+                        .run()
+                        .expect("training round succeeds");
+                    (report.global_accuracy * 1e6) as u64
+                } else {
+                    let mut rows = 0u64;
+                    for flow in &flows {
+                        let (n, _, _) = model.score_batch(flow).expect("serving batch succeeds");
+                        rows += n as u64;
+                    }
+                    rows
+                }
+            });
+            rows_scored += outcomes[1];
+            criterion::black_box(outcomes[1])
+        });
+    });
+    let wall_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let capture = session.finish();
+    let p99 = capture
+        .metrics
+        .histograms
+        .iter()
+        .find(|h| h.name == "serving.batch_ticks")
+        .map(|h| h.p99)
+        .unwrap_or(0);
+    println!(
+        "serve_under_train: {rows_scored} rows scored in {wall_secs:.3}s — \
+         {:.0} rows/s under a concurrent round, batch p99 = {p99} ticks",
+        rows_scored as f64 / wall_secs
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fleet_scaling,
+    bench_unsw_streaming,
+    bench_serving_under_training
+);
 criterion_main!(benches);

@@ -373,6 +373,7 @@ fn main() {
         if args.quick { " (quick mode)" } else { "" }
     );
 
+    let session = kinet_obs::start(kinet_obs::ObsConfig::default());
     let mut records = Vec::new();
     for sc in scenarios() {
         println!("[{}] {}", sc.name, sc.description);
@@ -406,6 +407,7 @@ fn main() {
     );
 
     let failed = records.iter().any(|r| !r.failures.is_empty()) || !probe.pass;
+    kinet_bench::obs_wrapup(&session.finish(), failed);
     let chaos = ChaosReport {
         quick: args.quick,
         seed: args.seed,

@@ -61,6 +61,7 @@ impl Failures {
 struct Args {
     quick: bool,
     serve: bool,
+    trace: bool,
     devices: usize,
     rows: usize,
     chunk: usize,
@@ -72,6 +73,7 @@ impl Args {
     fn parse() -> Result<Self, String> {
         let mut quick = false;
         let mut serve = false;
+        let mut trace = false;
         let mut devices = None;
         let mut rows = None;
         let mut chunk = None;
@@ -84,6 +86,7 @@ impl Args {
             match flag.as_str() {
                 "--quick" => quick = true,
                 "--serve" => serve = true,
+                "--trace" => trace = true,
                 "--devices" => devices = Some(parse_num(&value("--devices")?)?),
                 "--rows" => rows = Some(parse_num(&value("--rows")?)?),
                 "--chunk" => chunk = Some(parse_num(&value("--chunk")?)?),
@@ -91,7 +94,7 @@ impl Args {
                 "--seed" => seed = parse_num(&value("--seed")?)?,
                 "--help" | "-h" => {
                     println!(
-                        "usage: fleet_demo [--quick] [--serve] [--devices N] [--rows N] \
+                        "usage: fleet_demo [--quick] [--serve] [--trace] [--devices N] [--rows N] \
                          [--chunk N] [--window N] [--seed N]"
                     );
                     std::process::exit(0);
@@ -102,6 +105,7 @@ impl Args {
         Ok(Self {
             quick,
             serve,
+            trace,
             devices: devices.unwrap_or(if quick { 8 } else { 32 }),
             rows: rows.unwrap_or(if quick { 1_000 } else { 5_000 }),
             chunk: chunk.unwrap_or(1_024),
@@ -362,6 +366,10 @@ fn main() {
         if args.quick { " (quick mode)" } else { "" }
     );
     let previous = previous_reports();
+    // Recording is always on (the acts are training-dominated; journal
+    // appends are noise): `--trace` prints the per-phase summary, and any
+    // failing exit dumps the flight recorder for the CI artifact.
+    let session = kinet_obs::start(kinet_obs::ObsConfig::default());
     let mut failures = Failures::default();
     let mut reports = Vec::new();
     reports.extend(scale_run(&args, &mut failures));
@@ -395,6 +403,11 @@ fn main() {
             }
         }
         Err(e) => failures.push(format!("could not write fleet_report.json: {e}")),
+    }
+
+    let capture = session.finish();
+    if args.trace || !failures.msgs.is_empty() {
+        kinet_bench::obs_wrapup(&capture, !failures.msgs.is_empty());
     }
 
     if failures.msgs.is_empty() {

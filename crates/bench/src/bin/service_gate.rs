@@ -85,6 +85,9 @@ struct Scenario {
     storage_faults: Vec<StorageFaultSpec>,
     runs: usize,
     check: fn(&Args, &ServiceReport, &mut Vec<String>),
+    /// Journal assertions, run against one extra instrumented execution
+    /// (`None` skips the extra run).
+    journal_check: Option<fn(&kinet_obs::Journal, &mut Vec<String>)>,
 }
 
 /// The small raw-sharing fleet most mechanics scenarios run on.
@@ -124,6 +127,7 @@ fn scenarios() -> Vec<Scenario> {
             },
             storage_faults: vec![StorageFaultSpec::new(1, StorageFaultKind::TornWrite)],
             runs: 2,
+            journal_check: None,
             check: |_, report, failures| {
                 if report.resumed_from_generation != Some(1) {
                     failures.push(format!(
@@ -181,6 +185,7 @@ fn scenarios() -> Vec<Scenario> {
             },
             storage_faults: Vec::new(),
             runs: 1,
+            journal_check: None,
             check: |args, report, failures| {
                 if report.committed_rounds != 2 {
                     failures.push(format!(
@@ -242,6 +247,7 @@ fn scenarios() -> Vec<Scenario> {
             },
             storage_faults: Vec::new(),
             runs: 1,
+            journal_check: None,
             check: |_, report, failures| {
                 let labels: Vec<&str> = report.rounds.iter().map(|r| r.verdict.label()).collect();
                 if labels != ["committed", "aborted", "committed"] {
@@ -281,6 +287,44 @@ fn scenarios() -> Vec<Scenario> {
             },
             storage_faults: Vec::new(),
             runs: 1,
+            // The report only keeps per-round aggregates; the journal's
+            // `serve.answer` events prove every individual batch carried
+            // the right generation + staleness stamp through the outage.
+            journal_check: Some(|journal, failures| {
+                let answers: Vec<_> = journal.events_for("serve.answer").collect();
+                if answers.len() != 24 {
+                    failures.push(format!(
+                        "expected 24 serve.answer events (3 rounds x 8 batches), got {}",
+                        answers.len()
+                    ));
+                    return;
+                }
+                for (i, rec) in answers.iter().enumerate() {
+                    let (want_gen, want_stale) = match i / 8 {
+                        0 => (1, 0), // round 0 committed: fresh gen-1 answers
+                        1 => (1, 1), // round 1 failed: stale gen-1 answers
+                        _ => (2, 0), // round 2 committed: fresh gen-2 answers
+                    };
+                    if rec.field_val("generation") != Some(want_gen)
+                        || rec.field_val("staleness") != Some(want_stale)
+                    {
+                        failures.push(format!(
+                            "batch {i}: expected generation={want_gen} staleness={want_stale}, \
+                             got generation={:?} staleness={:?}",
+                            rec.field_val("generation"),
+                            rec.field_val("staleness")
+                        ));
+                        return;
+                    }
+                    if rec.field_val("rows") != Some(128) {
+                        failures.push(format!(
+                            "batch {i}: expected 128 rows, got {:?}",
+                            rec.field_val("rows")
+                        ));
+                        return;
+                    }
+                }
+            }),
             check: |_, report, failures| {
                 if report.failed_rounds != 1 || report.rounds[1].verdict.label() != "failed" {
                     failures.push(format!(
@@ -290,12 +334,6 @@ fn scenarios() -> Vec<Scenario> {
                     return;
                 }
                 let degraded = &report.rounds[1].serving;
-                if degraded.rows < 1_000 {
-                    failures.push(format!(
-                        "degraded round answered only {} rows (need >= 1000)",
-                        degraded.rows
-                    ));
-                }
                 if degraded.answered_generation != Some(1) || degraded.staleness != Some(1) {
                     failures.push(format!(
                         "degraded answers should come from gen 1 at staleness 1, got gen \
@@ -352,8 +390,12 @@ struct ServiceGateReport {
 }
 
 /// Runs one scenario's full restart sequence on a fresh faulted store,
-/// once per thread count, and cross-checks the final fingerprints.
-fn run_scenario(args: &Args, sc: &Scenario) -> ScenarioRecord {
+/// once per thread count, and cross-checks the final fingerprints. When
+/// the scenario carries a `journal_check`, one extra instrumented
+/// execution captures the journal for it (sessions are exclusive, so
+/// this cannot run inside the thread-count loop shared with other
+/// scenarios' futures — it runs serially here).
+fn run_scenario(args: &Args, sc: &Scenario) -> (ScenarioRecord, Option<kinet_obs::Capture>) {
     let cfg = (sc.config)(args);
     let mut failures = Vec::new();
     let mut runs: Vec<(usize, ServiceReport)> = Vec::new();
@@ -395,14 +437,46 @@ fn run_scenario(args: &Args, sc: &Scenario) -> ScenarioRecord {
     if let Some(report) = &report {
         (sc.check)(args, report, &mut failures);
     }
-    ScenarioRecord {
-        scenario: sc.name.to_string(),
-        description: sc.description.to_string(),
-        thread_counts: THREAD_COUNTS.to_vec(),
-        fingerprints_identical,
-        failures,
-        report,
+    let mut capture = None;
+    if let (Some(jc), Some(report)) = (sc.journal_check, &report) {
+        let session = kinet_obs::start(kinet_obs::ObsConfig::default());
+        let outcome = with_threads(1, || {
+            let mut store = SnapshotStore::new(Box::new(FaultStorage::new(
+                MemStorage::new(),
+                sc.storage_faults.clone(),
+            )));
+            let cfg = (sc.config)(args);
+            let service = FleetService::new(cfg);
+            let mut last = None;
+            for _ in 0..sc.runs {
+                last = Some(service.run(&mut store)?);
+            }
+            last.ok_or_else(|| FleetError::Internal("scenario ran zero times".into()))
+        });
+        let cap = session.finish();
+        match outcome {
+            Ok(instrumented) => {
+                if instrumented.deterministic_fingerprint() != report.deterministic_fingerprint() {
+                    failures
+                        .push("instrumented re-run diverges from the uninstrumented report".into());
+                }
+                jc(&cap.journal, &mut failures);
+            }
+            Err(e) => failures.push(format!("instrumented re-run failed: {e}")),
+        }
+        capture = Some(cap);
     }
+    (
+        ScenarioRecord {
+            scenario: sc.name.to_string(),
+            description: sc.description.to_string(),
+            thread_counts: THREAD_COUNTS.to_vec(),
+            fingerprints_identical,
+            failures,
+            report,
+        },
+        capture,
+    )
 }
 
 /// Scripting the whole fleet away below the membership floor must kill
@@ -463,9 +537,13 @@ fn main() {
     );
 
     let mut records = Vec::new();
+    let mut last_capture = None;
     for sc in scenarios() {
         println!("[{}] {}", sc.name, sc.description);
-        let record = run_scenario(&args, &sc);
+        let (record, capture) = run_scenario(&args, &sc);
+        if capture.is_some() {
+            last_capture = capture;
+        }
         if let Some(report) = &record.report {
             println!(
                 "      {report}\n      fingerprints identical across {:?}: {}",
@@ -486,6 +564,9 @@ fn main() {
     );
 
     let failed = records.iter().any(|r| !r.failures.is_empty()) || !probe.pass;
+    if let Some(capture) = &last_capture {
+        kinet_bench::obs_wrapup(capture, failed);
+    }
     let gate = ServiceGateReport {
         quick: args.quick,
         seed: args.seed,

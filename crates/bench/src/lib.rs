@@ -224,6 +224,21 @@ pub fn write_json<T: Serialize>(id: &str, value: &T) -> std::io::Result<PathBuf>
     Ok(path)
 }
 
+/// Gate-binary wrap-up for a finished observability capture: prints the
+/// one-line per-phase tick/row summary and, when the caller is about to
+/// exit non-zero, dumps the flight recorder to
+/// `target/experiments/obs_dump.json` so CI uploads the last moments of
+/// the failed run.
+pub fn obs_wrapup(capture: &kinet_obs::Capture, failed: bool) {
+    println!("{}", capture.journal.phase_summary());
+    if failed {
+        match write_json("obs_dump", &kinet_obs::snapshot_records(&capture.ring)) {
+            Ok(path) => eprintln!("flight recorder dumped to {}", path.display()),
+            Err(e) => eprintln!("could not write obs_dump.json: {e}"),
+        }
+    }
+}
+
 /// One row of Table I.
 #[derive(Clone, Debug, Serialize)]
 pub struct FidelityRow {

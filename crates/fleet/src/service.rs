@@ -48,6 +48,11 @@ use crate::sim::FleetSim;
 use crate::storage::SnapshotStore;
 use kinet_data::{ColumnKind, Table};
 use kinet_datasets::lab::{LabSimConfig, LabSimulator};
+use kinet_obs::metrics::{
+    SERVICE_ROUNDS_ABORTED, SERVICE_ROUNDS_COMMITTED, SERVICE_ROUNDS_FAILED, SERVING_BATCHES,
+    SERVING_BATCH_TICKS, SERVING_ROWS_SCORED,
+};
+use kinet_obs::{event, kv, serving_cost_ticks, with_scope, Scope};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -620,6 +625,11 @@ impl ServingModel {
             }
             totals.disc_sum += sigmoid(d);
         }
+        // Observability taps: relaxed atomics only, so the hot loop stays
+        // allocation-free and the synthetic-tick histogram is identical
+        // for every `KINET_THREADS` value.
+        SERVING_ROWS_SCORED.incr(n_rows as u64);
+        SERVING_BATCH_TICKS.observe_ticks(serving_cost_ticks(n_rows as u64, width as u64));
         Ok(totals)
     }
 }
@@ -721,14 +731,27 @@ impl ServingHandle {
         let Some((model, generation, committed_round)) = self.installed.as_ref() else {
             return Ok(None);
         };
-        let (rows, attack_flagged, mean_discriminator) = model.score_batch(flows)?;
-        Ok(Some(BatchScore {
-            rows,
-            attack_flagged,
-            mean_discriminator,
-            generation: *generation,
-            staleness: current_round.saturating_sub(*committed_round) as u64,
-        }))
+        with_scope(Scope::Serve, || {
+            let (rows, attack_flagged, mean_discriminator) = model.score_batch(flows)?;
+            let staleness = current_round.saturating_sub(*committed_round) as u64;
+            SERVING_BATCHES.incr(1);
+            event(
+                "serve.answer",
+                serving_cost_ticks(rows as u64, model.encoder.width() as u64),
+                &[
+                    kv("rows", rows as u64),
+                    kv("generation", *generation),
+                    kv("staleness", staleness),
+                ],
+            );
+            Ok(Some(BatchScore {
+                rows,
+                attack_flagged,
+                mean_discriminator,
+                generation: *generation,
+                staleness,
+            }))
+        })
     }
 }
 
@@ -817,6 +840,13 @@ impl FleetService {
     /// first failed round. Watchdog aborts and quorum-lost rounds are
     /// *recorded*, not fatal.
     pub fn run(&self, store: &mut SnapshotStore) -> Result<ServiceReport, FleetError> {
+        // The resident service owns the orchestrator scope for its whole
+        // lifetime; each round's `run_detailed` continues it, so sequence
+        // numbers order rounds, phases, and verdict events globally.
+        with_scope(Scope::Orch, || self.run_inner(store))
+    }
+
+    fn run_inner(&self, store: &mut SnapshotStore) -> Result<ServiceReport, FleetError> {
         self.cfg.validate()?;
         let key = self.config_key();
         let plan = ChurnPlan::derive(
@@ -845,6 +875,14 @@ impl FleetService {
                 report = parsed.partial;
                 report.rounds_planned = self.cfg.rounds;
                 report.resumed_from_generation = Some(parsed.generation);
+                event(
+                    "service.resume",
+                    0,
+                    &[
+                        kv("generation", parsed.generation),
+                        kv("next_round", start_round as u64),
+                    ],
+                );
                 if let (Some(model), Some(round)) = (parsed.serving, parsed.committed_round) {
                     handle.install(model, parsed.generation, round);
                 }
@@ -869,6 +907,17 @@ impl FleetService {
             }
             for id in &membership.left {
                 report.churn.push(format!("round {round}: -{id} left"));
+            }
+            if !membership.joined.is_empty() || !membership.left.is_empty() {
+                event(
+                    "service.churn",
+                    0,
+                    &[
+                        kv("round", round as u64),
+                        kv("joined", membership.joined.len() as u64),
+                        kv("left", membership.left.len() as u64),
+                    ],
+                );
             }
             if membership.members.len() < self.cfg.churn.min_members {
                 return Err(FleetError::MembershipCollapse {
@@ -906,6 +955,12 @@ impl FleetService {
                     record.attack_recall = Some(fleet_report.attack_recall);
                     record.global_accuracy = Some(fleet_report.global_accuracy);
                     report.committed_rounds += 1;
+                    SERVICE_ROUNDS_COMMITTED.incr(1);
+                    event(
+                        "service.commit",
+                        fleet_report.fault.virtual_ticks,
+                        &[kv("round", round as u64), kv("generation", generation)],
+                    );
                     if self.cfg.serving.enabled {
                         if let Some(pool) = pool.filter(|p| p.n_rows() > 0) {
                             let model = ServingModel::train(
@@ -922,6 +977,16 @@ impl FleetService {
                     spent_ticks,
                     deadline_ticks,
                 }) => {
+                    SERVICE_ROUNDS_ABORTED.incr(1);
+                    event(
+                        "service.watchdog_abort",
+                        spent_ticks,
+                        &[
+                            kv("round", round as u64),
+                            kv("spent", spent_ticks),
+                            kv("deadline", deadline_ticks),
+                        ],
+                    );
                     record.verdict = RoundVerdict::Aborted {
                         phase,
                         spent_ticks,
@@ -931,6 +996,8 @@ impl FleetService {
                 }
                 Err(e @ FleetError::Config(_)) => return Err(e),
                 Err(e) => {
+                    SERVICE_ROUNDS_FAILED.incr(1);
+                    event("service.round_failed", 0, &[kv("round", round as u64)]);
                     record.verdict = RoundVerdict::Failed {
                         error: e.to_string(),
                     };

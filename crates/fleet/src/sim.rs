@@ -41,6 +41,10 @@ use kinet_data::synth::TabularSynthesizer;
 use kinet_data::{DataError, Table};
 use kinet_datasets::lab::{LabSimConfig, LabSimulator};
 use kinet_eval::utility::evaluate_nids;
+use kinet_obs::metrics::{
+    FLEET_ACQUIRE_TICKS, FLEET_PREPARE_TICKS, FLEET_QUARANTINES, FLEET_RETRIES, FLEET_UNION_TICKS,
+};
+use kinet_obs::{event, kv, span_close, span_open, with_scope, Scope};
 use kinetgan::{KinetGan, KinetGanConfig};
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -126,6 +130,13 @@ impl FleetSim {
     /// Same contract as [`FleetSim::run`], plus [`FleetError::Watchdog`]
     /// when an armed [`crate::config::WatchdogConfig`] deadline is blown.
     pub fn run_detailed(&self) -> Result<(FleetReport, Option<Table>), FleetError> {
+        // The whole round runs under the orchestrator scope; when the
+        // resident service already opened it, this is a continuation and
+        // sequence numbers keep climbing across rounds.
+        with_scope(Scope::Orch, || self.run_detailed_inner())
+    }
+
+    fn run_detailed_inner(&self) -> Result<(FleetReport, Option<Table>), FleetError> {
         let cfg = &self.config;
         cfg.validate()?;
         // kinet-lint: allow(wall-clock) — feeds only timing fields that deterministic_fingerprint() excludes
@@ -149,11 +160,30 @@ impl FleetSim {
         })?;
 
         // ---- phase 1: acquire shards (streaming, parallel, retried) ----
+        // Timestamp discipline: device closures never read the shared
+        // clock (the reading would depend on sibling progress and break
+        // cross-thread-count determinism); the orchestrator stamps spans
+        // at the phase barriers, where the clock value is settled.
+        span_open("fleet.round", 0, &[kv("devices", cfg.n_devices as u64)]);
+        span_open("fleet.acquire", 0, &[]);
         let acquired: Vec<Attempted<DeviceStage>> =
             schedule::run_indexed_settled(cfg.n_devices, |d| {
-                self.acquire_with_recovery(d, &peak, &plan, &clock)
+                with_scope(Scope::Device(d as u32), || {
+                    self.acquire_with_recovery(d, &peak, &plan, &clock)
+                })
             });
         let acquire_ticks = clock.total();
+        let acquired_rows: u64 = acquired
+            .iter()
+            .filter_map(|a| a.result.as_ref().ok())
+            .map(|s| s.shard_rows as u64)
+            .sum();
+        FLEET_ACQUIRE_TICKS.incr(acquire_ticks);
+        span_close(
+            "fleet.acquire",
+            acquire_ticks,
+            &[kv("ticks", acquire_ticks), kv("rows", acquired_rows)],
+        );
         Self::check_watchdog(
             cfg,
             "acquire",
@@ -162,6 +192,7 @@ impl FleetSim {
         )?;
 
         // ---- phase 2: condition-union exchange over surviving vocabs ----
+        span_open("fleet.union", acquire_ticks, &[]);
         let mut union_events: Vec<Vec<String>> = vec![Vec::new(); cfg.n_devices];
         let union_classes = if cfg.union.enabled {
             let mut vocabs = Vec::new();
@@ -210,6 +241,17 @@ impl FleetSim {
             })
             .collect();
         let union_end_ticks = clock.total();
+        let union_seeded: u64 = missing.iter().map(|m| m.len() as u64).sum();
+        FLEET_UNION_TICKS.incr(union_end_ticks - acquire_ticks);
+        span_close(
+            "fleet.union",
+            union_end_ticks,
+            &[
+                kv("ticks", union_end_ticks - acquire_ticks),
+                kv("classes", union_classes.len() as u64),
+                kv("seeded", union_seeded),
+            ],
+        );
         Self::check_watchdog(
             cfg,
             "union",
@@ -218,22 +260,30 @@ impl FleetSim {
         )?;
 
         // ---- phase 3: prepare shares (parallel, retried) ----
+        span_open("fleet.prepare", union_end_ticks, &[]);
         let prepared: Vec<Option<Attempted<DeviceOutcome>>> =
             schedule::run_indexed_settled(cfg.n_devices, |d| match &acquired[d].result {
-                Ok(stage) => {
-                    Some(self.prepare_with_recovery(d, stage, &missing[d], &test, &plan, &clock))
-                }
+                Ok(stage) => Some(with_scope(Scope::Device(d as u32), || {
+                    self.prepare_with_recovery(d, stage, &missing[d], &test, &plan, &clock)
+                })),
                 Err(_) => None,
             });
+        let prepare_end_ticks = clock.total();
+        FLEET_PREPARE_TICKS.incr(prepare_end_ticks - union_end_ticks);
+        span_close(
+            "fleet.prepare",
+            prepare_end_ticks,
+            &[kv("ticks", prepare_end_ticks - union_end_ticks)],
+        );
         Self::check_watchdog(
             cfg,
             "prepare",
-            clock.total() - union_end_ticks,
+            prepare_end_ticks - union_end_ticks,
             cfg.watchdog.prepare_deadline_ticks,
         )?;
 
         // ---- aggregation, in device-index order ----
-        self.aggregate(AggregateInput {
+        let out = self.aggregate(AggregateInput {
             acquired,
             union_events,
             prepared,
@@ -243,7 +293,13 @@ impl FleetSim {
             test: &test,
             peak: &peak,
             start,
-        })
+        });
+        span_close(
+            "fleet.round",
+            clock.total(),
+            &[kv("ticks", clock.total()), kv("ok", u64::from(out.is_ok()))],
+        );
+        out
     }
 
     /// Runs the fleet, resuming from `path` when it holds an intact
@@ -342,6 +398,12 @@ impl FleetSim {
                             res.backoff_cap_ticks,
                             attempt,
                         ));
+                        FLEET_RETRIES.incr(1);
+                        event(
+                            "fleet.retry",
+                            0,
+                            &[kv("device", d as u64), kv("attempt", attempt as u64)],
+                        );
                         retries += 1;
                         attempt += 1;
                         continue;
@@ -388,6 +450,12 @@ impl FleetSim {
                             res.backoff_cap_ticks,
                             attempt,
                         ));
+                        FLEET_RETRIES.incr(1);
+                        event(
+                            "fleet.retry",
+                            0,
+                            &[kv("device", d as u64), kv("attempt", attempt as u64)],
+                        );
                         retries += 1;
                         attempt += 1;
                         continue;
@@ -557,6 +625,12 @@ impl FleetSim {
                             res.backoff_cap_ticks,
                             attempt,
                         ));
+                        FLEET_RETRIES.incr(1);
+                        event(
+                            "fleet.retry",
+                            0,
+                            &[kv("device", d as u64), kv("attempt", attempt as u64)],
+                        );
                         retries += 1;
                         attempt += 1;
                         continue;
@@ -862,6 +936,12 @@ impl FleetSim {
                                             stage.device
                                         ));
                                         report.status = format!("quarantined: {why}");
+                                        FLEET_QUARANTINES.incr(1);
+                                        event(
+                                            "fleet.quarantine",
+                                            clock.total(),
+                                            &[kv("device", d as u64)],
+                                        );
                                         quarantined.push((d, why));
                                     }
                                 }
@@ -893,6 +973,17 @@ impl FleetSim {
 
         resilience::check_quorum(&reported, &degraded, &cfg.resilience)?;
         let devices_reported = reported.iter().filter(|&&r| r).count();
+        event(
+            "fleet.quorum",
+            clock.total(),
+            &[
+                kv("reported", devices_reported as u64),
+                kv(
+                    "required",
+                    cfg.resilience.quorum_required(cfg.n_devices) as u64,
+                ),
+            ],
+        );
 
         let (global_accuracy, attack_recall, pool_kg_validity, pool_rows, pool_class_counts) =
             match (&cfg.policy, &pool) {

@@ -97,7 +97,7 @@ impl LintConfig {
     /// [`crate::load_workspace_config`] reads them from `crates/lint/`).
     pub fn repo_policy(hotlist: Vec<HotFile>, unsafe_allow: Vec<String>) -> Self {
         LintConfig {
-            deterministic_crates: ["tensor", "nn", "kg", "data", "core", "fleet"]
+            deterministic_crates: ["tensor", "nn", "kg", "data", "core", "fleet", "obs"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),

@@ -1,0 +1,77 @@
+//! The flight recorder: a bounded ring of the most recent records.
+//!
+//! Fed at frame-flush time, so its contents depend on worker timing —
+//! it is a *diagnostic* (dumped as `obs_dump.json` when a gate goes
+//! red), not part of the deterministic journal contract. The journal
+//! bytes are invariant to the ring capacity (proptested in
+//! `crates/fleet/tests/obs_properties.rs`).
+
+use crate::journal::lock_poison_free;
+use crate::Record;
+use std::sync::Mutex;
+
+pub(crate) struct Ring {
+    /// Capacity; 0 disables the recorder.
+    cap: usize,
+    /// Next overwrite position once full.
+    next: usize,
+    /// Stored records, at most `cap`.
+    slots: Vec<Record>,
+}
+
+impl Ring {
+    const fn empty() -> Ring {
+        Ring {
+            cap: 0,
+            next: 0,
+            slots: Vec::new(),
+        }
+    }
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring::empty());
+
+/// Clears the ring and sets a new capacity (session start).
+pub(crate) fn ring_reset(cap: usize) {
+    let mut ring = lock_poison_free(&RING);
+    ring.cap = cap;
+    ring.next = 0;
+    ring.slots.clear();
+}
+
+/// Appends a flushed frame's records, evicting the oldest once full.
+pub(crate) fn ring_extend(records: &[Record]) {
+    let mut ring = lock_poison_free(&RING);
+    if ring.cap == 0 {
+        return;
+    }
+    for rec in records.iter() {
+        ring_push(&mut ring, *rec);
+    }
+}
+
+fn ring_push(ring: &mut Ring, rec: Record) {
+    if ring.slots.len() < ring.cap {
+        ring.slots.push(rec);
+        ring.next = ring.slots.len() % ring.cap;
+        return;
+    }
+    let pos = ring.next;
+    if let Some(slot) = ring.slots.get_mut(pos) {
+        *slot = rec;
+    }
+    ring.next = (ring.next + 1) % ring.cap;
+}
+
+/// Drains the ring (session finish), leaving it disabled.
+pub(crate) fn ring_drain() -> Vec<Record> {
+    let mut ring = lock_poison_free(&RING);
+    let mut out: Vec<Record> = Vec::with_capacity(ring.slots.len());
+    for rec in ring.slots.iter() {
+        out.push(*rec);
+    }
+    ring.slots.clear();
+    ring.cap = 0;
+    ring.next = 0;
+    out
+}
